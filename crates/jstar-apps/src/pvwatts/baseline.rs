@@ -1,0 +1,82 @@
+//! Hand-coded baseline — the paper's Java PvWatts program (§6.1).
+//!
+//! "The Java program uses the typical input reading style of
+//! `BufferedReader.readline` plus `String.split` to read the input CSV
+//! file": we mirror that idiom (allocate a `String` per line, split into
+//! `String` fields, parse) so the baseline carries the same
+//! string-conversion cost the paper measures JStar's byte-level CSV
+//! library against. A second, byte-level variant isolates exactly that
+//! difference.
+
+use std::collections::BTreeMap;
+
+/// Monthly means via line-by-line String reading (the Java idiom).
+pub fn monthly_means_string_style(data: &[u8]) -> Vec<(i64, i64, f64)> {
+    let text = String::from_utf8_lossy(data);
+    let mut acc: BTreeMap<(i64, i64), (u64, i64)> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        // String.split(",") — allocates a vector of String-like slices and
+        // parses from them, as the paper's Java baseline does.
+        let fields: Vec<String> = line.split(',').map(|s| s.to_string()).collect();
+        if fields.len() != 5 {
+            continue;
+        }
+        let year: i64 = fields[0].parse().unwrap_or(0);
+        let month: i64 = fields[1].parse().unwrap_or(0);
+        let power: i64 = fields[4].parse().unwrap_or(0);
+        let e = acc.entry((year, month)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += power;
+    }
+    acc.into_iter()
+        .map(|((y, m), (n, s))| (y, m, s as f64 / n as f64))
+        .collect()
+}
+
+/// Monthly means via the byte-level CSV library (what JStar's generated
+/// reader uses) — isolates the string-conversion cost.
+pub fn monthly_means_byte_style(data: &[u8]) -> Vec<(i64, i64, f64)> {
+    let mut acc: BTreeMap<(i64, i64), (u64, i64)> = BTreeMap::new();
+    for rec in jstar_csv::records(data) {
+        if let Some(r) = super::data::parse_record(&rec) {
+            let e = acc.entry((r.year, r.month)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.power;
+        }
+    }
+    acc.into_iter()
+        .map(|((y, m), (n, s))| (y, m, s as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvwatts::data::{expected_means, generate_records, render_csv, InputOrder};
+
+    #[test]
+    fn string_style_matches_ground_truth() {
+        let recs = generate_records(5000, InputOrder::Chronological);
+        let csv = render_csv(&recs);
+        assert_eq!(monthly_means_string_style(&csv), expected_means(&recs));
+    }
+
+    #[test]
+    fn byte_style_matches_string_style() {
+        let recs = generate_records(5000, InputOrder::RoundRobin);
+        let csv = render_csv(&recs);
+        assert_eq!(
+            monthly_means_byte_style(&csv),
+            monthly_means_string_style(&csv)
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_no_months() {
+        assert!(monthly_means_string_style(b"").is_empty());
+        assert!(monthly_means_byte_style(b"").is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Synthetic PVWatts data — the substitute for the paper's 192 MB
+//! `large1000.csv` (8,760,000 hourly solar-output records).
+//!
+//! Only three properties of the input matter to the experiments: the
+//! record count (parse/insert cost), the per-record schema
+//! (`year,month,day,hour,power`), and the *ordering* of months within the
+//! file, which drives Disruptor consumer load balance in §6.3/Fig. 10:
+//!
+//! * [`InputOrder::Chronological`] — the paper's default "unsorted" input,
+//!   "ordered by year and month, which means that long sequences of
+//!   records are processed by the same consumer";
+//! * [`InputOrder::RoundRobin`] — the paper's "sorted (best case)" input,
+//!   "sorted by day of the month and time of the day, so that input
+//!   records are processed by consumers in a round-robin fashion".
+//!
+//! Power values are a pure function of `(year,month,day,hour)`, so the two
+//! orderings contain exactly the same multiset of records and produce
+//! identical monthly means.
+
+/// Days per month (non-leap year, like PVWatts TMY data).
+pub const DAYS_IN_MONTH: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Hours in one (non-leap) data year.
+pub const HOURS_PER_YEAR: usize = 8760;
+
+/// One input record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PvRecord {
+    pub year: i64,
+    pub month: i64,
+    pub day: i64,
+    pub hour: i64,
+    pub power: i64,
+}
+
+/// Input file orderings (§6.3, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputOrder {
+    /// Year-major, month-major — the paper's default ("unsorted") input.
+    Chronological,
+    /// Day/hour-major so months round-robin — the paper's "sorted" input.
+    RoundRobin,
+}
+
+/// splitmix64 — deterministic power values independent of record order.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The power output for a given hour: 0 at night, pseudo-random daytime
+/// output shaped by month (a crude solar curve; the analysis only needs
+/// the values to be deterministic and non-trivial).
+pub fn power_at(year: i64, month: i64, day: i64, hour: i64) -> i64 {
+    if !(6..=19).contains(&hour) {
+        return 0;
+    }
+    let seed = (year as u64) << 32 | (month as u64) << 24 | (day as u64) << 16 | hour as u64;
+    let noise = mix(seed) % 400;
+    // Seasonal shape: peak in month 6-7 for northern-hemisphere flavour.
+    let season = 600 - 80 * (month - 7).abs();
+    (season + noise as i64).max(0)
+}
+
+/// Generates `n` records starting at year 2000.
+pub fn generate_records(n: usize, order: InputOrder) -> Vec<PvRecord> {
+    let mut recs = Vec::with_capacity(n);
+    let mut year = 2000i64;
+    'outer: loop {
+        for (mi, days) in DAYS_IN_MONTH.iter().enumerate() {
+            let month = mi as i64 + 1;
+            for day in 1..=*days as i64 {
+                for hour in 0..24i64 {
+                    if recs.len() >= n {
+                        break 'outer;
+                    }
+                    recs.push(PvRecord {
+                        year,
+                        month,
+                        day,
+                        hour,
+                        power: power_at(year, month, day, hour),
+                    });
+                }
+            }
+        }
+        year += 1;
+    }
+    if order == InputOrder::RoundRobin {
+        // "Sorted by day of the month and time of the day": months (and
+        // years) alternate record to record.
+        recs.sort_by_key(|r| (r.day, r.hour, r.month, r.year));
+    }
+    recs
+}
+
+/// Renders records in the CSV format of the input file:
+/// `year,month,day,H:00,power`.
+pub fn render_csv(records: &[PvRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 24);
+    for r in records {
+        out.extend_from_slice(
+            format!(
+                "{},{},{},{}:00,{}\n",
+                r.year, r.month, r.day, r.hour, r.power
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
+/// Convenience: generate + render.
+pub fn generate_csv(n: usize, order: InputOrder) -> Vec<u8> {
+    render_csv(&generate_records(n, order))
+}
+
+/// Parses one CSV record (the byte-oriented fast path used by both the
+/// JStar reader rule and the Disruptor producer). Returns `None` on a
+/// malformed line.
+pub fn parse_record(rec: &jstar_csv::Record<'_>) -> Option<PvRecord> {
+    let mut fields = rec.fields();
+    let year = jstar_csv::parse_i64(fields.next()?).ok()?;
+    let month = jstar_csv::parse_i64(fields.next()?).ok()?;
+    let day = jstar_csv::parse_i64(fields.next()?).ok()?;
+    let hour_field = fields.next()?;
+    let colon = hour_field.iter().position(|&b| b == b':')?;
+    let hour = jstar_csv::parse_i64(&hour_field[..colon]).ok()?;
+    let power = jstar_csv::parse_i64(fields.next()?).ok()?;
+    Some(PvRecord {
+        year,
+        month,
+        day,
+        hour,
+        power,
+    })
+}
+
+/// Reference monthly means, computed directly — ground truth for tests
+/// and benches.
+pub fn expected_means(records: &[PvRecord]) -> Vec<(i64, i64, f64)> {
+    let mut acc: std::collections::BTreeMap<(i64, i64), (u64, i64)> = Default::default();
+    for r in records {
+        let e = acc.entry((r.year, r.month)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.power;
+    }
+    acc.into_iter()
+        .map(|((y, m), (n, s))| (y, m, s as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_exact_count() {
+        for n in [0, 1, 100, 10_000] {
+            assert_eq!(generate_records(n, InputOrder::Chronological).len(), n);
+        }
+    }
+
+    #[test]
+    fn chronological_is_month_major() {
+        let recs = generate_records(24 * 40, InputOrder::Chronological);
+        // First 31*24 records are January.
+        assert!(recs[..31 * 24].iter().all(|r| r.month == 1));
+        assert_eq!(recs[31 * 24].month, 2);
+    }
+
+    #[test]
+    fn round_robin_alternates_months() {
+        let n = HOURS_PER_YEAR;
+        let recs = generate_records(n, InputOrder::RoundRobin);
+        // Among the first 12 records (day 1, hour 0 of each month), months
+        // rotate 1..=12.
+        let months: Vec<i64> = recs[..12].iter().map(|r| r.month).collect();
+        assert_eq!(months, (1..=12).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn orderings_have_identical_record_multisets() {
+        let n = 5000;
+        let mut a = generate_records(n, InputOrder::Chronological);
+        let mut b = generate_records(n, InputOrder::RoundRobin);
+        let key = |r: &PvRecord| (r.year, r.month, r.day, r.hour, r.power);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let recs = generate_records(1000, InputOrder::Chronological);
+        let csv = render_csv(&recs);
+        let parsed: Vec<PvRecord> = jstar_csv::records(&csv)
+            .map(|r| parse_record(&r).expect("well-formed"))
+            .collect();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn power_is_zero_at_night() {
+        assert_eq!(power_at(2000, 6, 15, 2), 0);
+        assert!(power_at(2000, 6, 15, 12) > 0);
+    }
+
+    #[test]
+    fn expected_means_cover_all_months() {
+        let recs = generate_records(HOURS_PER_YEAR, InputOrder::Chronological);
+        let means = expected_means(&recs);
+        assert_eq!(means.len(), 12);
+        assert!(means.iter().all(|&(y, _, mean)| y == 2000 && mean >= 0.0));
+        // Summer (month 7) beats winter (month 1) under the seasonal shape.
+        let m1 = means.iter().find(|&&(_, m, _)| m == 1).unwrap().2;
+        let m7 = means.iter().find(|&&(_, m, _)| m == 7).unwrap().2;
+        assert!(m7 > m1);
+    }
+
+    #[test]
+    fn multi_year_generation_advances_year() {
+        let recs = generate_records(HOURS_PER_YEAR + 10, InputOrder::Chronological);
+        assert_eq!(recs.last().unwrap().year, 2001);
+    }
+}

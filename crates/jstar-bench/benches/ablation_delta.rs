@@ -1,0 +1,104 @@
+//! Ablation: the paper's multi-level Delta **tree** versus a flat
+//! whole-key ordered map (and versus the raw structures on a synthetic
+//! Dijkstra-shaped stream).
+//!
+//! §6.5/§8 blame Dijkstra's mediocre scaling on the Delta tree ("it seems
+//! to be a problem with the scalability of our Delta tree data
+//! structures"); this bench isolates the Delta structure choice from the
+//! rest of the engine. The tree shares prefixes across levels; the flat
+//! map clones and compares whole keys. Shape expectation: similar at small
+//! key depth (PvWatts-like, depth 1), tree advantage growing with key
+//! depth and churn (Dijkstra-like, depth 3 with interleaved insert/pop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jstar_apps::shortest_path::{self, GraphSpec};
+use jstar_core::delta::DeltaTree;
+use jstar_core::delta::{DeltaKind, FlatDelta};
+use jstar_core::orderby::{KeyPart, OrderKey};
+use jstar_core::prelude::*;
+use std::hint::black_box;
+
+/// Synthetic Dijkstra-shaped churn: pop the min class, push a few tuples
+/// slightly in the future, repeat.
+fn churn_tree(seed_keys: &[(OrderKey, Tuple)], rounds: usize) -> usize {
+    let mut tree = DeltaTree::new();
+    for (k, t) in seed_keys {
+        tree.insert(k, t.clone());
+    }
+    let mut processed = 0;
+    for _ in 0..rounds {
+        let Some((key, class)) = tree.pop_min_class() else {
+            break;
+        };
+        processed += class.len();
+        if let Some(KeyPart::Seq(Value::Int(d))) = key.0.get(1) {
+            for (i, t) in class.iter().enumerate() {
+                let mut k = key.clone();
+                k.0[1] = KeyPart::Seq(Value::Int(d + 1 + (i % 3) as i64));
+                tree.insert(&k, t.clone());
+            }
+        }
+    }
+    processed
+}
+
+fn churn_flat(seed_keys: &[(OrderKey, Tuple)], rounds: usize) -> usize {
+    let mut flat = FlatDelta::new();
+    for (k, t) in seed_keys {
+        flat.insert(k, t.clone());
+    }
+    let mut processed = 0;
+    for _ in 0..rounds {
+        let Some((key, class)) = flat.pop_min_class() else {
+            break;
+        };
+        processed += class.len();
+        if let Some(KeyPart::Seq(Value::Int(d))) = key.0.get(1) {
+            for (i, t) in class.iter().enumerate() {
+                let mut k = key.clone();
+                k.0[1] = KeyPart::Seq(Value::Int(d + 1 + (i % 3) as i64));
+                flat.insert(&k, t.clone());
+            }
+        }
+    }
+    processed
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_delta");
+    g.sample_size(10);
+
+    // Raw structure churn.
+    let seed: Vec<(OrderKey, Tuple)> = (0..2_000i64)
+        .map(|i| {
+            (
+                OrderKey(vec![
+                    KeyPart::Strat(0),
+                    KeyPart::Seq(Value::Int(i % 50)),
+                    KeyPart::Strat(1),
+                ]),
+                Tuple::new(TableId(0), vec![Value::Int(i)]),
+            )
+        })
+        .collect();
+    g.bench_function("raw/tree_churn", |b| {
+        b.iter(|| churn_tree(black_box(&seed), 500))
+    });
+    g.bench_function("raw/flat_churn", |b| {
+        b.iter(|| churn_flat(black_box(&seed), 500))
+    });
+
+    // Whole-program ablation: Dijkstra with each Delta kind.
+    let spec = GraphSpec::new(10_000, 10_000, 8, 5);
+    for (name, kind) in [("tree", DeltaKind::Tree), ("flat", DeltaKind::Flat)] {
+        g.bench_function(format!("dijkstra/{name}"), |b| {
+            b.iter(|| {
+                shortest_path::run_jstar(spec, EngineConfig::sequential().delta_kind(kind)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

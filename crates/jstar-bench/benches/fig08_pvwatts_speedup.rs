@@ -1,0 +1,48 @@
+//! Fig. 8 — PvWatts relative speedup with varying fork/join pool size,
+//! with alternative data structures for the PvWatts Gamma table.
+//!
+//! Paper (dual-CPU Xeon W5590, 8 cores): "the relative speedup is
+//! average, reaching nearly 4X speedup with 8 threads", with the custom
+//! array-of-hashsets store beating the generic concurrent stores.
+//! Expected shape: sublinear scaling that flattens towards 8 threads, and
+//! CustomStore ≤ HashStore ≤ NoDelta in absolute time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstar_apps::pvwatts::{self, InputOrder, Variant};
+use jstar_bench::workloads::par_config;
+use std::sync::Arc;
+
+fn bench_fig8(c: &mut Criterion) {
+    let csv = Arc::new(pvwatts::generate_csv(8_760 * 2, InputOrder::Chronological));
+    let mut g = c.benchmark_group("fig08_pvwatts_speedup");
+    g.sample_size(10);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for variant in [Variant::NoDelta, Variant::HashStore, Variant::CustomStore] {
+        for threads in [1usize, 2, 4, 8] {
+            if threads > cores {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        pvwatts::run_jstar(
+                            Arc::clone(&csv),
+                            threads.max(2),
+                            variant,
+                            par_config(threads),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 10 — execution times for the Disruptor version of PvWatts,
+//! unsorted (chronological) vs sorted (round-robin) input.
+//!
+//! Paper (i7-2600, 4 cores + HT): with 8 threads the Disruptor version
+//! gets 3.31× over sequential JStar on the default input and 2.52× on the
+//! sorted input — the sorted input "makes both the sequential and parallel
+//! programs faster", so its *speedup* is lower even though its absolute
+//! time is lower. Expected shape: round-robin absolute times ≤
+//! chronological at high consumer counts (better load balance), and both
+//! beat one consumer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstar_apps::pvwatts::{self, DisruptorConfig, InputOrder};
+
+fn bench_fig10(c: &mut Criterion) {
+    let unsorted = pvwatts::generate_csv(8_760 * 2, InputOrder::Chronological);
+    let sorted = pvwatts::generate_csv(8_760 * 2, InputOrder::RoundRobin);
+    let mut g = c.benchmark_group("fig10_disruptor");
+    g.sample_size(10);
+    for (name, csv) in [("unsorted", &unsorted), ("sorted", &sorted)] {
+        for consumers in [1usize, 4, 12] {
+            let cfg = DisruptorConfig {
+                consumers,
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(name, consumers), &cfg, |b, cfg| {
+                b.iter(|| pvwatts::disruptor_version::run(csv, *cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 11 — speedup of the naive Matrix Multiplication program with
+//! varying fork/join pool size.
+//!
+//! Paper (quad-CPU Xeon E7-8837, 32 cores): "This program is
+//! embarrassingly parallel, and has a high computation to communication
+//! ratio (after applying compiler optimisations, only one tuple per row of
+//! the output matrix needs to go through the delta set), so shows good
+//! speedup up to 20 cores." Expected shape: near-linear scaling over the
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstar_apps::matmul;
+use jstar_bench::workloads::par_config;
+use std::sync::Arc;
+
+fn bench_fig11(c: &mut Criterion) {
+    let n = 192;
+    let a = Arc::new(matmul::gen_matrix(n, 11));
+    let bm = Arc::new(matmul::gen_matrix(n, 22));
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    let mut g = c.benchmark_group("fig11_matmul");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > cores {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| matmul::run_jstar(n, Arc::clone(&a), Arc::clone(&bm), par_config(t)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 12 — speedup of the Dijkstra Shortest Path program with varying
+//! fork/join pool size.
+//!
+//! Paper (dual-CPU Xeon W5590, 8 cores): "This has mediocre speedup, with
+//! a maximum speedup of only 4.0 (8 cores). This seems to be because the
+//! inner loop of the program puts several million Estimate tuples through
+//! the Delta tree, which is still not sufficiently scalable to cope with a
+//! large number of threads contending for the same branches of the tree."
+//! Expected shape: clearly sublinear scaling that flattens early — far
+//! below MatrixMult's curve at the same thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstar_apps::shortest_path::{self, GraphSpec};
+use jstar_bench::workloads::par_config;
+
+fn bench_fig12(c: &mut Criterion) {
+    let spec = GraphSpec::new(20_000, 20_000, 24, 0xD1785);
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    let mut g = c.benchmark_group("fig12_dijkstra");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        if threads > cores {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| shortest_path::run_jstar(spec, par_config(t)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

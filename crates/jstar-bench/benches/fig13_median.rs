@@ -1,0 +1,35 @@
+//! Fig. 13 — speedup of the Median-Finding program with varying fork/join
+//! pool size.
+//!
+//! Paper (quad-CPU Xeon E7-8837, 32 cores): "good speedup 8.6X up to 12
+//! cores, and then a more gradual speedup up to a maximum of 14X with 32
+//! cores." Expected shape: strong scaling at low thread counts that turns
+//! gradual as the per-iteration controller (a serial section) starts to
+//! dominate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstar_apps::median;
+use jstar_bench::workloads::par_config;
+use std::sync::Arc;
+
+fn bench_fig13(c: &mut Criterion) {
+    let data = Arc::new(median::gen_data(1_000_000, 99));
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    let mut g = c.benchmark_group("fig13_median");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > cores {
+            continue;
+        }
+        let regions = (threads * 4).max(12);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| median::run_jstar(Arc::clone(&data), regions, par_config(t)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! §6.2 — the `-noDelta=PvWatts` optimisation.
+//!
+//! Paper: "the sequential execution time is 23.0 seconds without the
+//! optimisation and 8.44 seconds with the optimisation" (≈2.7×). Expected
+//! shape: the naive variant (every PvWatts tuple staged in the Delta tree,
+//! then moved to Gamma) is several times slower than the `-noDelta`
+//! variants, and the hash/custom stores further beat the ordered default.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jstar_apps::pvwatts::{self, InputOrder, Variant};
+use jstar_core::prelude::*;
+use std::sync::Arc;
+
+fn bench_nodelta(c: &mut Criterion) {
+    let csv = Arc::new(pvwatts::generate_csv(8_760, InputOrder::Chronological));
+    let mut g = c.benchmark_group("opt_nodelta");
+    g.sample_size(10);
+    for variant in Variant::all() {
+        g.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                pvwatts::run_jstar(Arc::clone(&csv), 1, variant, EngineConfig::sequential())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nodelta);
+criterion_main!(benches);

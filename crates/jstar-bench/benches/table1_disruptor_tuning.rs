@@ -1,0 +1,57 @@
+//! Table 1 — Disruptor options used for PvWatts.
+//!
+//! Paper: "The best results with a single producer and 12 consumers were
+//! with the BlockingWaitStrategy for the consumers, a ring buffer of 1024
+//! elements, and a producer batch size of 256." This bench sweeps the same
+//! three knobs. Expected shape: batch 256 beats batch 1 clearly (gate
+//! checks and signals are amortised); very small rings are slower
+//! (producer back-pressure); wait strategies are within the same ballpark
+//! on a machine with idle cores, with Blocking cheapest in CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstar_apps::pvwatts::{self, DisruptorConfig, InputOrder};
+use jstar_disruptor::WaitStrategyKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let csv = pvwatts::generate_csv(8_760 * 2, InputOrder::Chronological);
+    let mut g = c.benchmark_group("table1_disruptor_tuning");
+    g.sample_size(10);
+
+    for wait in WaitStrategyKind::all() {
+        let cfg = DisruptorConfig {
+            consumers: 12,
+            ring_size: 1024,
+            batch: 256,
+            wait,
+        };
+        g.bench_with_input(BenchmarkId::new("wait", wait.name()), &cfg, |b, cfg| {
+            b.iter(|| pvwatts::disruptor_version::run(&csv, *cfg))
+        });
+    }
+    for ring in [64usize, 1024, 4096] {
+        let cfg = DisruptorConfig {
+            consumers: 12,
+            ring_size: ring,
+            batch: 256.min(ring),
+            wait: WaitStrategyKind::Blocking,
+        };
+        g.bench_with_input(BenchmarkId::new("ring", ring), &cfg, |b, cfg| {
+            b.iter(|| pvwatts::disruptor_version::run(&csv, *cfg))
+        });
+    }
+    for batch in [1usize, 256] {
+        let cfg = DisruptorConfig {
+            consumers: 12,
+            ring_size: 1024,
+            batch,
+            wait: WaitStrategyKind::Blocking,
+        };
+        g.bench_with_input(BenchmarkId::new("batch", batch), &cfg, |b, cfg| {
+            b.iter(|| pvwatts::disruptor_version::run(&csv, *cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

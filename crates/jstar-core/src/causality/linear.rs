@@ -1,0 +1,483 @@
+//! A small linear-arithmetic entailment engine.
+//!
+//! The paper sends each causality proof obligation to an SMT solver (§4).
+//! The obligations it shows are conjunctions of linear (in)equalities over
+//! tuple timestamp fields — e.g. `out.frame == trig.frame + 1`,
+//! `trig.x < 400` — implying a lexicographic ordering goal. That fragment
+//! is decided exactly by **Fourier–Motzkin elimination** over the
+//! rationals, which is what this module implements: no external solver
+//! needed, same verdicts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An exact rational with `i128` numerator/denominator, kept normalised
+/// (gcd 1, positive denominator). Coefficients in causality obligations are
+/// tiny, so overflow is not a practical concern; arithmetic saturates to a
+/// panic in debug builds if it ever happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    pub fn int(v: i64) -> Rational {
+        Rational::new(v as i128, 1)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + c` over interned variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Variable coefficients, keyed by variable id; zero coefficients are
+    /// never stored.
+    pub coeffs: BTreeMap<u32, Rational>,
+    pub constant: Rational,
+}
+
+impl LinExpr {
+    /// The expression `x`.
+    pub fn var(v: u32) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, Rational::ONE);
+        LinExpr {
+            coeffs,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// The constant expression `k`.
+    pub fn constant(k: i64) -> LinExpr {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: Rational::int(k),
+        }
+    }
+
+    /// Scales the whole expression.
+    pub fn scale(&self, k: Rational) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::default();
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(v, c)| (*v, *c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: u32) -> Rational {
+        self.coeffs.get(&v).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// True when the expression mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `self <= other` as a constraint.
+    pub fn le(&self, other: &LinExpr) -> Constraint {
+        Constraint {
+            expr: self.clone() - other.clone(),
+            strict: false,
+        }
+    }
+
+    /// `self < other` as a constraint.
+    pub fn lt(&self, other: &LinExpr) -> Constraint {
+        Constraint {
+            expr: self.clone() - other.clone(),
+            strict: true,
+        }
+    }
+
+    /// `self >= other` as a constraint.
+    pub fn ge(&self, other: &LinExpr) -> Constraint {
+        other.le(self)
+    }
+
+    /// `self > other` as a constraint.
+    pub fn gt(&self, other: &LinExpr) -> Constraint {
+        other.lt(self)
+    }
+
+    /// `self == other` as a pair of constraints.
+    pub fn eq_(&self, other: &LinExpr) -> Vec<Constraint> {
+        vec![self.le(other), other.le(self)]
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        let mut coeffs = self.coeffs;
+        for (v, c) in rhs.coeffs {
+            let entry = coeffs.entry(v).or_insert(Rational::ZERO);
+            *entry = *entry + c;
+            if entry.is_zero() {
+                coeffs.remove(&v);
+            }
+        }
+        LinExpr {
+            coeffs,
+            constant: self.constant + rhs.constant,
+        }
+    }
+}
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + rhs.scale(-Rational::ONE)
+    }
+}
+impl Add<i64> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, k: i64) -> LinExpr {
+        self + LinExpr::constant(k)
+    }
+}
+impl Sub<i64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, k: i64) -> LinExpr {
+        self - LinExpr::constant(k)
+    }
+}
+
+/// A constraint `expr <= 0` (or `expr < 0` when `strict`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    pub expr: LinExpr,
+    pub strict: bool,
+}
+
+impl Constraint {
+    /// The negation: `¬(e <= 0)` is `-e < 0`; `¬(e < 0)` is `-e <= 0`.
+    pub fn negate(&self) -> Constraint {
+        Constraint {
+            expr: self.expr.scale(-Rational::ONE),
+            strict: !self.strict,
+        }
+    }
+
+    /// Evaluates a ground (variable-free) constraint.
+    fn ground_holds(&self) -> bool {
+        debug_assert!(self.expr.is_constant());
+        if self.strict {
+            self.expr.constant.is_negative()
+        } else {
+            !self.expr.constant.is_positive()
+        }
+    }
+}
+
+/// Decides satisfiability of a conjunction of linear constraints over the
+/// rationals by Fourier–Motzkin elimination.
+///
+/// Sound and complete for this fragment. Worst-case exponential, but
+/// obligations have a handful of variables and constraints.
+pub fn satisfiable(constraints: &[Constraint]) -> bool {
+    let mut system: Vec<Constraint> = constraints.to_vec();
+    loop {
+        // Ground constraints must hold; drop them once checked.
+        let mut next = Vec::with_capacity(system.len());
+        for c in system {
+            if c.expr.is_constant() {
+                if !c.ground_holds() {
+                    return false;
+                }
+            } else {
+                next.push(c);
+            }
+        }
+        system = next;
+        // Pick any remaining variable.
+        let var = match system.iter().flat_map(|c| c.expr.coeffs.keys()).next() {
+            Some(v) => *v,
+            None => return true,
+        };
+        // Partition on the sign of var's coefficient.
+        let mut uppers = Vec::new(); // coeff > 0: var bounded above
+        let mut lowers = Vec::new(); // coeff < 0: var bounded below
+        let mut rest = Vec::new();
+        for c in system {
+            let a = c.expr.coeff(var);
+            if a.is_positive() {
+                uppers.push(c);
+            } else if a.is_negative() {
+                lowers.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        // Combine every lower with every upper, cancelling `var`.
+        for lo in &lowers {
+            let a_lo = lo.expr.coeff(var); // negative
+            for up in &uppers {
+                let a_up = up.expr.coeff(var); // positive
+                                               // lo·a_up + up·(-a_lo): positive multipliers keep direction.
+                let combined = lo.expr.scale(a_up) + up.expr.scale(-a_lo);
+                rest.push(Constraint {
+                    expr: combined,
+                    strict: lo.strict || up.strict,
+                });
+            }
+        }
+        system = rest;
+    }
+}
+
+/// True when `assumptions` entail `goal` (i.e. `assumptions ∧ ¬goal` is
+/// unsatisfiable).
+pub fn entails(assumptions: &[Constraint], goal: &Constraint) -> bool {
+    let mut system = assumptions.to_vec();
+    system.push(goal.negate());
+    !satisfiable(&system)
+}
+
+/// True when `assumptions` entail `a == b`.
+pub fn entails_eq(assumptions: &[Constraint], a: &LinExpr, b: &LinExpr) -> bool {
+    a.eq_(b).iter().all(|c| entails(assumptions, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> LinExpr {
+        LinExpr::var(i)
+    }
+    fn k(c: i64) -> LinExpr {
+        LinExpr::constant(c)
+    }
+
+    #[test]
+    fn rational_arithmetic_normalises() {
+        let half = Rational::new(2, 4);
+        assert_eq!(half, Rational::new(1, 2));
+        assert_eq!(half + half, Rational::ONE);
+        assert_eq!(Rational::new(1, -2), Rational::new(-1, 2));
+        assert_eq!((Rational::int(3) * Rational::new(1, 3)), Rational::ONE);
+        assert_eq!(Rational::int(5).to_string(), "5");
+        assert_eq!(Rational::new(1, 2).to_string(), "1/2");
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        assert!(satisfiable(&[]));
+        assert!(satisfiable(&[v(0).le(&k(10))]));
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        // x <= 0 and x > 0
+        let system = [v(0).le(&k(0)), v(0).gt(&k(0))];
+        assert!(!satisfiable(&system));
+    }
+
+    #[test]
+    fn strictness_matters() {
+        // x <= 0 and x >= 0 is satisfiable (x = 0)...
+        assert!(satisfiable(&[v(0).le(&k(0)), v(0).ge(&k(0))]));
+        // ...but x < 0 and x >= 0 is not.
+        assert!(!satisfiable(&[v(0).lt(&k(0)), v(0).ge(&k(0))]));
+    }
+
+    #[test]
+    fn transitive_chain_detected() {
+        // x < y, y < z, z < x is unsat.
+        let system = [v(0).lt(&v(1)), v(1).lt(&v(2)), v(2).lt(&v(0))];
+        assert!(!satisfiable(&system));
+    }
+
+    #[test]
+    fn entailment_of_increment() {
+        // The Ship rule: out = trig + 1 entails trig <= out.
+        let trig = v(0);
+        let out = v(1);
+        let mut asm = trig.clone().add(1).eq_(&out);
+        assert!(entails(&asm, &trig.le(&out)));
+        assert!(entails(&asm, &trig.lt(&out)));
+        // And it does NOT entail out <= trig.
+        assert!(!entails(&asm, &out.le(&trig)));
+        // With extra guard information the entailment is preserved.
+        asm.push(trig.le(&k(400)));
+        assert!(entails(&asm, &trig.lt(&out)));
+    }
+
+    #[test]
+    fn entailment_needs_premises() {
+        // Without any assumptions, x <= y is not provable.
+        assert!(!entails(&[], &v(0).le(&v(1))));
+        // x <= y is provable from itself.
+        assert!(entails(&[v(0).le(&v(1))], &v(0).le(&v(1))));
+        // Weakening: x < y proves x <= y, not vice versa.
+        assert!(entails(&[v(0).lt(&v(1))], &v(0).le(&v(1))));
+        assert!(!entails(&[v(0).le(&v(1))], &v(0).lt(&v(1))));
+    }
+
+    #[test]
+    fn entails_eq_works() {
+        let asm = v(0).clone().add(2).eq_(&v(1));
+        assert!(entails_eq(&asm, &(v(0) + 2), &v(1)));
+        assert!(!entails_eq(&asm, &v(0), &v(1)));
+    }
+
+    #[test]
+    fn rational_coefficients_combine() {
+        // 2x <= 6 and -3x <= -9 → x <= 3 and x >= 3 → x = 3: satisfiable;
+        // adding x < 3 makes it unsat.
+        let two_x = v(0).scale(Rational::int(2));
+        let three_x = v(0).scale(Rational::int(3));
+        let sat = [two_x.le(&k(6)), three_x.ge(&k(9))];
+        assert!(satisfiable(&sat));
+        let unsat = [two_x.le(&k(6)), three_x.ge(&k(9)), v(0).lt(&k(3))];
+        assert!(!satisfiable(&unsat));
+    }
+
+    #[test]
+    fn unconstrained_vars_are_free() {
+        // y unconstrained: x <= y + 100 alone is satisfiable.
+        assert!(satisfiable(&[v(0).le(&(v(1) + 100))]));
+    }
+
+    #[test]
+    fn dijkstra_style_obligation() {
+        // Estimate(edge.to, d + w): d' = d + w, w >= 1 entails d < d'.
+        let d = v(0);
+        let w = v(1);
+        let d2 = v(2);
+        let mut asm = (d.clone() + w.clone()).eq_(&d2);
+        asm.push(w.ge(&k(1)));
+        assert!(entails(&asm, &d.lt(&d2)));
+        // With w >= 0 only, d <= d' holds but d < d' does not.
+        let mut asm0 = (d.clone() + w.clone()).eq_(&d2);
+        asm0.push(w.ge(&k(0)));
+        assert!(entails(&asm0, &d.le(&d2)));
+        assert!(!entails(&asm0, &d.lt(&d2)));
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_systems() {
+        // Compare FM satisfiability with grid search over small integer
+        // points for systems in two variables.
+        let cases: Vec<Vec<Constraint>> = vec![
+            vec![v(0).le(&v(1)), v(1).le(&k(3)), v(0).ge(&k(-3))],
+            vec![v(0).lt(&v(1)), v(1).lt(&v(0))],
+            vec![(v(0) + 1).le(&v(1)), v(1).le(&(v(0) + 5))],
+            vec![v(0).ge(&k(2)), v(0).le(&k(1))],
+            vec![
+                (v(0).clone() + v(1).clone()).le(&k(4)),
+                v(0).ge(&k(5)),
+                v(1).ge(&k(0)),
+            ],
+        ];
+        for system in &cases {
+            let fm = satisfiable(system);
+            let mut brute = false;
+            'outer: for x in -10..=10i64 {
+                for y in -10..=10i64 {
+                    let holds = system.iter().all(|c| {
+                        let val = c.expr.coeff(0) * Rational::int(x)
+                            + c.expr.coeff(1) * Rational::int(y)
+                            + c.expr.constant;
+                        if c.strict {
+                            val.is_negative()
+                        } else {
+                            !val.is_positive()
+                        }
+                    });
+                    if holds {
+                        brute = true;
+                        break 'outer;
+                    }
+                }
+            }
+            // Brute force over integers can miss rational-only solutions,
+            // so only check one direction plus the specific unsat cases.
+            if brute {
+                assert!(fm, "brute found a point but FM said unsat: {system:?}");
+            }
+        }
+    }
+}

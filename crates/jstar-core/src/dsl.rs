@@ -1,0 +1,191 @@
+//! Declarative macros giving JStar's concise surface syntax (§1.1).
+//!
+//! The paper's first design goal is concision: "a concise one-line
+//! notation for defining relational tables". These macros let table and
+//! order declarations be written almost verbatim from the paper:
+//!
+//! ```
+//! use jstar_core::prelude::*;
+//! use jstar_core::{jstar_order, jstar_table};
+//!
+//! let mut p = ProgramBuilder::new();
+//! // table Ship(int frame -> int x, int y, int dx, int dy)
+//! //   orderby (Int, seq frame)
+//! let ship = jstar_table!(p, Ship(int frame -> int x, int y, int dx, int dy)
+//!     orderby (Int, seq frame));
+//! // order Req < PvWatts < SumMonth
+//! jstar_order!(p, Int < Later);
+//! # let _ = ship;
+//! ```
+//!
+//! Column types are `int`, `double`, `String`, `boolean` (the paper's Java
+//! surface types); `->` marks the primary-key split; orderby items are
+//! capitalised stratum literals, `seq field`, or `par field`.
+
+/// Declares a table on a [`crate::program::ProgramBuilder`] using the
+/// paper's `table Name(type col, ... -> type col, ...) orderby (...)`
+/// notation. Returns the [`crate::schema::TableId`].
+#[macro_export]
+macro_rules! jstar_table {
+    // Entry point.
+    ($p:expr, $name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
+        $p.table(stringify!($name), |b| {
+            let b = $crate::jstar_table!(@cols b, 0usize; $($cols)*);
+            b.orderby(&$crate::jstar_table!(@ob $($ob)*))
+        })
+    };
+    ($p:expr, $name:ident ( $($cols:tt)* )) => {
+        $p.table(stringify!($name), |b| {
+            $crate::jstar_table!(@cols b, 0usize; $($cols)*)
+        })
+    };
+
+    // Column munchers. The counter tracks how many columns precede `->`.
+    (@cols $b:expr, $k:expr; ) => { $b };
+    (@cols $b:expr, $k:expr; int $n:ident) => { $b.col_int(stringify!($n)) };
+    (@cols $b:expr, $k:expr; double $n:ident) => { $b.col_double(stringify!($n)) };
+    (@cols $b:expr, $k:expr; String $n:ident) => { $b.col_str(stringify!($n)) };
+    (@cols $b:expr, $k:expr; boolean $n:ident) => { $b.col_bool(stringify!($n)) };
+    (@cols $b:expr, $k:expr; int $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_int(stringify!($n)), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; double $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_double(stringify!($n)), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; String $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_str(stringify!($n)), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; boolean $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_bool(stringify!($n)), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; int $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_int(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; double $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_double(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; String $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_str(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
+    };
+    (@cols $b:expr, $k:expr; boolean $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@cols $b.col_bool(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
+    };
+
+    // Orderby list: build a Vec<OrderComponent>.
+    (@ob $($items:tt)*) => {{
+        #[allow(unused_mut)]
+        let mut v: ::std::vec::Vec<$crate::orderby::OrderComponent> = ::std::vec::Vec::new();
+        $crate::jstar_table!(@obpush v; $($items)*);
+        v
+    }};
+    (@obpush $v:ident; ) => {};
+    (@obpush $v:ident; seq $f:ident $(, $($rest:tt)*)?) => {
+        $v.push($crate::orderby::seq(stringify!($f)));
+        $crate::jstar_table!(@obpush $v; $($($rest)*)?);
+    };
+    (@obpush $v:ident; par $f:ident $(, $($rest:tt)*)?) => {
+        $v.push($crate::orderby::par(stringify!($f)));
+        $crate::jstar_table!(@obpush $v; $($($rest)*)?);
+    };
+    (@obpush $v:ident; $lit:ident $(, $($rest:tt)*)?) => {
+        $v.push($crate::orderby::strat(stringify!($lit)));
+        $crate::jstar_table!(@obpush $v; $($($rest)*)?);
+    };
+}
+
+/// Declares an order chain on a [`crate::program::ProgramBuilder`] using
+/// the paper's `order A < B < C` notation.
+#[macro_export]
+macro_rules! jstar_order {
+    ($p:expr, $first:ident $(< $rest:ident)*) => {
+        $p.order(&[stringify!($first) $(, stringify!($rest))*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::orderby::OrderComponent;
+    use crate::prelude::*;
+
+    #[test]
+    fn ship_declaration_matches_builder_form() {
+        // table Ship(int frame -> int x, int y, int dx, int dy)
+        //   orderby (Int, seq frame)           — §3's declaration.
+        let mut p = ProgramBuilder::new();
+        let ship = jstar_table!(p, Ship(int frame -> int x, int y, int dx, int dy)
+            orderby (Int, seq frame));
+        let prog = p.build().unwrap();
+        let def = prog.def(ship);
+        assert_eq!(def.name, "Ship");
+        assert_eq!(def.arity(), 5);
+        assert_eq!(def.key_arity, Some(1));
+        assert_eq!(def.orderby, vec![strat("Int"), seq("frame")]);
+    }
+
+    #[test]
+    fn fig5_estimate_and_done() {
+        // Fig. 5's tables, near-verbatim.
+        let mut p = ProgramBuilder::new();
+        let _vertex = jstar_table!(p, Vertex(int index, String name) orderby (Vertex));
+        let _edge = jstar_table!(p, Edge(int from, int to, int value) orderby (Edge));
+        let estimate = jstar_table!(p, Estimate(int vertex, int distance)
+            orderby (Int, seq distance, Estimate));
+        let done = jstar_table!(p, Done(int vertex -> int distance)
+            orderby (Int, seq distance, Done));
+        jstar_order!(p, Vertex < Edge < Int);
+        jstar_order!(p, Estimate < Done);
+        let prog = p.build().unwrap();
+        assert_eq!(prog.def(done).key_arity, Some(1));
+        assert_eq!(prog.def(estimate).orderby.len(), 3);
+        let sa = prog.strata().lookup("Estimate").unwrap();
+        let sb = prog.strata().lookup("Done").unwrap();
+        assert!(prog.strata().declared_lt(sa, sb));
+    }
+
+    #[test]
+    fn multi_column_key_and_par() {
+        // table Data(int iter, int index -> double value)
+        //   orderby (Int, seq iter, Data, seq index)   — §6.6's table.
+        let mut p = ProgramBuilder::new();
+        let data = jstar_table!(p, Data(int iter, int index -> double value)
+            orderby (Int, seq iter, Data, seq index));
+        let row = jstar_table!(p, RowRequest(int row) orderby (Row, par row));
+        let prog = p.build().unwrap();
+        assert_eq!(prog.def(data).key_arity, Some(2));
+        assert_eq!(prog.def(data).columns[2].ty, ValueType::Double);
+        assert_eq!(
+            prog.def(row).orderby,
+            vec![strat("Row"), OrderComponent::Par("row".into())]
+        );
+    }
+
+    #[test]
+    fn table_without_orderby() {
+        let mut p = ProgramBuilder::new();
+        let t = jstar_table!(p, Plain(String name, boolean flag));
+        let prog = p.build().unwrap();
+        assert_eq!(prog.def(t).orderby.len(), 0);
+        assert_eq!(prog.def(t).columns[1].ty, ValueType::Bool);
+        assert_eq!(prog.def(t).key_arity, None);
+    }
+
+    #[test]
+    fn macro_program_runs_end_to_end() {
+        let mut p = ProgramBuilder::new();
+        let ship = jstar_table!(p, Ship(int frame -> int x)
+            orderby (Int, seq frame));
+        p.rule("move", ship, move |ctx, s| {
+            if s.int(1) < 400 {
+                ctx.put(Tuple::new(
+                    ship,
+                    vec![Value::Int(s.int(0) + 1), Value::Int(s.int(1) + 150)],
+                ));
+            }
+        });
+        p.put(Tuple::new(ship, vec![Value::Int(0), Value::Int(10)]));
+        let prog = std::sync::Arc::new(p.build().unwrap());
+        let mut engine = Engine::new(prog, EngineConfig::sequential());
+        engine.run().unwrap();
+        assert_eq!(engine.gamma().collect(&Query::on(ship)).len(), 4);
+    }
+}

@@ -1,0 +1,923 @@
+//! The execution engine — JStar's improved incremental pseudo-naive
+//! bottom-up evaluator (§3, §5).
+//!
+//! The tuple lifecycle (Fig. 3): a rule `put`s a tuple → it waits in the
+//! Delta set → it is taken out "in an order that respects the causality
+//! ordering", inserted into Gamma, and triggers applicable rules → later
+//! rules may query it → (optionally) it is discarded via lifetime hints.
+//!
+//! Two modes mirror the paper's compiler flags:
+//!
+//! * **sequential** (`-sequential`): one thread, ordered stores;
+//! * **parallel** (default): the *all-minimums strategy* — every tuple of
+//!   the minimal Delta equivalence class is executed as a fork/join task on
+//!   a [`jstar_pool::ThreadPool`] sized by `--threads=N`.
+//!
+//! Per-table optimisation flags are faithful to §5.1: `-noDelta T` sends
+//! `T`'s tuples straight to Gamma and fires their rules immediately;
+//! `-noGamma T` skips storing `T`'s tuples (they act as pure triggers).
+
+use crate::delta::{DeltaInbox, DeltaKind, DeltaQueue};
+use crate::error::{JStarError, Result};
+use crate::gamma::{Gamma, InsertOutcome, StoreKind, TableStore};
+use crate::orderby::OrderKey;
+use crate::program::Program;
+use crate::query::Query;
+use crate::reduce::Reducer;
+use crate::schema::TableId;
+use crate::stats::{EngineStats, StepRecord};
+use crate::tuple::Tuple;
+use jstar_pool::ThreadPool;
+use parking_lot::Mutex;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A tuple-lifetime predicate (§5 step 4): returns true to keep a tuple.
+pub type LifetimeHint = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
+
+/// Engine configuration — the paper's compiler flags and runtime options,
+/// kept *outside* the program source (workflow stages 3–4).
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// `-sequential`: single-threaded execution with sequential stores.
+    pub sequential: bool,
+    /// `--threads=N`: fork/join pool size for parallel execution.
+    pub threads: usize,
+    /// `-noDelta T` tables: bypass the Delta tree.
+    pub no_delta: Vec<TableId>,
+    /// `-noGamma T` tables: never stored in Gamma.
+    pub no_gamma: Vec<TableId>,
+    /// Per-table store overrides (the paper's data-structure hints).
+    pub stores: HashMap<TableId, StoreKind>,
+    /// Check field types on every put (cheap; on by default).
+    pub type_check: bool,
+    /// Check the Law of Causality on every put (on by default; §4).
+    pub enforce_causality: bool,
+    /// Record a per-step log for parallelism profiling.
+    pub record_steps: bool,
+    /// Abort after this many steps — a guard for accidentally non-causal
+    /// infinite programs like §3's unconditional Ship rule.
+    pub max_steps: Option<u64>,
+    /// Share an existing pool instead of creating one per engine.
+    pub pool: Option<Arc<ThreadPool>>,
+    /// Which Delta structure to use (the tree of the paper, or the flat
+    /// ordered map kept as an ablation).
+    pub delta: DeltaKind,
+    /// Tuple-lifetime hints (§5 step 4): after every `hint_interval` steps
+    /// the engine drops tuples the hook rejects from the table's Gamma
+    /// store. "We simply retain all tuples, or use manual lifetime hints
+    /// from the user to determine when tuples can be discarded."
+    pub lifetime_hints: Vec<(TableId, LifetimeHint)>,
+    /// How often (in steps) lifetime hints run; 0 disables them.
+    pub hint_interval: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sequential: false,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            no_delta: Vec::new(),
+            no_gamma: Vec::new(),
+            stores: HashMap::new(),
+            type_check: true,
+            enforce_causality: true,
+            record_steps: false,
+            max_steps: None,
+            pool: None,
+            delta: DeltaKind::Tree,
+            lifetime_hints: Vec::new(),
+            hint_interval: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sequential configuration (the `-sequential` flag).
+    pub fn sequential() -> Self {
+        EngineConfig {
+            sequential: true,
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Parallel configuration with `n` fork/join threads.
+    pub fn parallel(n: usize) -> Self {
+        EngineConfig {
+            sequential: false,
+            threads: n.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a `-noDelta` table.
+    pub fn no_delta(mut self, t: TableId) -> Self {
+        self.no_delta.push(t);
+        self
+    }
+
+    /// Adds a `-noGamma` table.
+    pub fn no_gamma(mut self, t: TableId) -> Self {
+        self.no_gamma.push(t);
+        self
+    }
+
+    /// Overrides the Gamma store for one table.
+    pub fn store(mut self, t: TableId, kind: StoreKind) -> Self {
+        self.stores.insert(t, kind);
+        self
+    }
+
+    /// Enables the per-step parallelism log.
+    pub fn record_steps(mut self) -> Self {
+        self.record_steps = true;
+        self
+    }
+
+    /// Sets the runaway-program step guard.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Selects the Delta structure (ablation knob).
+    pub fn delta_kind(mut self, kind: DeltaKind) -> Self {
+        self.delta = kind;
+        self
+    }
+
+    /// Registers a tuple-lifetime hint for `table`: every `interval` steps,
+    /// tuples the hook rejects are discarded from Gamma (§5 step 4 — the
+    /// manual garbage-collection hints).
+    pub fn lifetime_hint(
+        mut self,
+        table: TableId,
+        interval: u64,
+        keep: impl Fn(&Tuple) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.lifetime_hints.push((table, Arc::new(keep)));
+        self.hint_interval = interval.max(1);
+        self
+    }
+}
+
+/// Shared run-time state, accessible from worker threads.
+pub(crate) struct RunState {
+    program: Arc<Program>,
+    gamma: Gamma,
+    inbox: DeltaInbox,
+    no_delta: Vec<bool>,
+    no_gamma: Vec<bool>,
+    type_check: bool,
+    enforce_causality: bool,
+    output: Mutex<Vec<String>>,
+    errors: Mutex<Vec<JStarError>>,
+    stats: EngineStats,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl RunState {
+    fn record_error(&self, e: JStarError) {
+        self.errors.lock().push(e);
+    }
+
+    fn has_errors(&self) -> bool {
+        !self.errors.lock().is_empty()
+    }
+}
+
+/// The context a rule body receives: its window onto the database.
+///
+/// All queries see only tuples already moved into Gamma — i.e. tuples that
+/// are causally at-or-before the trigger — which is exactly why negative
+/// and aggregate query results are stable (§4).
+pub struct RuleCtx<'a> {
+    state: &'a RunState,
+    trigger_key: OrderKey,
+    rule: &'a str,
+}
+
+impl<'a> RuleCtx<'a> {
+    /// The causal position of the trigger tuple.
+    pub fn trigger_key(&self) -> &OrderKey {
+        &self.trigger_key
+    }
+
+    /// The name of the executing rule (diagnostics).
+    pub fn rule_name(&self) -> &str {
+        self.rule
+    }
+
+    /// Looks up a table id by name.
+    pub fn table(&self, name: &str) -> TableId {
+        self.state
+            .program
+            .table_id(name)
+            .unwrap_or_else(|| panic!("unknown table {name}"))
+    }
+
+    /// Puts a new tuple into the database (§3). The tuple is placed in the
+    /// Delta set (or sent straight to Gamma for `-noDelta` tables). The Law
+    /// of Causality is enforced: the tuple's order key must not precede the
+    /// trigger's.
+    pub fn put(&self, t: Tuple) {
+        put_tuple(self.state, &self.trigger_key, self.rule, t);
+    }
+
+    /// Collects all Gamma tuples matching `q` (a positive query).
+    pub fn query(&self, q: &Query) -> Vec<Tuple> {
+        self.count_query(q.table);
+        self.state.gamma.collect(q)
+    }
+
+    /// Streams Gamma tuples matching `q`; return `false` to stop early.
+    pub fn query_for_each(&self, q: &Query, mut f: impl FnMut(&Tuple) -> bool) {
+        self.count_query(q.table);
+        self.state.gamma.query(q, &mut f);
+    }
+
+    /// True if some tuple matches (positive existence).
+    pub fn exists(&self, q: &Query) -> bool {
+        self.count_query(q.table);
+        self.state.gamma.any_match(q)
+    }
+
+    /// Negative query: true if *no* tuple matches — the paper's
+    /// `get uniq? T(...) == null` pattern. Sound only when the queried
+    /// region is causally before the trigger, which static checking
+    /// verifies (§4).
+    pub fn none(&self, q: &Query) -> bool {
+        !self.exists(q)
+    }
+
+    /// Returns the unique match, if any (`get uniq?`).
+    pub fn get_uniq(&self, q: &Query) -> Option<Tuple> {
+        self.count_query(q.table);
+        let mut found = None;
+        self.state.gamma.query(q, &mut |t| {
+            found = Some(t.clone());
+            false
+        });
+        found
+    }
+
+    /// Aggregate query: folds every match through `reducer`.
+    pub fn reduce<R: Reducer>(&self, q: &Query, reducer: &R) -> R::Acc {
+        self.count_query(q.table);
+        let mut acc = reducer.identity();
+        self.state.gamma.query(q, &mut |t| {
+            reducer.accept(&mut acc, t);
+            true
+        });
+        acc
+    }
+
+    /// `get min T(...)` over an integer field (§4's example rule uses
+    /// `get min Tuple1(queryArgs)`).
+    pub fn min_int(&self, q: &Query, field: usize) -> Option<i64> {
+        self.reduce(q, &crate::reduce::MinIntReducer { field })
+    }
+
+    /// `get max T(...)` over an integer field.
+    pub fn max_int(&self, q: &Query, field: usize) -> Option<i64> {
+        self.reduce(q, &crate::reduce::MaxIntReducer { field })
+    }
+
+    /// Counts matching tuples.
+    pub fn count(&self, q: &Query) -> u64 {
+        self.reduce(q, &crate::reduce::CountReducer)
+    }
+
+    /// §5.2 "additional parallelism": runs `f` over every match of `q` in
+    /// parallel on the engine pool. Sound because JStar rule loops "that
+    /// do not use a reducer object \[are\] known to have independent loop
+    /// bodies" — the language has no mutable variables. Falls back to
+    /// sequential iteration in `-sequential` mode.
+    pub fn par_for_each_match(&self, q: &Query, f: impl Fn(&Tuple) + Send + Sync) {
+        let matches = self.query(q);
+        match &self.state.pool {
+            Some(pool) if matches.len() > 1 => {
+                jstar_pool::parallel_chunks(pool, &matches, 0, |chunk, _| {
+                    for t in chunk {
+                        f(t);
+                    }
+                });
+            }
+            _ => {
+                for t in &matches {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// §5.2 "additional parallelism": aggregate query evaluated with a
+    /// parallel tree reduction ("loops that do involve a reducer object
+    /// could also be executed in parallel, with a tree-based pass to
+    /// combine the final reducer results").
+    pub fn reduce_parallel<R: Reducer>(&self, q: &Query, reducer: &R) -> R::Acc {
+        match &self.state.pool {
+            Some(pool) => {
+                let matches = self.query(q);
+                crate::reduce::reduce_par(pool, reducer, &matches)
+            }
+            None => self.reduce(q, reducer),
+        }
+    }
+
+    /// Emits one line of program output. Output is collected per run; the
+    /// paper notes tuple/output *order* is not part of the deterministic
+    /// semantics, so tests compare output as multisets.
+    pub fn println(&self, msg: impl Into<String>) {
+        self.state.output.lock().push(msg.into());
+    }
+
+    /// Direct access to a table's Gamma store — the analog of the paper's
+    /// `unsafe` code blocks used to implement system rules and custom
+    /// native-array stores (Median's `double[2][N]`, MatrixMult's 2-D
+    /// arrays). Downcast with [`TableStore::as_any`].
+    pub fn store(&self, table: TableId) -> &Arc<dyn TableStore> {
+        self.state.gamma.store(table)
+    }
+
+    /// The fork/join pool, when running in parallel mode — lets rule bodies
+    /// parallelise their independent internal loops (§5.2 notes JStar loops
+    /// are data-parallel because variables are immutable).
+    pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
+        self.state.pool.as_ref()
+    }
+
+    /// Records an application-level error, aborting the run.
+    pub fn fail(&self, msg: impl Into<String>) {
+        self.state.record_error(JStarError::Other(msg.into()));
+    }
+
+    fn count_query(&self, table: TableId) {
+        self.state.stats.tables[table.index()]
+            .queries
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Core put path, shared by `RuleCtx::put`, initial puts and injected
+/// event tuples.
+fn put_tuple(state: &RunState, trigger_key: &OrderKey, rule: &str, t: Tuple) {
+    let table = t.table();
+    let ti = table.index();
+    state.stats.tables[ti].puts.fetch_add(1, Ordering::Relaxed);
+
+    if state.type_check {
+        if let Err(msg) = state.program.def(table).type_check(t.fields()) {
+            state.record_error(JStarError::Type(msg));
+            return;
+        }
+    }
+
+    let key = state.program.orderbys()[ti].key_of(&t);
+    if state.enforce_causality && trigger_key.cmp(&key) == CmpOrdering::Greater {
+        state.record_error(JStarError::CausalityViolation {
+            rule: rule.to_string(),
+            trigger_key: trigger_key.clone(),
+            put_key: key,
+            tuple: t.to_string(),
+        });
+        return;
+    }
+
+    if state.no_delta[ti] {
+        // §5.1: put straight into Gamma and fire triggered rules
+        // immediately on this thread.
+        process_tuple(state, &key, t);
+    } else {
+        state.inbox.push(key, t);
+    }
+}
+
+/// Moves one tuple out of the Delta set: inserts it into Gamma (unless
+/// `-noGamma`), and if it is fresh, fires every rule it triggers.
+fn process_tuple(state: &RunState, key: &OrderKey, t: Tuple) {
+    let table = t.table();
+    let ti = table.index();
+    let fresh = if state.no_gamma[ti] {
+        true
+    } else {
+        match state.gamma.insert(t.clone()) {
+            InsertOutcome::Fresh => {
+                state.stats.tables[ti]
+                    .gamma_fresh
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            InsertOutcome::Duplicate => {
+                // Set-oriented semantics: duplicates neither re-trigger
+                // rules nor re-enter Gamma (§6.2's SumMonth dedup).
+                state.stats.tables[ti]
+                    .gamma_dups
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            InsertOutcome::KeyConflict => {
+                state.record_error(JStarError::KeyViolation {
+                    table: state.program.def(table).name.clone(),
+                    detail: format!("insert of {t} violates the -> key invariant"),
+                });
+                false
+            }
+        }
+    };
+    if !fresh {
+        return;
+    }
+    for &ri in &state.program.rules_by_trigger()[ti] {
+        let rule = &state.program.rules()[ri];
+        state.stats.tables[ti]
+            .triggers
+            .fetch_add(1, Ordering::Relaxed);
+        let ctx = RuleCtx {
+            state,
+            trigger_key: key.clone(),
+            rule: &rule.name,
+        };
+        (rule.body)(&ctx, &t);
+    }
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of Delta extraction steps.
+    pub steps: u64,
+    /// Tuples processed out of the Delta set.
+    pub tuples_processed: u64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Collected `println` output (order not significant).
+    pub output: Vec<String>,
+}
+
+/// A configured instance of a JStar program, ready to run.
+pub struct Engine {
+    state: Arc<RunState>,
+    config: EngineConfig,
+    pool: Option<Arc<ThreadPool>>,
+    injected: Vec<Tuple>,
+}
+
+impl Engine {
+    /// Builds an engine for `program` under `config`.
+    ///
+    /// Gamma stores default to the mode-appropriate structure (§5: `TreeSet`
+    /// sequentially, concurrent ordered store in parallel) unless overridden
+    /// per table via [`EngineConfig::store`].
+    pub fn new(program: Arc<Program>, config: EngineConfig) -> Engine {
+        let n = program.defs().len();
+        let kinds: Vec<StoreKind> = (0..n)
+            .map(|i| {
+                config
+                    .stores
+                    .get(&TableId(i as u32))
+                    .cloned()
+                    .unwrap_or_else(|| StoreKind::default_for(!config.sequential))
+            })
+            .collect();
+        let gamma = Gamma::new(program.defs(), &kinds);
+        let pool = if config.sequential {
+            None
+        } else {
+            Some(
+                config
+                    .pool
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(ThreadPool::new(config.threads))),
+            )
+        };
+        let mut no_delta = vec![false; n];
+        for t in &config.no_delta {
+            no_delta[t.index()] = true;
+        }
+        let mut no_gamma = vec![false; n];
+        for t in &config.no_gamma {
+            no_gamma[t.index()] = true;
+        }
+        let state = Arc::new(RunState {
+            program: Arc::clone(&program),
+            gamma,
+            inbox: DeltaInbox::new(),
+            no_delta,
+            no_gamma,
+            type_check: config.type_check,
+            enforce_causality: config.enforce_causality,
+            output: Mutex::new(Vec::new()),
+            errors: Mutex::new(Vec::new()),
+            stats: EngineStats::new(n),
+            pool: pool.clone(),
+        });
+        Engine {
+            state,
+            config,
+            pool,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Queues an external event tuple (§3: "the input tuples are added to
+    /// the Delta Set, and can then trigger various rules"). Must be called
+    /// before [`Engine::run`].
+    pub fn inject(&mut self, t: Tuple) {
+        self.injected.push(t);
+    }
+
+    /// Runs the program to quiescence (empty Delta set).
+    pub fn run(&mut self) -> Result<RunReport> {
+        let start = Instant::now();
+        let state = &*self.state;
+
+        // Initial puts (from program source) and injected events enter at
+        // the minimal key, so they may target any table.
+        let min = OrderKey::minimum();
+        for t in state.program.initial() {
+            put_tuple(state, &min, "<init>", t.clone());
+        }
+        for t in self.injected.drain(..) {
+            put_tuple(state, &min, "<inject>", t);
+        }
+
+        let mut tree = DeltaQueue::new(self.config.delta);
+        let mut steps: u64 = 0;
+        loop {
+            if state.has_errors() {
+                break;
+            }
+            // Absorb everything staged by the previous step's workers.
+            while let Some((key, t)) = state.inbox.pop() {
+                let ti = t.table().index();
+                if tree.insert(&key, t) {
+                    state.stats.tables[ti]
+                        .delta_inserts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let Some((key, mut class)) = tree.pop_min_class() else {
+                break;
+            };
+            steps += 1;
+            if let Some(max) = self.config.max_steps {
+                if steps > max {
+                    state.record_error(JStarError::Other(format!(
+                        "step limit {max} exceeded — is a rule putting tuples unconditionally?"
+                    )));
+                    break;
+                }
+            }
+            let class_size = class.len();
+            state.stats.record_step(class_size);
+            let step_start = self.config.record_steps.then(Instant::now);
+
+            // Deterministic intra-class order for the sequential engine
+            // (parallel execution order is intentionally unspecified).
+            class.sort();
+
+            match (&self.pool, class.len()) {
+                (Some(pool), n) if n > 1 => {
+                    // The all-minimums strategy: one fork/join task per
+                    // tuple (chunked to keep task overhead sane for the
+                    // very wide classes of e.g. MatrixMult).
+                    let chunk = n.div_ceil(pool.num_threads() * 4).max(1);
+                    let key = &key;
+                    pool.scope(|s| {
+                        for piece in class.chunks(chunk) {
+                            s.spawn(move |_| {
+                                for t in piece {
+                                    process_tuple(state, key, t.clone());
+                                }
+                            });
+                        }
+                    });
+                }
+                _ => {
+                    for t in class {
+                        process_tuple(state, &key, t);
+                    }
+                }
+            }
+
+            if let Some(t0) = step_start {
+                state.stats.log_step(StepRecord {
+                    key: key.to_string(),
+                    class_size,
+                    micros: t0.elapsed().as_micros(),
+                });
+            }
+
+            // §5 step 4: apply manual tuple-lifetime hints periodically.
+            if self.config.hint_interval > 0 && steps.is_multiple_of(self.config.hint_interval) {
+                for (table, keep) in &self.config.lifetime_hints {
+                    state.gamma.store(*table).retain(&**keep);
+                }
+            }
+        }
+
+        let errors = state.errors.lock();
+        if let Some(first) = errors.first() {
+            return Err(first.clone());
+        }
+        drop(errors);
+
+        Ok(RunReport {
+            steps,
+            tuples_processed: state.stats.tuples_processed.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            output: state.output.lock().clone(),
+        })
+    }
+
+    /// The Gamma database (inspect results after a run).
+    pub fn gamma(&self) -> &Gamma {
+        &self.state.gamma
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.state.stats
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.state.program
+    }
+
+    /// Collected output lines so far.
+    pub fn output(&self) -> Vec<String> {
+        self.state.output.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderby::{seq, strat};
+    use crate::program::ProgramBuilder;
+    use crate::value::Value;
+
+    /// The paper's bounded Ship program (§3): move right while x < 400.
+    fn ship_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new();
+        let ship = p.table("Ship", |b| {
+            b.col_int("frame")
+                .col_int("x")
+                .col_int("y")
+                .col_int("dx")
+                .col_int("dy")
+                .orderby(&[strat("Int"), seq("frame")])
+        });
+        p.rule("move-right", ship, move |ctx, s| {
+            if s.int(1) < 400 {
+                ctx.put(Tuple::new(
+                    ship,
+                    vec![
+                        Value::Int(s.int(0) + 1),
+                        Value::Int(s.int(1) + 150),
+                        Value::Int(s.int(2)),
+                        Value::Int(s.int(3)),
+                        Value::Int(s.int(4)),
+                    ],
+                ));
+            }
+        });
+        p.put(Tuple::new(
+            ship,
+            vec![
+                Value::Int(0),
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(150),
+                Value::Int(0),
+            ],
+        ));
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn ship_moves_until_bound_sequential() {
+        let prog = ship_program();
+        let mut eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        let report = eng.run().unwrap();
+        // Frames 0..=3: x = 10, 160, 310, 460 (460 >= 400 stops the rule).
+        let ship = prog.table_id("Ship").unwrap();
+        let all = eng.gamma().collect(&Query::on(ship));
+        assert_eq!(all.len(), 4);
+        let mut xs: Vec<i64> = all.iter().map(|t| t.int(1)).collect();
+        xs.sort();
+        assert_eq!(xs, vec![10, 160, 310, 460]);
+        assert_eq!(report.steps, 4);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let prog = ship_program();
+        let ship = prog.table_id("Ship").unwrap();
+        let mut seq_eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        seq_eng.run().unwrap();
+        let mut par_eng = Engine::new(Arc::clone(&prog), EngineConfig::parallel(4));
+        par_eng.run().unwrap();
+        let mut a = seq_eng.gamma().collect(&Query::on(ship));
+        let mut b = par_eng.gamma().collect(&Query::on(ship));
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "deterministic output independent of strategy");
+    }
+
+    #[test]
+    fn unbounded_rule_hits_step_limit() {
+        // §3's first rule: "effectively creates an infinite loop that keeps
+        // moving the Ship infinitely far to the right!"
+        let mut p = ProgramBuilder::new();
+        let ship = p.table("Ship", |b| {
+            b.col_int("frame").col_int("x").orderby(&[seq("frame")])
+        });
+        p.rule("move-unbounded", ship, move |ctx, s| {
+            ctx.put(Tuple::new(
+                ship,
+                vec![Value::Int(s.int(0) + 1), Value::Int(s.int(1) + 150)],
+            ));
+        });
+        p.put(Tuple::new(ship, vec![Value::Int(0), Value::Int(10)]));
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(prog, EngineConfig::sequential().max_steps(100));
+        let err = eng.run().unwrap_err();
+        assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn causality_violation_is_caught_at_runtime() {
+        let mut p = ProgramBuilder::new();
+        let t = p.table("T", |b| b.col_int("time").orderby(&[seq("time")]));
+        p.rule("back-in-time", t, move |ctx, tr| {
+            ctx.put(Tuple::new(t, vec![Value::Int(tr.int(0) - 1)]));
+        });
+        p.put(Tuple::new(t, vec![Value::Int(5)]));
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(prog, EngineConfig::sequential());
+        let err = eng.run().unwrap_err();
+        assert!(
+            matches!(err, JStarError::CausalityViolation { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn key_violation_detected() {
+        let mut p = ProgramBuilder::new();
+        let t = p.table("T", |b| {
+            b.col_int("k").col_int("v").key(1).orderby(&[seq("k")])
+        });
+        p.put(Tuple::new(t, vec![Value::Int(1), Value::Int(10)]));
+        p.put(Tuple::new(t, vec![Value::Int(1), Value::Int(20)]));
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(prog, EngineConfig::sequential());
+        let err = eng.run().unwrap_err();
+        assert!(matches!(err, JStarError::KeyViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn type_error_detected() {
+        let mut p = ProgramBuilder::new();
+        let t = p.table("T", |b| b.col_int("k").orderby(&[seq("k")]));
+        p.put(Tuple::new(t, vec![Value::str("not an int")]));
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(prog, EngineConfig::sequential());
+        let err = eng.run().unwrap_err();
+        assert!(matches!(err, JStarError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicates_trigger_rules_once() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[strat("A"), seq("t")]));
+        let b = p.table("B", |bb| bb.col_int("t").orderby(&[strat("B"), seq("t")]));
+        p.order(&["A", "B"]);
+        p.rule("fan-in", a, move |ctx, tr| {
+            // Many A tuples map to the same B tuple (like PvWatts →
+            // SumMonth); B's rule must fire once per distinct tuple.
+            ctx.put(Tuple::new(b, vec![Value::Int(tr.int(0) / 10)]));
+        });
+        p.rule("count-b", b, move |ctx, tr| {
+            ctx.println(format!("B {}", tr.int(0)));
+        });
+        for i in 0..30 {
+            p.put(Tuple::new(a, vec![Value::Int(i)]));
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(prog, EngineConfig::sequential());
+        let report = eng.run().unwrap();
+        let mut out = report.output;
+        out.sort();
+        assert_eq!(out, vec!["B 0", "B 1", "B 2"]);
+    }
+
+    #[test]
+    fn no_delta_fires_rules_inline() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[strat("A"), seq("t")]));
+        let b = p.table("B", |bb| bb.col_int("t").orderby(&[strat("B"), seq("t")]));
+        p.order(&["A", "B"]);
+        p.rule("emit", a, move |ctx, tr| {
+            ctx.put(Tuple::new(b, vec![Value::Int(tr.int(0))]));
+        });
+        p.rule("sink", b, move |ctx, tr| {
+            ctx.println(format!("got {}", tr.int(0)));
+        });
+        p.put(Tuple::new(a, vec![Value::Int(1)]));
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::sequential().no_delta(prog.table_id("B").unwrap()),
+        );
+        let report = eng.run().unwrap();
+        assert_eq!(report.output, vec!["got 1"]);
+        // B bypassed the Delta tree entirely.
+        let snap = eng.stats().tables[prog.table_id("B").unwrap().index()].snapshot();
+        assert_eq!(snap.delta_inserts, 0);
+        assert_eq!(snap.gamma_fresh, 1);
+    }
+
+    #[test]
+    fn no_gamma_tables_are_not_stored() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[seq("t")]));
+        p.rule("noop", a, move |_ctx, _t| {});
+        p.put(Tuple::new(a, vec![Value::Int(1)]));
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::sequential().no_gamma(prog.table_id("A").unwrap()),
+        );
+        eng.run().unwrap();
+        assert_eq!(eng.gamma().total_len(), 0);
+        // The rule still fired.
+        let snap = eng.stats().tables[0].snapshot();
+        assert_eq!(snap.triggers, 1);
+    }
+
+    #[test]
+    fn injected_events_trigger_rules() {
+        let mut p = ProgramBuilder::new();
+        let ev = p.table("Event", |b| b.col_int("t").orderby(&[seq("t")]));
+        p.rule("log", ev, move |ctx, t| {
+            ctx.println(format!("ev {}", t.int(0)))
+        });
+        let prog = Arc::new(p.build().unwrap());
+        let mut eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        eng.inject(Tuple::new(ev, vec![Value::Int(9)]));
+        let report = eng.run().unwrap();
+        assert_eq!(report.output, vec!["ev 9"]);
+    }
+
+    #[test]
+    fn flat_delta_kind_produces_identical_results() {
+        let prog = ship_program();
+        let ship = prog.table_id("Ship").unwrap();
+        let mut tree_eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        tree_eng.run().unwrap();
+        let mut flat_eng = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::sequential().delta_kind(crate::delta::DeltaKind::Flat),
+        );
+        flat_eng.run().unwrap();
+        let mut a = tree_eng.gamma().collect(&Query::on(ship));
+        let mut b = flat_eng.gamma().collect(&Query::on(ship));
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lifetime_hints_discard_old_tuples() {
+        let prog = ship_program();
+        let ship = prog.table_id("Ship").unwrap();
+        // Keep only ships at frame >= 2 — the two-generation idea of §6.6.
+        let config = EngineConfig::sequential().lifetime_hint(ship, 1, |t| t.int(0) >= 2);
+        let mut eng = Engine::new(Arc::clone(&prog), config);
+        eng.run().unwrap();
+        let left = eng.gamma().collect(&Query::on(ship));
+        assert!(left.len() < 4, "hints discarded early frames: {left:?}");
+        assert!(left.iter().all(|t| t.int(0) >= 2));
+    }
+
+    #[test]
+    fn stats_count_puts_and_triggers() {
+        let prog = ship_program();
+        let mut eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        eng.run().unwrap();
+        let snap = eng.stats().tables[0].snapshot();
+        assert_eq!(snap.puts, 4, "initial + 3 rule puts");
+        assert_eq!(snap.gamma_fresh, 4);
+        assert_eq!(snap.triggers, 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for program construction, validation and execution.
+
+use crate::orderby::OrderKey;
+use std::fmt;
+
+/// Any error produced by the JStar runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JStarError {
+    /// `order` declarations are cyclic, or an orderby list is malformed.
+    Stratification(String),
+    /// A rule `put` a tuple into the past at run time — the Law of
+    /// Causality was violated (§4).
+    CausalityViolation {
+        rule: String,
+        trigger_key: OrderKey,
+        put_key: OrderKey,
+        tuple: String,
+    },
+    /// A primary-key (`->`) invariant was violated: two tuples with the
+    /// same key but different dependent fields.
+    KeyViolation { table: String, detail: String },
+    /// A tuple failed schema type checking.
+    Type(String),
+    /// Static causality checking could not prove an obligation. The paper
+    /// treats this as a strong warning;
+    /// [`crate::program::Program::validate_strict`]
+    /// reports it as an error when strict checking is requested.
+    Unproved(String),
+    /// Anything else (I/O in system rules, configuration mistakes...).
+    Other(String),
+}
+
+impl fmt::Display for JStarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JStarError::Stratification(msg) => write!(f, "Stratification error: {msg}"),
+            JStarError::CausalityViolation {
+                rule,
+                trigger_key,
+                put_key,
+                tuple,
+            } => write!(
+                f,
+                "Causality violation in rule {rule}: put {tuple} at {put_key}, \
+                 which is before the trigger at {trigger_key} — rules may not change the past"
+            ),
+            JStarError::KeyViolation { table, detail } => {
+                write!(f, "Key violation in table {table}: {detail}")
+            }
+            JStarError::Type(msg) => write!(f, "Type error: {msg}"),
+            JStarError::Unproved(msg) => write!(f, "Causality warning: {msg}"),
+            JStarError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JStarError {}
+
+/// Result alias used across the runtime.
+pub type Result<T> = std::result::Result<T, JStarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = JStarError::Stratification("no order between A and B".into());
+        assert!(e.to_string().contains("Stratification"));
+
+        let e = JStarError::CausalityViolation {
+            rule: "move".into(),
+            trigger_key: OrderKey::minimum(),
+            put_key: OrderKey::minimum(),
+            tuple: "Ship(0)".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rule move"));
+        assert!(msg.contains("change the past"));
+
+        let e = JStarError::KeyViolation {
+            table: "Done".into(),
+            detail: "two distances for vertex 3".into(),
+        };
+        assert!(e.to_string().contains("Done"));
+    }
+}

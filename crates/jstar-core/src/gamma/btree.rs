@@ -1,0 +1,167 @@
+//! Sequential ordered store — the paper's `TreeSet` default.
+
+use super::{pk_conflict, InsertOutcome, TableStore};
+use crate::query::Query;
+use crate::schema::TableDef;
+use crate::tuple::Tuple;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// An ordered tuple store backed by one `BTreeSet` behind a mutex.
+///
+/// This is the default Gamma data structure for sequential code (§5):
+/// ordered traversal means "queries of any ordered subset of the tuples can
+/// be performed reasonably efficiently". Queries that equality-constrain
+/// the *first* column use a range scan over the tree instead of a full
+/// scan (the `NavigableSet` subset trick).
+pub struct BTreeStore {
+    def: Arc<TableDef>,
+    set: Mutex<BTreeSet<Tuple>>,
+}
+
+impl BTreeStore {
+    pub fn new(def: Arc<TableDef>) -> Self {
+        BTreeStore {
+            def,
+            set: Mutex::new(BTreeSet::new()),
+        }
+    }
+}
+
+impl TableStore for BTreeStore {
+    fn insert(&self, t: Tuple) -> InsertOutcome {
+        let mut set = self.set.lock();
+        if set.contains(&t) {
+            return InsertOutcome::Duplicate;
+        }
+        if let Some(k) = self.def.key_arity {
+            // Key fields are leading fields, and tuples sort by fields, so
+            // all candidates with the same key are contiguous: range over
+            // them starting at the first tuple with those key fields.
+            let probe = Tuple::new(t.table(), t.key_fields(&self.def).to_vec());
+            for existing in set.range(probe..) {
+                if existing.fields().len() >= k && existing.fields()[..k] == t.fields()[..k] {
+                    if pk_conflict(&self.def, existing, &t) {
+                        return InsertOutcome::KeyConflict;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        set.insert(t);
+        InsertOutcome::Fresh
+    }
+
+    fn contains(&self, t: &Tuple) -> bool {
+        self.set.lock().contains(t)
+    }
+
+    fn len(&self) -> usize {
+        self.set.lock().len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple) -> bool) {
+        for t in self.set.lock().iter() {
+            if !f(t) {
+                return;
+            }
+        }
+    }
+
+    fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
+        let set = self.set.lock();
+        // Narrow by the first column when it is equality-constrained:
+        // tuples sort by fields, so rows with field0 == v are contiguous.
+        if let Some(v) = q.eq_value(0) {
+            let probe = Tuple::new(q.table, vec![v.clone()]);
+            for t in set.range(probe..) {
+                if t.get(0) != v {
+                    break;
+                }
+                if q.matches(t) && !f(t) {
+                    return;
+                }
+            }
+            return;
+        }
+        for t in set.iter() {
+            if q.matches(t) && !f(t) {
+                return;
+            }
+        }
+    }
+
+    fn retain(&self, keep: &dyn Fn(&Tuple) -> bool) {
+        self.set.lock().retain(|t| keep(t));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::testutil::{exercise_store_contract, keyed_def, kt};
+    use crate::schema::TableId;
+    use crate::value::Value;
+
+    #[test]
+    fn satisfies_store_contract() {
+        let store = BTreeStore::new(keyed_def());
+        exercise_store_contract(&store);
+    }
+
+    #[test]
+    fn first_field_query_uses_range_and_is_correct() {
+        let store = BTreeStore::new(keyed_def());
+        for a in 0..100 {
+            store.insert(kt(a, a * 10, "v"));
+        }
+        let q = Query::on(TableId(0)).eq(0, 42i64);
+        let mut got = Vec::new();
+        store.query(&q, &mut |t| {
+            got.push(t.clone());
+            true
+        });
+        assert_eq!(got, vec![kt(42, 420, "v")]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let store = BTreeStore::new(keyed_def());
+        store.insert(kt(3, 0, "c"));
+        store.insert(kt(1, 0, "a"));
+        store.insert(kt(2, 0, "b"));
+        let mut keys = Vec::new();
+        store.for_each(&mut |t| {
+            keys.push(t.int(0));
+            true
+        });
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn key_conflict_found_among_many() {
+        let store = BTreeStore::new(keyed_def());
+        for a in 0..50 {
+            assert_eq!(store.insert(kt(a, a, "v")), InsertOutcome::Fresh);
+        }
+        assert_eq!(store.insert(kt(25, 99, "v")), InsertOutcome::KeyConflict);
+        assert_eq!(store.insert(kt(25, 25, "v")), InsertOutcome::Duplicate);
+    }
+
+    #[test]
+    fn keyless_store_accepts_same_prefix() {
+        let store = BTreeStore::new(crate::gamma::testutil::set_def());
+        let a = Tuple::new(TableId(0), vec![Value::Int(1), Value::Int(2)]);
+        let b = Tuple::new(TableId(0), vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(store.insert(a), InsertOutcome::Fresh);
+        assert_eq!(store.insert(b), InsertOutcome::Fresh);
+        assert_eq!(store.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! # jstar-core — the JStar declarative parallel runtime
+//!
+//! A Rust reproduction of the system described in *The JStar Language
+//! Philosophy* (Utting, Weng & Cleary, 2013). JStar's semantics is Datalog
+//! with negation plus an explicit **causality ordering**: all data lives in
+//! immutable in-memory relations, rules add (never mutate or delete) tuples,
+//! and every tuple carries timestamp fields that place it in one global
+//! lexicographic order. Rules "can affect the future, but they are not
+//! allowed to change the past" — the Law of Causality (§4) — which is what
+//! makes negative and aggregate queries sound and parallel execution
+//! deterministic.
+//!
+//! ## Architecture (paper § in parentheses)
+//!
+//! * [`schema`], the `tuple` module and [`value`] — tables of immutable tuples (§3);
+//! * [`orderby`] / [`strata`] — orderby lists, `order` declarations and
+//!   [`orderby::OrderKey`]s (§4);
+//! * [`delta`] — the Delta tree, a multi-level causal priority queue whose
+//!   minimal equivalence class is the unit of parallelism (§5);
+//! * [`gamma`] — the Gamma database with pluggable per-table stores —
+//!   "late commitment to data structures" (§1.4, §5);
+//! * [`rule`] / [`query`] / [`reduce`] — rules, positive/negative/aggregate
+//!   queries, and reducers with user-defined operators (§1.3, §3);
+//! * [`causality`] — static proof obligations discharged by a built-in
+//!   Fourier–Motzkin linear-arithmetic engine (the paper's SMT solvers, §4);
+//! * [`engine`] — the pseudo-naive bottom-up evaluator with sequential and
+//!   all-minimums parallel strategies, plus the `-noDelta`/`-noGamma`
+//!   optimisation flags (§5);
+//! * [`program`] — the four-stage workflow: application logic, execution
+//!   orderings, parallelism strategy, data structures (§2);
+//! * [`stats`] — per-table usage statistics and DOT dependency graphs
+//!   (§1.5).
+//!
+//! ## Quickstart
+//!
+//! The paper's Ship example (§3): a ship moves right 150 px/frame while
+//! `x < 400`.
+//!
+//! ```
+//! use jstar_core::prelude::*;
+//!
+//! let mut p = ProgramBuilder::new();
+//! let ship = p.table("Ship", |b| {
+//!     b.col_int("frame").col_int("x")
+//!      .orderby(&[strat("Int"), seq("frame")])
+//! });
+//! p.rule("move-right", ship, move |ctx, s| {
+//!     if s.int(1) < 400 {
+//!         ctx.put(Tuple::new(ship, vec![
+//!             Value::Int(s.int(0) + 1),
+//!             Value::Int(s.int(1) + 150),
+//!         ]));
+//!     }
+//! });
+//! p.put(Tuple::new(ship, vec![Value::Int(0), Value::Int(10)]));
+//!
+//! let program = std::sync::Arc::new(p.build().unwrap());
+//! let mut engine = Engine::new(program.clone(), EngineConfig::sequential());
+//! engine.run().unwrap();
+//! assert_eq!(engine.gamma().collect(&Query::on(ship)).len(), 4);
+//! ```
+
+pub mod causality;
+pub mod delta;
+pub mod dsl;
+pub mod engine;
+pub mod error;
+pub mod gamma;
+pub mod orderby;
+pub mod program;
+pub mod query;
+pub mod reduce;
+pub mod rule;
+pub mod schema;
+pub mod stats;
+pub mod strata;
+pub mod tuple;
+pub mod value;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::causality::{CausalityModel, ModelCtx, PutModel, QueryModel};
+    pub use crate::engine::{Engine, EngineConfig, RuleCtx, RunReport};
+    pub use crate::error::{JStarError, Result};
+    pub use crate::gamma::{Gamma, InsertOutcome, StoreKind, TableStore};
+    pub use crate::orderby::{par, seq, strat, OrderKey};
+    pub use crate::program::{Program, ProgramBuilder};
+    pub use crate::query::Query;
+    pub use crate::reduce::{
+        reduce_par, reduce_seq, CountReducer, MaxIntReducer, MinIntReducer, Reducer, Statistics,
+        Stats, SumReducer,
+    };
+    pub use crate::schema::{TableDef, TableId};
+    pub use crate::tuple::Tuple;
+    pub use crate::value::{Value, ValueType};
+}

@@ -1,0 +1,473 @@
+//! Programs — tables + order declarations + rules + initial puts.
+//!
+//! A [`Program`] is the object the paper's XText compiler would produce
+//! from JStar source: fully resolved table schemas, the strata order, the
+//! rule set indexed by trigger table, and the initial `put` commands. The
+//! paper's workflow stage 1 ("Application Logic") is [`ProgramBuilder`];
+//! stage 2 ("Possible Execution Orderings") is [`Program::check_causality`]
+//! / [`Program::validate_strict`]; stages 3–4 (parallelism strategy, data
+//! structures) live entirely in [`crate::engine::EngineConfig`], separate
+//! from the program, exactly as §2 prescribes.
+
+use crate::causality::{check_rule, CausalityModel, ObligationResult};
+use crate::engine::RuleCtx;
+use crate::error::{JStarError, Result};
+use crate::orderby::{OrderComponent, OrderKey, ResolvedOrderBy};
+use crate::rule::{Rule, RuleBody};
+use crate::schema::{TableDef, TableDefBuilder, TableId};
+use crate::stats::DependencyGraph;
+use crate::strata::{StrataBuilder, StrataOrder};
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds a [`Program`] — the paper's workflow stage 1.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    tables: Vec<TableDef>,
+    name_to_id: HashMap<String, TableId>,
+    orders: Vec<Vec<String>>,
+    rules: Vec<Rule>,
+    initial: Vec<Tuple>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a table. The closure configures columns, keys and the
+    /// orderby list:
+    ///
+    /// ```
+    /// use jstar_core::prelude::*;
+    /// let mut p = ProgramBuilder::new();
+    /// let ship = p.table("Ship", |b| {
+    ///     b.col_int("frame").col_int("x").key(1)
+    ///      .orderby(&[strat("Int"), seq("frame")])
+    /// });
+    /// ```
+    pub fn table(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(TableDefBuilder) -> TableDefBuilder,
+    ) -> TableId {
+        assert!(
+            !self.name_to_id.contains_key(name),
+            "duplicate table {name}"
+        );
+        let id = TableId(self.tables.len() as u32);
+        let b = f(TableDefBuilder::new(name));
+        self.tables.push(TableDef {
+            id,
+            name: b.name,
+            columns: b.columns,
+            key_arity: b.key_arity,
+            orderby: b.orderby,
+        });
+        self.name_to_id.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares an order chain: `order A < B < C`.
+    pub fn order(&mut self, chain: &[&str]) {
+        self.orders
+            .push(chain.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Adds a rule without a causality model (strict validation will flag
+    /// it, like the paper's compiler warning for unproved rules).
+    pub fn rule(
+        &mut self,
+        name: &str,
+        trigger: TableId,
+        body: impl Fn(&RuleCtx<'_>, &Tuple) + Send + Sync + 'static,
+    ) {
+        self.rules.push(Rule {
+            name: name.to_string(),
+            trigger,
+            body: Arc::new(body) as RuleBody,
+            model: None,
+        });
+    }
+
+    /// Adds a rule together with its causality model for static checking.
+    pub fn rule_with_model(
+        &mut self,
+        name: &str,
+        trigger: TableId,
+        model: CausalityModel,
+        body: impl Fn(&RuleCtx<'_>, &Tuple) + Send + Sync + 'static,
+    ) {
+        self.rules.push(Rule {
+            name: name.to_string(),
+            trigger,
+            body: Arc::new(body) as RuleBody,
+            model: Some(model),
+        });
+    }
+
+    /// Adds an initial `put` command.
+    pub fn put(&mut self, t: Tuple) {
+        self.initial.push(t);
+    }
+
+    /// Finalises the program: interns strat literals, linearises the
+    /// declared order, resolves every orderby list. Fails on order cycles
+    /// or orderby lists naming unknown columns.
+    pub fn build(self) -> Result<Program> {
+        let mut sb = StrataBuilder::new();
+        // Intern order-declaration literals first so their ranks follow
+        // declaration order deterministically, then any literals that only
+        // appear in orderby lists.
+        for chain in &self.orders {
+            let refs: Vec<&str> = chain.iter().map(|s| s.as_str()).collect();
+            sb.order_chain(&refs);
+        }
+        for t in &self.tables {
+            for c in &t.orderby {
+                if let OrderComponent::Strat(name) = c {
+                    sb.intern(name);
+                }
+            }
+        }
+        let strata = sb
+            .build()
+            .map_err(|e| JStarError::Stratification(e.to_string()))?;
+
+        let defs: Vec<Arc<TableDef>> = self.tables.into_iter().map(Arc::new).collect();
+        let mut orderbys = Vec::with_capacity(defs.len());
+        for d in &defs {
+            orderbys
+                .push(ResolvedOrderBy::resolve(d, &strata).map_err(JStarError::Stratification)?);
+        }
+        let by_name: HashMap<String, Arc<TableDef>> = defs
+            .iter()
+            .map(|d| (d.name.clone(), Arc::clone(d)))
+            .collect();
+
+        let rules: Vec<Arc<Rule>> = self.rules.into_iter().map(Arc::new).collect();
+        let mut rules_by_trigger = vec![Vec::new(); defs.len()];
+        for (i, r) in rules.iter().enumerate() {
+            rules_by_trigger[r.trigger.index()].push(i);
+        }
+
+        Ok(Program {
+            defs,
+            by_name,
+            orderbys,
+            strata,
+            rules,
+            rules_by_trigger,
+            initial: self.initial,
+        })
+    }
+}
+
+/// A complete, resolved JStar program.
+pub struct Program {
+    defs: Vec<Arc<TableDef>>,
+    by_name: HashMap<String, Arc<TableDef>>,
+    orderbys: Vec<ResolvedOrderBy>,
+    strata: StrataOrder,
+    rules: Vec<Arc<Rule>>,
+    rules_by_trigger: Vec<Vec<usize>>,
+    initial: Vec<Tuple>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field(
+                "tables",
+                &self.defs.iter().map(|d| &d.name).collect::<Vec<_>>(),
+            )
+            .field("rules", &self.rules.len())
+            .field("initial", &self.initial.len())
+            .finish()
+    }
+}
+
+impl Program {
+    /// All table definitions, indexed by [`TableId`].
+    pub fn defs(&self) -> &[Arc<TableDef>] {
+        &self.defs
+    }
+
+    /// One table definition.
+    pub fn def(&self, id: TableId) -> &Arc<TableDef> {
+        &self.defs[id.index()]
+    }
+
+    /// Table lookup by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).map(|d| d.id)
+    }
+
+    /// Resolved orderby specs, indexed by [`TableId`].
+    pub fn orderbys(&self) -> &[ResolvedOrderBy] {
+        &self.orderbys
+    }
+
+    /// The strata order.
+    pub fn strata(&self) -> &StrataOrder {
+        &self.strata
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[Arc<Rule>] {
+        &self.rules
+    }
+
+    /// Rule indexes grouped by trigger table.
+    pub fn rules_by_trigger(&self) -> &[Vec<usize>] {
+        &self.rules_by_trigger
+    }
+
+    /// Initial `put` commands.
+    pub fn initial(&self) -> &[Tuple] {
+        &self.initial
+    }
+
+    /// The order key of a tuple under this program.
+    pub fn key_of(&self, t: &Tuple) -> OrderKey {
+        self.orderbys[t.table().index()].key_of(t)
+    }
+
+    /// Runs static causality checking on every rule that has a model —
+    /// workflow stage 2. Rules without models yield a single unproved
+    /// result so they are visible in the report.
+    pub fn check_causality(&self) -> Vec<ObligationResult> {
+        let mut results = Vec::new();
+        for rule in &self.rules {
+            match &rule.model {
+                Some(model) => results.extend(check_rule(
+                    &rule.name,
+                    self.def(rule.trigger),
+                    model,
+                    &self.by_name,
+                    &self.orderbys,
+                    &self.strata,
+                )),
+                None => results.push(ObligationResult {
+                    rule: rule.name.clone(),
+                    label: "no causality model".into(),
+                    proved: false,
+                    message: "rule has no causality model; cannot verify the Law of Causality"
+                        .into(),
+                }),
+            }
+        }
+        results
+    }
+
+    /// Strict validation: every obligation of every rule must be proved.
+    pub fn validate_strict(&self) -> Result<()> {
+        let failures: Vec<String> = self
+            .check_causality()
+            .into_iter()
+            .filter(|r| !r.proved)
+            .map(|r| format!("{} [{}]: {}", r.rule, r.label, r.message))
+            .collect();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(JStarError::Unproved(failures.join("; ")))
+        }
+    }
+
+    /// The rule dependency graph (Fig. 7-style), derived from causality
+    /// models' put targets.
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        let tables = self.defs.iter().map(|d| d.name.clone()).collect();
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| {
+                let outputs = r
+                    .model
+                    .as_ref()
+                    .map(|m| {
+                        m.puts
+                            .iter()
+                            .filter_map(|p| self.table_id(&p.out_table))
+                            .map(|t| t.index())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                (r.name.clone(), r.trigger.index(), outputs)
+            })
+            .collect();
+        DependencyGraph { tables, rules }
+    }
+}
+
+#[cfg(test)]
+impl ProgramBuilder {
+    /// Test helper: id of an already-declared table.
+    fn table_id_for_test(&self, name: &str) -> TableId {
+        self.name_to_id[name]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causality::{ModelCtx, PutModel, QueryModel};
+    use crate::orderby::{seq, strat};
+    use crate::value::Value;
+
+    #[test]
+    fn build_resolves_tables_and_orders() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[strat("A"), seq("t")]));
+        let b = p.table("B", |bb| bb.col_int("t").orderby(&[strat("B"), seq("t")]));
+        p.order(&["A", "B"]);
+        let prog = p.build().unwrap();
+        assert_eq!(prog.table_id("A"), Some(a));
+        assert_eq!(prog.table_id("B"), Some(b));
+        assert_eq!(prog.defs().len(), 2);
+        let sa = prog.strata().lookup("A").unwrap();
+        let sb = prog.strata().lookup("B").unwrap();
+        assert!(prog.strata().declared_lt(sa, sb));
+    }
+
+    #[test]
+    fn cyclic_order_fails_to_build() {
+        let mut p = ProgramBuilder::new();
+        let _ = p.table("A", |b| b.col_int("t").orderby(&[strat("X")]));
+        p.order(&["X", "Y"]);
+        p.order(&["Y", "X"]);
+        let err = p.build().unwrap_err();
+        assert!(matches!(err, JStarError::Stratification(_)));
+    }
+
+    #[test]
+    fn orderby_unknown_column_fails() {
+        let mut p = ProgramBuilder::new();
+        let _ = p.table("A", |b| b.col_int("t").orderby(&[seq("nope")]));
+        let err = p.build().unwrap_err();
+        assert!(err.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_table_panics() {
+        let mut p = ProgramBuilder::new();
+        let _ = p.table("A", |b| b.col_int("t"));
+        let _ = p.table("A", |b| b.col_int("t"));
+    }
+
+    #[test]
+    fn key_of_uses_orderby() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").col_int("x").orderby(&[seq("t")]));
+        let prog = p.build().unwrap();
+        let t1 = Tuple::new(a, vec![Value::Int(5), Value::Int(99)]);
+        let t2 = Tuple::new(a, vec![Value::Int(5), Value::Int(1)]);
+        assert_eq!(prog.key_of(&t1), prog.key_of(&t2), "x is not in the key");
+    }
+
+    #[test]
+    fn check_causality_reports_modelless_rules() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[seq("t")]));
+        p.rule("anon", a, |_, _| {});
+        let prog = p.build().unwrap();
+        let results = prog.check_causality();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].proved);
+        assert!(prog.validate_strict().is_err());
+    }
+
+    #[test]
+    fn validated_program_passes_strict() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[seq("t")]));
+        let mut cx = ModelCtx::new();
+        let bindings = cx.out("t").eq_(&(cx.trig("t") + 1));
+        let model = CausalityModel {
+            ctx: cx,
+            invariants: vec![],
+            puts: vec![PutModel {
+                out_table: "A".into(),
+                guard: vec![],
+                bindings,
+                label: "tick".into(),
+            }],
+            queries: vec![],
+        };
+        p.rule_with_model("tick", a, model, move |ctx, t| {
+            if t.int(0) < 3 {
+                ctx.put(Tuple::new(a, vec![Value::Int(t.int(0) + 1)]));
+            }
+        });
+        let prog = p.build().unwrap();
+        assert!(prog.validate_strict().is_ok());
+    }
+
+    #[test]
+    fn pvwatts_stratification_error_without_order() {
+        // Fig. 4's scenario end to end at the program level.
+        let build = |with_order: bool| {
+            let mut p = ProgramBuilder::new();
+            let pv = p.table("PvWatts", |b| {
+                b.col_int("year")
+                    .col_int("month")
+                    .orderby(&[strat("PvWatts")])
+            });
+            let _sm = p.table("SumMonth", |b| {
+                b.col_int("year")
+                    .col_int("month")
+                    .orderby(&[strat("SumMonth")])
+            });
+            if with_order {
+                p.order(&["PvWatts", "SumMonth"]);
+            }
+            let _ = pv;
+            let sm_id = p.table_id_for_test("SumMonth");
+            let model = CausalityModel {
+                ctx: ModelCtx::new(),
+                invariants: vec![],
+                puts: vec![],
+                queries: vec![QueryModel {
+                    q_table: "PvWatts".into(),
+                    guard: vec![],
+                    bindings: vec![],
+                    label: "aggregate".into(),
+                }],
+            };
+            p.rule_with_model("summarise", sm_id, model, |_, _| {});
+            p.build().unwrap()
+        };
+        assert!(build(false).validate_strict().is_err());
+        assert!(build(true).validate_strict().is_ok());
+    }
+
+    #[test]
+    fn dependency_graph_from_models() {
+        let mut p = ProgramBuilder::new();
+        let a = p.table("A", |b| b.col_int("t").orderby(&[seq("t")]));
+        let _b = p.table("B", |bb| bb.col_int("t").orderby(&[seq("t")]));
+        let mut cx = ModelCtx::new();
+        let bindings = cx.out("t").eq_(&cx.trig("t"));
+        let model = CausalityModel {
+            ctx: cx,
+            invariants: vec![],
+            puts: vec![PutModel {
+                out_table: "B".into(),
+                guard: vec![],
+                bindings,
+                label: String::new(),
+            }],
+            queries: vec![],
+        };
+        p.rule_with_model("a-to-b", a, model, |_, _| {});
+        let prog = p.build().unwrap();
+        let g = prog.dependency_graph();
+        assert_eq!(g.tables, vec!["A", "B"]);
+        assert_eq!(g.rules, vec![("a-to-b".to_string(), 0, vec![1])]);
+        let dot = g.to_dot(None);
+        assert!(dot.contains("a-to-b"));
+    }
+}

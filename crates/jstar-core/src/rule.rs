@@ -1,0 +1,43 @@
+//! Rules — the computation of a JStar program (§3).
+//!
+//! "Each rule inspects the existing database, makes calculations and
+//! decisions, and can then add tuples to one or more tables." A rule is
+//! triggered by tuples of one table (the `foreach (Ship s)` header); its
+//! body receives the trigger tuple and a [`crate::engine::RuleCtx`] through
+//! which it queries Gamma and `put`s new tuples.
+
+use crate::causality::CausalityModel;
+use crate::engine::RuleCtx;
+use crate::schema::TableId;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// The executable body of a rule. Bodies must be deterministic functions of
+/// the trigger tuple and the database for JStar's deterministic-parallelism
+/// guarantee (§1.3) to hold; they are called concurrently by the parallel
+/// engine, hence `Send + Sync`.
+pub type RuleBody = Arc<dyn Fn(&RuleCtx<'_>, &Tuple) + Send + Sync>;
+
+/// A JStar rule.
+pub struct Rule {
+    /// Diagnostic name.
+    pub name: String,
+    /// The table whose tuples trigger this rule.
+    pub trigger: TableId,
+    /// The rule body.
+    pub body: RuleBody,
+    /// Optional causality model for static checking (§4). Rules without a
+    /// model are reported as unproved by strict validation, mirroring the
+    /// compiler warning the paper describes.
+    pub model: Option<CausalityModel>,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("trigger", &self.trigger)
+            .field("has_model", &self.model.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,305 @@
+//! Immutable tuples — the only data JStar programs manipulate.
+//!
+//! "Each tuple in a table is typically implemented as an immutable Java
+//! object with a fixed set of named fields" (§3). Here a [`Tuple`] is an
+//! `Arc`-shared immutable row; cloning is a reference-count bump, which is
+//! what lets the same tuple sit in the Delta tree, the Gamma database and
+//! rule-trigger queues without copying.
+
+use crate::schema::{TableDef, TableId};
+use crate::value::Value;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct TupleInner {
+    table: TableId,
+    fields: Box<[Value]>,
+}
+
+/// An immutable tuple belonging to one table.
+#[derive(Debug, Clone)]
+pub struct Tuple(Arc<TupleInner>);
+
+impl Tuple {
+    /// Creates a tuple by position (the `new Ship(0,10,10,150,0)` form).
+    /// Field types are *not* checked here; [`crate::program::Program`]
+    /// checks them at `put` time when type checking is enabled.
+    pub fn new(table: TableId, fields: impl Into<Vec<Value>>) -> Tuple {
+        Tuple(Arc::new(TupleInner {
+            table,
+            fields: fields.into().into_boxed_slice(),
+        }))
+    }
+
+    /// Starts a named-field builder (the `new Ship() [frame=0; x=10]` form):
+    /// unset fields keep the column defaults from the table definition.
+    pub fn build(def: &TableDef) -> TupleBuilder<'_> {
+        TupleBuilder {
+            def,
+            fields: def.default_fields(),
+        }
+    }
+
+    /// The table this tuple belongs to.
+    pub fn table(&self) -> TableId {
+        self.0.table
+    }
+
+    /// All field values in column order.
+    pub fn fields(&self) -> &[Value] {
+        &self.0.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.fields.len()
+    }
+
+    /// The `i`-th field.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0.fields[i]
+    }
+
+    /// Integer field accessor.
+    pub fn int(&self, i: usize) -> i64 {
+        self.get(i).as_int()
+    }
+
+    /// Double field accessor.
+    pub fn double(&self, i: usize) -> f64 {
+        self.get(i).as_double()
+    }
+
+    /// String field accessor.
+    pub fn str(&self, i: usize) -> &str {
+        self.get(i).as_str()
+    }
+
+    /// Bool field accessor.
+    pub fn bool(&self, i: usize) -> bool {
+        self.get(i).as_bool()
+    }
+
+    /// Copy-update: returns a builder pre-loaded with this tuple's fields
+    /// (the generated `copy` method of the paper's builder classes, which
+    /// "can take an existing (immutable) tuple, update a few fields and
+    /// create a new tuple").
+    pub fn copy<'d>(&self, def: &'d TableDef) -> TupleBuilder<'d> {
+        assert_eq!(def.id, self.table(), "copy with mismatched table def");
+        TupleBuilder {
+            def,
+            fields: self.fields().to_vec(),
+        }
+    }
+
+    /// The leading key fields (primary key if declared, else all fields).
+    pub fn key_fields<'t>(&'t self, def: &TableDef) -> &'t [Value] {
+        match def.key_arity {
+            Some(k) => &self.fields()[..k],
+            None => self.fields(),
+        }
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality fast path: clones share the same allocation.
+        Arc::ptr_eq(&self.0, &other.0)
+            || (self.0.table == other.0.table && self.0.fields == other.0.fields)
+    }
+}
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.table.hash(state);
+        self.0.fields.hash(state);
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Tuples order by (table, fields) lexicographically — the order used by
+/// the BTree-based Gamma stores (the paper's `TreeSet` default).
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .table
+            .cmp(&other.0.table)
+            .then_with(|| self.0.fields.cmp(&other.0.fields))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.0.table)?;
+        for (i, v) in self.0.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for the named-field construction form.
+pub struct TupleBuilder<'d> {
+    def: &'d TableDef,
+    fields: Vec<Value>,
+}
+
+impl<'d> TupleBuilder<'d> {
+    /// Sets a field by name.
+    pub fn set(mut self, name: &str, v: impl Into<Value>) -> Self {
+        let idx = self.def.col(name);
+        let v = v.into();
+        assert_eq!(
+            v.value_type(),
+            self.def.columns[idx].ty,
+            "field {name} of table {} has type {}",
+            self.def.name,
+            self.def.columns[idx].ty
+        );
+        self.fields[idx] = v;
+        self
+    }
+
+    /// Finishes the tuple.
+    pub fn finish(self) -> Tuple {
+        Tuple::new(self.def.id, self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderby::{seq, strat};
+    use crate::schema::TableDefBuilder;
+
+    fn ship_def() -> TableDef {
+        let b = TableDefBuilder::new("Ship")
+            .col_int("frame")
+            .col_int("x")
+            .col_int("y")
+            .col_int("dx")
+            .default_value(150i64)
+            .col_int("dy")
+            .key(1)
+            .orderby(&[strat("Int"), seq("frame")]);
+        TableDef {
+            id: TableId(0),
+            name: b.name,
+            columns: b.columns,
+            key_arity: b.key_arity,
+            orderby: b.orderby,
+        }
+    }
+
+    #[test]
+    fn positional_construction() {
+        let def = ship_def();
+        let t = Tuple::new(
+            def.id,
+            vec![
+                Value::Int(0),
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(150),
+                Value::Int(0),
+            ],
+        );
+        assert_eq!(t.int(0), 0);
+        assert_eq!(t.int(3), 150);
+        assert_eq!(t.arity(), 5);
+    }
+
+    #[test]
+    fn named_construction_uses_defaults() {
+        // new Ship() [x=10; y=10] — frame and dy default to 0, dx to 150.
+        let def = ship_def();
+        let t = Tuple::build(&def).set("x", 10i64).set("y", 10i64).finish();
+        assert_eq!(t.int(0), 0, "frame defaults to 0");
+        assert_eq!(t.int(3), 150, "dx has an overridden default");
+        assert_eq!(t.int(4), 0, "dy defaults to 0");
+    }
+
+    #[test]
+    fn equivalent_construction_forms_are_equal() {
+        let def = ship_def();
+        let positional = Tuple::new(
+            def.id,
+            vec![
+                Value::Int(0),
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(150),
+                Value::Int(0),
+            ],
+        );
+        let named = Tuple::build(&def)
+            .set("frame", 0i64)
+            .set("x", 10i64)
+            .set("dx", 150i64)
+            .set("y", 10i64)
+            .set("dy", 0i64)
+            .finish();
+        let defaulted = Tuple::build(&def).set("x", 10i64).set("y", 10i64).finish();
+        assert_eq!(positional, named);
+        assert_eq!(positional, defaulted);
+    }
+
+    #[test]
+    fn copy_updates_some_fields() {
+        let def = ship_def();
+        let t = Tuple::build(&def).set("x", 10i64).finish();
+        let t2 = t.copy(&def).set("frame", 1i64).set("x", 160i64).finish();
+        assert_eq!(t2.int(0), 1);
+        assert_eq!(t2.int(1), 160);
+        assert_eq!(t2.int(3), t.int(3), "unchanged fields preserved");
+        assert_ne!(t, t2);
+    }
+
+    #[test]
+    fn clones_are_equal_and_cheap() {
+        let def = ship_def();
+        let t = Tuple::build(&def).finish();
+        let c = t.clone();
+        assert_eq!(t, c);
+    }
+
+    #[test]
+    fn key_fields_respect_pk() {
+        let def = ship_def();
+        let t = Tuple::build(&def).set("frame", 7i64).finish();
+        assert_eq!(t.key_fields(&def), &[Value::Int(7)]);
+    }
+
+    #[test]
+    fn ordering_is_by_table_then_fields() {
+        let a = Tuple::new(TableId(0), vec![Value::Int(5)]);
+        let b = Tuple::new(TableId(0), vec![Value::Int(6)]);
+        let c = Tuple::new(TableId(1), vec![Value::Int(0)]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    #[should_panic(expected = "has type int")]
+    fn builder_rejects_wrong_type() {
+        let def = ship_def();
+        let _ = Tuple::build(&def).set("x", "oops");
+    }
+
+    #[test]
+    fn display_renders_fields() {
+        let t = Tuple::new(TableId(3), vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(t.to_string(), "T3(1, a)");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the core runtime data structures.
+
+use jstar_core::causality::linear::{satisfiable, Constraint, LinExpr, Rational};
+use jstar_core::delta::DeltaTree;
+use jstar_core::gamma::{BTreeStore, ConcurrentOrderedStore, HashStore, InsertOutcome, TableStore};
+use jstar_core::orderby::{KeyPart, OrderKey};
+use jstar_core::schema::{TableDefBuilder, TableId};
+use jstar_core::tuple::Tuple;
+use jstar_core::value::Value;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn arb_key() -> impl Strategy<Value = OrderKey> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..4).prop_map(KeyPart::Strat),
+            (-20i64..20).prop_map(|v| KeyPart::Seq(Value::Int(v))),
+        ],
+        0..4,
+    )
+    .prop_map(OrderKey)
+}
+
+proptest! {
+    /// OrderKey comparison is a total order: antisymmetric & transitive.
+    #[test]
+    fn order_key_total_order(a in arb_key(), b in arb_key(), c in arb_key()) {
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    /// The Delta tree behaves exactly like a reference model: a map from
+    /// key to set of tuples, popped in key order.
+    #[test]
+    fn delta_tree_matches_reference_model(
+        inserts in prop::collection::vec((arb_key(), -50i64..50), 0..200)
+    ) {
+        // Keys of mismatched shapes can coexist; restrict to homogeneous
+        // 2-part keys to mirror real programs.
+        let mut tree = DeltaTree::new();
+        let mut model: BTreeMap<OrderKey, HashSet<i64>> = BTreeMap::new();
+        for (key, v) in &inserts {
+            let key = OrderKey(vec![
+                KeyPart::Strat(0),
+                key.0.first().cloned().unwrap_or(KeyPart::Strat(0)),
+            ]);
+            let tuple = Tuple::new(TableId(0), vec![Value::Int(*v)]);
+            let fresh_tree = tree.insert(&key, tuple);
+            let fresh_model = model.entry(key).or_default().insert(*v);
+            prop_assert_eq!(fresh_tree, fresh_model);
+        }
+        let model_len: usize = model.values().map(|s| s.len()).sum();
+        prop_assert_eq!(tree.len(), model_len);
+        for (key, set) in model {
+            let (k, class) = tree.pop_min_class().expect("model non-empty");
+            prop_assert_eq!(&k, &key);
+            let got: HashSet<i64> = class.iter().map(|t| t.int(0)).collect();
+            prop_assert_eq!(got, set);
+        }
+        prop_assert!(tree.pop_min_class().is_none());
+    }
+
+    /// All three generic stores agree with a reference set under random
+    /// insert sequences (set semantics + primary key enforcement).
+    #[test]
+    fn stores_agree_with_reference(
+        ops in prop::collection::vec((0i64..20, 0i64..5), 1..150)
+    ) {
+        let def = Arc::new(
+            TableDefBuilder::standalone("T")
+                .col_int("k")
+                .col_int("v")
+                .key(1)
+                .build_def(TableId(0)),
+        );
+        let stores: Vec<Box<dyn TableStore>> = vec![
+            Box::new(BTreeStore::new(Arc::clone(&def))),
+            Box::new(ConcurrentOrderedStore::new(Arc::clone(&def), 4)),
+            Box::new(HashStore::new(Arc::clone(&def), vec![0], 4)),
+        ];
+        // Reference: first write wins per key.
+        let mut reference: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut expected: Vec<InsertOutcome> = Vec::new();
+        for &(k, v) in &ops {
+            let outcome = match reference.get(&k) {
+                None => {
+                    reference.insert(k, v);
+                    InsertOutcome::Fresh
+                }
+                Some(&old) if old == v => InsertOutcome::Duplicate,
+                Some(_) => InsertOutcome::KeyConflict,
+            };
+            expected.push(outcome);
+        }
+        for store in &stores {
+            for (&(k, v), want) in ops.iter().zip(&expected) {
+                let t = Tuple::new(TableId(0), vec![Value::Int(k), Value::Int(v)]);
+                prop_assert_eq!(store.insert(t), *want);
+            }
+            prop_assert_eq!(store.len(), reference.len());
+        }
+    }
+
+    /// The FM solver is sound: whenever it says UNSAT, no integer point in
+    /// a sampled grid satisfies the system (3 variables).
+    #[test]
+    fn fm_unsat_implies_no_integer_point(
+        raw in prop::collection::vec(
+            (-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6, any::<bool>()),
+            1..6,
+        )
+    ) {
+        let constraints: Vec<Constraint> = raw
+            .iter()
+            .map(|&(a, b, c, k, strict)| {
+                let expr = LinExpr::var(0).scale(Rational::int(a))
+                    + LinExpr::var(1).scale(Rational::int(b))
+                    + LinExpr::var(2).scale(Rational::int(c))
+                    + LinExpr::constant(-k);
+                Constraint { expr, strict }
+            })
+            .collect();
+        if !satisfiable(&constraints) {
+            for x in -8i64..=8 {
+                for y in -8i64..=8 {
+                    for z in -8i64..=8 {
+                        let all_hold = raw.iter().all(|&(a, b, c, k, strict)| {
+                            let v = a * x + b * y + c * z - k;
+                            if strict { v < 0 } else { v <= 0 }
+                        });
+                        prop_assert!(
+                            !all_hold,
+                            "FM said unsat but ({x},{y},{z}) satisfies the system"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value ordering is total and consistent with equality/hashing.
+    #[test]
+    fn value_order_consistency(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a == b {
+            prop_assert_eq!(a.cmp(&b), Ordering::Equal);
+            use std::hash::{Hash, Hasher};
+            let mut ha = std::collections::hash_map::DefaultHasher::new();
+            let mut hb = std::collections::hash_map::DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Double),
+        "[a-z]{0,6}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}

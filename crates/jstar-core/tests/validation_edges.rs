@@ -1,0 +1,137 @@
+//! Edge cases in program construction, orderby resolution, store
+//! configuration and error reporting.
+
+use jstar_core::gamma::StoreKind;
+use jstar_core::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn orderby_seq_on_missing_column_is_a_build_error() {
+    let mut p = ProgramBuilder::new();
+    let _ = p.table("T", |b| b.col_int("a").orderby(&[seq("missing")]));
+    let err = p.build().unwrap_err();
+    assert!(matches!(err, JStarError::Stratification(_)));
+    assert!(err.to_string().contains("missing"));
+}
+
+#[test]
+fn orderby_par_on_missing_column_is_a_build_error() {
+    let mut p = ProgramBuilder::new();
+    let _ = p.table("T", |b| b.col_int("a").orderby(&[par("missing")]));
+    assert!(p.build().is_err());
+}
+
+#[test]
+fn empty_program_runs_to_empty_fixpoint() {
+    let p = ProgramBuilder::new();
+    let prog = Arc::new(p.build().unwrap());
+    let mut engine = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+    let report = engine.run().unwrap();
+    assert_eq!(report.steps, 0);
+    assert_eq!(report.tuples_processed, 0);
+}
+
+#[test]
+fn program_with_tables_but_no_rules_just_stores_initial_puts() {
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| b.col_int("x").orderby(&[seq("x")]));
+    for i in 0..5 {
+        p.put(Tuple::new(t, vec![Value::Int(i)]));
+    }
+    let prog = Arc::new(p.build().unwrap());
+    let mut engine = Engine::new(prog, EngineConfig::parallel(2));
+    let report = engine.run().unwrap();
+    assert_eq!(engine.gamma().total_len(), 5);
+    assert!(report.steps >= 1);
+}
+
+#[test]
+fn store_kind_debug_formats() {
+    assert_eq!(format!("{:?}", StoreKind::Ordered), "Ordered");
+    assert!(format!("{:?}", StoreKind::ConcurrentOrdered { shards: 4 }).contains("4 shards"));
+    assert!(format!(
+        "{:?}",
+        StoreKind::Hash {
+            index_fields: vec!["x".into()],
+            shards: 2
+        }
+    )
+    .contains("index"));
+}
+
+#[test]
+fn duplicate_initial_puts_are_deduplicated() {
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| b.col_int("x").orderby(&[seq("x")]));
+    for _ in 0..10 {
+        p.put(Tuple::new(t, vec![Value::Int(7)]));
+    }
+    let prog = Arc::new(p.build().unwrap());
+    let mut engine = Engine::new(prog, EngineConfig::sequential());
+    engine.run().unwrap();
+    assert_eq!(engine.gamma().total_len(), 1, "set semantics from step one");
+}
+
+#[test]
+fn rules_on_same_trigger_all_fire() {
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| b.col_int("x").orderby(&[seq("x")]));
+    p.rule("first", t, |ctx, tr| ctx.println(format!("a{}", tr.int(0))));
+    p.rule("second", t, |ctx, tr| {
+        ctx.println(format!("b{}", tr.int(0)))
+    });
+    p.put(Tuple::new(t, vec![Value::Int(1)]));
+    let prog = Arc::new(p.build().unwrap());
+    let mut engine = Engine::new(prog, EngineConfig::sequential());
+    let mut out = engine.run().unwrap().output;
+    out.sort();
+    assert_eq!(out, vec!["a1", "b1"]);
+}
+
+#[test]
+fn disabling_runtime_checks_is_possible_but_discouraged() {
+    // The paper's generated code trusts the static proof; our runtime
+    // check can be disabled to measure its cost — the program then runs
+    // (incorrectly ordered puts are accepted).
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| b.col_int("x").orderby(&[seq("x")]));
+    p.rule("backwards", t, move |ctx, tr| {
+        if tr.int(0) == 5 {
+            ctx.put(Tuple::new(t, vec![Value::Int(1)]));
+        }
+    });
+    p.put(Tuple::new(t, vec![Value::Int(5)]));
+    let prog = Arc::new(p.build().unwrap());
+    let mut config = EngineConfig::sequential();
+    config.enforce_causality = false;
+    let mut engine = Engine::new(prog, config);
+    engine.run().unwrap();
+    assert_eq!(engine.gamma().total_len(), 2);
+}
+
+#[test]
+fn type_checking_can_be_disabled_for_speed() {
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| b.col_int("x").orderby(&[seq("x")]));
+    p.put(Tuple::new(t, vec![Value::Int(1)]));
+    let prog = Arc::new(p.build().unwrap());
+    let mut config = EngineConfig::sequential();
+    config.type_check = false;
+    let mut engine = Engine::new(prog, config);
+    engine.run().unwrap();
+    assert_eq!(engine.gamma().total_len(), 1);
+}
+
+#[test]
+fn run_report_exposes_elapsed_and_output() {
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| b.col_int("x").orderby(&[seq("x")]));
+    p.rule("say", t, |ctx, _| ctx.println("hi"));
+    p.put(Tuple::new(t, vec![Value::Int(1)]));
+    let prog = Arc::new(p.build().unwrap());
+    let mut engine = Engine::new(prog, EngineConfig::sequential());
+    let report = engine.run().unwrap();
+    assert_eq!(report.output, vec!["hi"]);
+    assert!(report.elapsed.as_nanos() > 0);
+    assert_eq!(engine.output(), vec!["hi"]);
+}

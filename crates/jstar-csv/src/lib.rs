@@ -1,0 +1,28 @@
+//! # jstar-csv — byte-oriented CSV reading substrate
+//!
+//! The paper attributes JStar's PvWatts win over hand-coded Java to "its
+//! own more efficient CSV library that keeps lines as byte arrays and
+//! avoids conversion to strings as much as possible" (§6.1), and to a
+//! Hadoop-style parallel reader: "the CSV reader library can run several
+//! readers in parallel, on different parts of the input file. (Each reader
+//! continues reading a little way past the end of its region, to ensure
+//! that all records have been read.)" (§6.2).
+//!
+//! This crate is that library:
+//!
+//! * [`Record`] / [`records`] — zero-copy iteration over lines and fields
+//!   as `&[u8]` slices;
+//! * [`parse_i64`] / [`parse_f64`] — numeric parsing straight from bytes;
+//! * [`split_regions`] + [`RegionReader`] — the parallel region protocol:
+//!   a reader skips the partial record at its region start (the previous
+//!   reader finishes it past its own end), so every record is read exactly
+//!   once;
+//! * [`read_parallel`] — N region readers on a [`jstar_pool::ThreadPool`].
+
+mod parse;
+mod reader;
+mod region;
+
+pub use parse::{parse_f64, parse_i64, ParseNumError};
+pub use reader::{records, FieldIter, Record};
+pub use region::{read_parallel, split_regions, RegionReader};

@@ -1,0 +1,158 @@
+//! Numeric parsing straight from byte slices — no `String` conversion.
+
+use std::fmt;
+
+/// Error parsing a numeric field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseNumError;
+
+impl fmt::Display for ParseNumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed numeric field")
+    }
+}
+
+impl std::error::Error for ParseNumError {}
+
+/// Parses a decimal integer (optional leading `-`/`+`, surrounding ASCII
+/// whitespace tolerated) from raw bytes.
+pub fn parse_i64(field: &[u8]) -> Result<i64, ParseNumError> {
+    let field = trim(field);
+    if field.is_empty() {
+        return Err(ParseNumError);
+    }
+    let (neg, digits) = match field[0] {
+        b'-' => (true, &field[1..]),
+        b'+' => (false, &field[1..]),
+        _ => (false, field),
+    };
+    if digits.is_empty() {
+        return Err(ParseNumError);
+    }
+    let mut acc: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return Err(ParseNumError);
+        }
+        acc = acc
+            .checked_mul(10)
+            .and_then(|a| a.checked_add((b - b'0') as i64))
+            .ok_or(ParseNumError)?;
+    }
+    Ok(if neg { -acc } else { acc })
+}
+
+/// Parses a simple decimal float (`-12.5`, `3`, `.25`, `1e3` is *not*
+/// supported — PVWatts data has plain decimals) from raw bytes.
+pub fn parse_f64(field: &[u8]) -> Result<f64, ParseNumError> {
+    let field = trim(field);
+    if field.is_empty() {
+        return Err(ParseNumError);
+    }
+    let (neg, rest) = match field[0] {
+        b'-' => (true, &field[1..]),
+        b'+' => (false, &field[1..]),
+        _ => (false, field),
+    };
+    let mut int_part: f64 = 0.0;
+    let mut frac_part: f64 = 0.0;
+    let mut frac_scale: f64 = 1.0;
+    let mut seen_digit = false;
+    let mut in_frac = false;
+    for &b in rest {
+        match b {
+            b'0'..=b'9' => {
+                seen_digit = true;
+                let d = (b - b'0') as f64;
+                if in_frac {
+                    frac_scale *= 0.1;
+                    frac_part += d * frac_scale;
+                } else {
+                    int_part = int_part * 10.0 + d;
+                }
+            }
+            b'.' if !in_frac => in_frac = true,
+            _ => return Err(ParseNumError),
+        }
+    }
+    if !seen_digit {
+        return Err(ParseNumError);
+    }
+    let v = int_part + frac_part;
+    Ok(if neg { -v } else { v })
+}
+
+fn trim(mut field: &[u8]) -> &[u8] {
+    while let [b, rest @ ..] = field {
+        if b.is_ascii_whitespace() {
+            field = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., b] = field {
+        if b.is_ascii_whitespace() {
+            field = rest;
+        } else {
+            break;
+        }
+    }
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_integers() {
+        assert_eq!(parse_i64(b"0"), Ok(0));
+        assert_eq!(parse_i64(b"12345"), Ok(12345));
+        assert_eq!(parse_i64(b"-42"), Ok(-42));
+        assert_eq!(parse_i64(b"+7"), Ok(7));
+        assert_eq!(parse_i64(b" 99 "), Ok(99));
+    }
+
+    #[test]
+    fn rejects_bad_integers() {
+        assert!(parse_i64(b"").is_err());
+        assert!(parse_i64(b"-").is_err());
+        assert!(parse_i64(b"12a").is_err());
+        assert!(parse_i64(b"1.5").is_err());
+        assert!(parse_i64(b"999999999999999999999999").is_err(), "overflow");
+    }
+
+    #[test]
+    fn int_extremes() {
+        assert_eq!(parse_i64(b"9223372036854775807"), Ok(i64::MAX));
+        assert_eq!(parse_i64(b"9223372036854775808"), Err(ParseNumError));
+    }
+
+    #[test]
+    fn parses_floats() {
+        assert_eq!(parse_f64(b"0"), Ok(0.0));
+        assert_eq!(parse_f64(b"3.25"), Ok(3.25));
+        assert_eq!(parse_f64(b"-1.5"), Ok(-1.5));
+        assert_eq!(parse_f64(b".5"), Ok(0.5));
+        assert_eq!(parse_f64(b"10."), Ok(10.0));
+        assert_eq!(parse_f64(b" 2.0 "), Ok(2.0));
+    }
+
+    #[test]
+    fn rejects_bad_floats() {
+        assert!(parse_f64(b"").is_err());
+        assert!(parse_f64(b".").is_err());
+        assert!(parse_f64(b"1.2.3").is_err());
+        assert!(parse_f64(b"1e3").is_err(), "scientific not supported");
+        assert!(parse_f64(b"nan").is_err());
+    }
+
+    #[test]
+    fn float_agrees_with_std_on_plain_decimals() {
+        for s in ["0.125", "123.5", "-7.75", "1000000.0", "42"] {
+            let ours = parse_f64(s.as_bytes()).unwrap();
+            let std: f64 = s.parse().unwrap();
+            assert_eq!(ours, std, "{s}");
+        }
+    }
+}

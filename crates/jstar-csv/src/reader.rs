@@ -1,0 +1,172 @@
+//! Zero-copy record and field iteration over CSV bytes.
+
+/// One CSV record: a line of the input, kept as a byte slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record<'a> {
+    line: &'a [u8],
+    /// Byte offset of the line start within the original buffer.
+    offset: usize,
+}
+
+impl<'a> Record<'a> {
+    /// The raw line bytes (no trailing newline).
+    pub fn bytes(&self) -> &'a [u8] {
+        self.line
+    }
+
+    /// Byte offset of this record in the input buffer.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Rebases the advisory offset (used by the region reader to report
+    /// whole-buffer offsets).
+    pub(crate) fn with_offset(self, offset: usize) -> Record<'a> {
+        Record {
+            line: self.line,
+            offset,
+        }
+    }
+
+    /// Iterates the comma-separated fields as byte slices.
+    pub fn fields(&self) -> FieldIter<'a> {
+        FieldIter {
+            rest: Some(self.line),
+        }
+    }
+
+    /// The `i`-th field, if present.
+    pub fn field(&self, i: usize) -> Option<&'a [u8]> {
+        self.fields().nth(i)
+    }
+}
+
+/// Iterator over the comma-separated fields of one record.
+pub struct FieldIter<'a> {
+    rest: Option<&'a [u8]>,
+}
+
+impl<'a> Iterator for FieldIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let rest = self.rest?;
+        match rest.iter().position(|&b| b == b',') {
+            Some(i) => {
+                self.rest = Some(&rest[i + 1..]);
+                Some(&rest[..i])
+            }
+            None => {
+                self.rest = None;
+                Some(rest)
+            }
+        }
+    }
+}
+
+/// Iterates the records (lines) of `data`, handling `\n` and `\r\n`
+/// endings and a missing final newline. Empty lines are skipped.
+pub fn records(data: &[u8]) -> impl Iterator<Item = Record<'_>> {
+    RecordIter { data, pos: 0 }
+}
+
+struct RecordIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for RecordIter<'a> {
+    type Item = Record<'a>;
+
+    fn next(&mut self) -> Option<Record<'a>> {
+        loop {
+            if self.pos >= self.data.len() {
+                return None;
+            }
+            let start = self.pos;
+            let rest = &self.data[start..];
+            let (mut line, consumed) = match rest.iter().position(|&b| b == b'\n') {
+                Some(i) => (&rest[..i], i + 1),
+                None => (rest, rest.len()),
+            };
+            self.pos = start + consumed;
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.is_empty() {
+                continue;
+            }
+            return Some(Record {
+                line,
+                offset: start,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lines_and_fields() {
+        let data = b"2023,1,15,0:00,120\n2023,1,15,1:00,0\n";
+        let recs: Vec<Record> = records(data).collect();
+        assert_eq!(recs.len(), 2);
+        let fields: Vec<&[u8]> = recs[0].fields().collect();
+        assert_eq!(fields, vec![&b"2023"[..], b"1", b"15", b"0:00", b"120"]);
+        assert_eq!(recs[1].field(4), Some(&b"0"[..]));
+    }
+
+    #[test]
+    fn handles_missing_final_newline() {
+        let data = b"a,b\nc,d";
+        let recs: Vec<Record> = records(data).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].field(1), Some(&b"d"[..]));
+    }
+
+    #[test]
+    fn handles_crlf() {
+        let data = b"a,b\r\nc,d\r\n";
+        let recs: Vec<Record> = records(data).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].field(1), Some(&b"b"[..]));
+    }
+
+    #[test]
+    fn skips_empty_lines() {
+        let data = b"a\n\n\nb\n";
+        let recs: Vec<Record> = records(data).collect();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(records(b"").count(), 0);
+        assert_eq!(records(b"\n\n").count(), 0);
+    }
+
+    #[test]
+    fn empty_fields_are_preserved() {
+        let data = b"a,,c\n";
+        let recs: Vec<Record> = records(data).collect();
+        let fields: Vec<&[u8]> = recs[0].fields().collect();
+        assert_eq!(fields, vec![&b"a"[..], b"", b"c"]);
+    }
+
+    #[test]
+    fn offsets_point_into_buffer() {
+        let data = b"aa\nbb\ncc\n";
+        let offs: Vec<usize> = records(data).map(|r| r.offset()).collect();
+        assert_eq!(offs, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn field_iterator_count() {
+        let data = b"1,2,3,4,5\n";
+        let rec = records(data).next().unwrap();
+        assert_eq!(rec.fields().count(), 5);
+        assert_eq!(rec.field(5), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hadoop-style parallel region reading (§6.2).
+//!
+//! The buffer is split into N byte regions. Each reader owns the records
+//! that *start* within its region: it skips the partial record at its
+//! region start (unless the region starts the buffer or sits exactly on a
+//! record boundary) and keeps reading past its region end to finish the
+//! final record it started. Every record is therefore read exactly once,
+//! with no coordination between readers.
+
+use crate::reader::{records, Record};
+use jstar_pool::ThreadPool;
+
+/// Splits `len` bytes into at most `n` contiguous regions of roughly equal
+/// size. Returns `(start, end)` pairs; regions are non-empty.
+pub fn split_regions(len: usize, n: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let n = n.clamp(1, len);
+    let base = len / n;
+    let extra = len % n;
+    let mut regions = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        regions.push((start, start + size));
+        start += size;
+    }
+    regions
+}
+
+/// Iterates the records owned by one region of `data`.
+pub struct RegionReader<'a> {
+    data: &'a [u8],
+    start: usize,
+    end: usize,
+}
+
+impl<'a> RegionReader<'a> {
+    /// Creates a reader for `data[start..end)` under the region protocol.
+    pub fn new(data: &'a [u8], start: usize, end: usize) -> Self {
+        RegionReader { data, start, end }
+    }
+
+    /// Iterates the records that start within this region. The final
+    /// record may extend past `end` — that is the "reads a little way past
+    /// the end of its region" part of the protocol.
+    pub fn records(&self) -> impl Iterator<Item = Record<'a>> + use<'a> {
+        let data = self.data;
+        let end = self.end;
+        // A region starting mid-buffer owns records *starting* inside it;
+        // the record containing byte `start` belongs to the previous
+        // region, so skip to the next newline.
+        let first = if self.start == 0 {
+            0
+        } else {
+            match data[self.start - 1..end.min(data.len())]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                // start-1 lets a region whose start sits exactly after a
+                // newline own the record beginning at `start`.
+                Some(i) => self.start - 1 + i + 1,
+                None => data.len(), // no record starts in this region
+            }
+        };
+        records(&data[first..])
+            .take_while(move |r| first + r.offset() < end)
+            .map(move |r| RecordAt {
+                rec: r,
+                base: first,
+            })
+            .map(|ra| ra.rebase())
+    }
+}
+
+/// Helper to rebase record offsets to the whole buffer.
+struct RecordAt<'a> {
+    rec: Record<'a>,
+    base: usize,
+}
+
+impl<'a> RecordAt<'a> {
+    fn rebase(self) -> Record<'a> {
+        // Record is Copy with private fields; reconstruct via the public
+        // surface: offset is only advisory, so re-wrap the same line.
+        self.rec.with_offset(self.base + self.rec.offset())
+    }
+}
+
+/// Reads all regions of `data` in parallel on `pool`, mapping each record
+/// through `f` and collecting per-region result vectors (in region order,
+/// so concatenation preserves file order).
+pub fn read_parallel<R, F>(pool: &ThreadPool, data: &[u8], n_regions: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(Record<'_>) -> R + Sync,
+{
+    let regions = split_regions(data.len(), n_regions);
+    let mut out: Vec<Vec<R>> = (0..regions.len()).map(|_| Vec::new()).collect();
+    let f = &f;
+    pool.scope(|s| {
+        for ((start, end), slot) in regions.iter().copied().zip(out.iter_mut()) {
+            s.spawn(move |_| {
+                let reader = RegionReader::new(data, start, end);
+                *slot = reader.records().map(f).collect();
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(n: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.extend_from_slice(format!("{i},{}\n", i * 2).as_bytes());
+        }
+        out
+    }
+
+    fn read_with_regions(data: &[u8], n: usize) -> Vec<i64> {
+        let regions = split_regions(data.len(), n);
+        let mut all = Vec::new();
+        for (s, e) in regions {
+            let rr = RegionReader::new(data, s, e);
+            for rec in rr.records() {
+                all.push(crate::parse_i64(rec.field(0).unwrap()).unwrap());
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn split_covers_everything_without_overlap() {
+        let regions = split_regions(100, 7);
+        assert_eq!(regions.len(), 7);
+        assert_eq!(regions[0].0, 0);
+        assert_eq!(regions.last().unwrap().1, 100);
+        for w in regions.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn split_edge_cases() {
+        assert!(split_regions(0, 4).is_empty());
+        assert_eq!(split_regions(3, 10), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(split_regions(10, 1), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn every_record_read_exactly_once_any_region_count() {
+        let data = lines(101);
+        let expected: Vec<i64> = (0..101).collect();
+        for n in [1, 2, 3, 5, 8, 13, 50] {
+            let mut got = read_with_regions(&data, n);
+            got.sort();
+            assert_eq!(got, expected, "region count {n}");
+        }
+    }
+
+    #[test]
+    fn region_boundary_on_newline_exact() {
+        // Craft data where a region boundary lands exactly after a \n.
+        let data = b"aa\nbb\ncc\n".to_vec();
+        // Boundary at 3 = exactly the start of "bb".
+        let r0: Vec<_> = RegionReader::new(&data, 0, 3)
+            .records()
+            .map(|r| r.bytes().to_vec())
+            .collect();
+        let r1: Vec<_> = RegionReader::new(&data, 3, 9)
+            .records()
+            .map(|r| r.bytes().to_vec())
+            .collect();
+        assert_eq!(r0, vec![b"aa".to_vec()]);
+        assert_eq!(r1, vec![b"bb".to_vec(), b"cc".to_vec()]);
+    }
+
+    #[test]
+    fn region_with_no_record_start_is_empty() {
+        // One long record spanning all regions: only region 0 owns it.
+        let data = b"0123456789012345678901234567890123456789\n".to_vec();
+        let regions = split_regions(data.len(), 4);
+        let counts: Vec<usize> = regions
+            .iter()
+            .map(|&(s, e)| RegionReader::new(&data, s, e).records().count())
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 1);
+        assert_eq!(counts[0], 1);
+    }
+
+    #[test]
+    fn last_record_without_newline_is_owned_once() {
+        let mut data = lines(10);
+        data.extend_from_slice(b"999,0"); // no trailing newline
+        for n in [1, 2, 3, 4] {
+            let got = read_with_regions(&data, n);
+            assert_eq!(got.iter().filter(|&&v| v == 999).count(), 1, "regions {n}");
+            assert_eq!(got.len(), 11);
+        }
+    }
+
+    #[test]
+    fn parallel_read_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let data = lines(1000);
+        let chunks = read_parallel(&pool, &data, 8, |rec| {
+            crate::parse_i64(rec.field(0).unwrap()).unwrap()
+        });
+        let mut got: Vec<i64> = chunks.into_iter().flatten().collect();
+        // Region order == file order, so even unsorted it should match.
+        assert_eq!(got, (0..1000).collect::<Vec<i64>>());
+        got.sort();
+        assert_eq!(got.len(), 1000);
+    }
+}

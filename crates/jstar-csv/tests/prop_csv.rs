@@ -1,0 +1,88 @@
+//! Property-based tests for the CSV substrate: the region protocol must
+//! deliver every record exactly once for arbitrary content and region
+//! counts, and byte-level parsing must agree with the standard library.
+
+use jstar_csv::{parse_f64, parse_i64, records, split_regions, RegionReader};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every record is read exactly once no matter how the buffer is cut
+    /// into regions.
+    #[test]
+    fn regions_partition_records_exactly(
+        values in prop::collection::vec(0i64..1_000_000, 0..120),
+        n_regions in 1usize..12,
+        trailing_newline in any::<bool>(),
+    ) {
+        let mut data = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            data.extend_from_slice(format!("{i},{v}").as_bytes());
+            if i + 1 < values.len() || trailing_newline {
+                data.push(b'\n');
+            }
+        }
+        let mut got = Vec::new();
+        for (lo, hi) in split_regions(data.len(), n_regions) {
+            for rec in RegionReader::new(&data, lo, hi).records() {
+                got.push(parse_i64(rec.field(0).unwrap()).unwrap() as usize);
+            }
+        }
+        got.sort();
+        let want: Vec<usize> = (0..values.len()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Region-parallel reading equals whole-buffer reading field by field.
+    #[test]
+    fn region_fields_match_whole_buffer(
+        rows in prop::collection::vec(
+            prop::collection::vec(0i64..100, 1..5),
+            1..40,
+        ),
+        n_regions in 1usize..8,
+    ) {
+        let mut data = Vec::new();
+        for row in &rows {
+            let fields: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            data.extend_from_slice(fields.join(",").as_bytes());
+            data.push(b'\n');
+        }
+        let whole: Vec<Vec<i64>> = records(&data)
+            .map(|r| r.fields().map(|f| parse_i64(f).unwrap()).collect())
+            .collect();
+        let mut by_region: Vec<Vec<i64>> = Vec::new();
+        for (lo, hi) in split_regions(data.len(), n_regions) {
+            for rec in RegionReader::new(&data, lo, hi).records() {
+                by_region.push(rec.fields().map(|f| parse_i64(f).unwrap()).collect());
+            }
+        }
+        prop_assert_eq!(whole.clone(), rows);
+        prop_assert_eq!(by_region, whole);
+    }
+
+    /// parse_i64 agrees with str::parse on arbitrary integers.
+    #[test]
+    fn parse_i64_matches_std(v in any::<i64>()) {
+        let s = v.to_string();
+        prop_assert_eq!(parse_i64(s.as_bytes()), Ok(v));
+    }
+
+    /// parse_f64 agrees with str::parse on plain decimals with up to six
+    /// fractional digits (exact in binary for the scales used here is not
+    /// guaranteed, so compare within 1 ULP-ish tolerance).
+    #[test]
+    fn parse_f64_close_to_std(int_part in -10_000i64..10_000, frac in 0u32..1_000_000) {
+        let s = format!("{int_part}.{frac:06}");
+        let ours = parse_f64(s.as_bytes()).unwrap();
+        let std: f64 = s.parse().unwrap();
+        prop_assert!((ours - std).abs() <= std.abs() * 1e-12 + 1e-12, "{s}: {ours} vs {std}");
+    }
+
+    /// Garbage never panics the parsers.
+    #[test]
+    fn parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        let _ = parse_i64(&bytes);
+        let _ = parse_f64(&bytes);
+        let _ = records(&bytes).count();
+    }
+}

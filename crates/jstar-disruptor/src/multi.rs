@@ -1,0 +1,287 @@
+//! Multi-producer claim strategy.
+//!
+//! Table 1 lists the claim strategy as a tunable ("SingleThreaded-
+//! ClaimStrategy"; the Disruptor is "quite flexible, with alternative
+//! implementations for single or multiple producers"). This module is the
+//! multi-producer alternative: producers claim slots with an atomic
+//! fetch-add and publish via a per-slot **availability buffer** (the LMAX
+//! design), so consumers can compute the highest contiguously published
+//! sequence without coordinating with producers.
+
+use crate::ring::RingBuffer;
+use crate::sequence::Sequence;
+use crate::wait::{WaitStrategy, WaitStrategyKind};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Shared state of a multi-producer disruptor.
+struct MpShared<T> {
+    ring: Arc<RingBuffer<T>>,
+    /// Highest claimed (not necessarily published) sequence.
+    claimed: AtomicI64,
+    /// `available[seq & mask]` stores the sequence number most recently
+    /// published into that slot; a slot is readable at `seq` iff the entry
+    /// equals `seq`.
+    available: Box<[AtomicI64]>,
+    wait: Arc<dyn WaitStrategy>,
+    gates: Vec<Arc<Sequence>>,
+}
+
+impl<T> MpShared<T> {
+    fn highest_published(&self, from: i64, upper_bound: i64) -> i64 {
+        let mask = self.ring.capacity() - 1;
+        let mut seq = from;
+        while seq <= upper_bound {
+            if self.available[(seq as usize) & mask].load(Ordering::Acquire) != seq {
+                return seq - 1;
+            }
+            seq += 1;
+        }
+        upper_bound
+    }
+
+    fn min_gate(&self) -> i64 {
+        self.gates.iter().map(|g| g.get()).min().unwrap_or(i64::MAX)
+    }
+}
+
+/// Builder: declare consumer and producer counts up front, then publish.
+pub struct MultiDisruptorBuilder {
+    capacity: usize,
+    wait: WaitStrategyKind,
+}
+
+impl MultiDisruptorBuilder {
+    pub fn new(capacity: usize, wait: WaitStrategyKind) -> Self {
+        MultiDisruptorBuilder { capacity, wait }
+    }
+
+    /// Builds `producers` producer handles and `consumers` consumer
+    /// handles over one shared ring.
+    pub fn build<T: Default + Send + Sync + 'static>(
+        self,
+        producers: usize,
+        consumers: usize,
+    ) -> (Vec<MultiProducer<T>>, Vec<MultiConsumer<T>>) {
+        assert!(producers >= 1 && consumers >= 1);
+        let ring = Arc::new(RingBuffer::new(self.capacity));
+        let available: Box<[AtomicI64]> =
+            (0..ring.capacity()).map(|_| AtomicI64::new(-1)).collect();
+        let consumer_seqs: Vec<Arc<Sequence>> =
+            (0..consumers).map(|_| Arc::new(Sequence::new())).collect();
+        let shared = Arc::new(MpShared {
+            ring,
+            claimed: AtomicI64::new(-1),
+            available,
+            wait: self.wait.build(),
+            gates: consumer_seqs.clone(),
+        });
+        let producer_handles = (0..producers)
+            .map(|_| MultiProducer {
+                shared: Arc::clone(&shared),
+            })
+            .collect();
+        let consumer_handles = consumer_seqs
+            .into_iter()
+            .map(|sequence| MultiConsumer {
+                shared: Arc::clone(&shared),
+                sequence,
+            })
+            .collect();
+        (producer_handles, consumer_handles)
+    }
+}
+
+/// One of several concurrent producers.
+pub struct MultiProducer<T> {
+    shared: Arc<MpShared<T>>,
+}
+
+impl<T: Send + Sync> MultiProducer<T> {
+    /// Publishes one event. Claims a sequence with fetch-add, waits for
+    /// ring capacity if consumers are behind, fills the slot and marks it
+    /// available.
+    pub fn publish(&self, fill: impl FnOnce(&mut T)) {
+        let shared = &self.shared;
+        let seq = shared.claimed.fetch_add(1, Ordering::AcqRel) + 1;
+        let wrap_point = seq - shared.ring.capacity() as i64;
+        // Wait until every consumer has passed the slot we are lapping.
+        while wrap_point > shared.min_gate() {
+            std::thread::yield_now();
+        }
+        // SAFETY: the fetch-add gives this producer exclusive ownership of
+        // `seq`, and the gate check above ensures no consumer still reads
+        // the lapped slot.
+        unsafe { fill(shared.ring.slot_mut(seq)) };
+        let mask = shared.ring.capacity() - 1;
+        shared.available[(seq as usize) & mask].store(seq, Ordering::Release);
+        shared.wait.signal();
+    }
+
+    /// Highest claimed sequence so far (diagnostics).
+    pub fn claimed(&self) -> i64 {
+        self.shared.claimed.load(Ordering::Acquire)
+    }
+}
+
+/// A broadcast consumer of a multi-producer ring.
+pub struct MultiConsumer<T> {
+    shared: Arc<MpShared<T>>,
+    sequence: Arc<Sequence>,
+}
+
+impl<T: Send + Sync> MultiConsumer<T> {
+    /// Processes events in sequence order until the handler breaks.
+    ///
+    /// Unlike the single-producer path there is no published *cursor*;
+    /// availability is read per slot, so after waiting we advance to the
+    /// highest contiguously available sequence.
+    pub fn run(&self, mut handler: impl FnMut(&T, i64) -> ControlFlow<()>) {
+        let shared = &self.shared;
+        let mut next = self.sequence.get() + 1;
+        let mask = shared.ring.capacity() - 1;
+        loop {
+            // Wait until slot `next` is published.
+            let mut spins = 0u32;
+            while shared.available[(next as usize) & mask].load(Ordering::Acquire) != next {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            let upper = shared.highest_published(next, shared.claimed.load(Ordering::Acquire));
+            for seq in next..=upper {
+                // SAFETY: availability == seq ⇒ published; our own gate
+                // keeps the producer from lapping until we advance.
+                let slot = unsafe { shared.ring.slot(seq) };
+                let flow = handler(slot, seq);
+                self.sequence.set(seq);
+                if flow.is_break() {
+                    return;
+                }
+            }
+            next = upper + 1;
+        }
+    }
+
+    /// Highest fully processed sequence.
+    pub fn sequence(&self) -> i64 {
+        self.sequence.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64 as TestAtomic;
+
+    #[test]
+    fn two_producers_one_consumer_nothing_lost() {
+        let (producers, mut consumers) =
+            MultiDisruptorBuilder::new(64, WaitStrategyKind::Yielding).build::<i64>(2, 1);
+        let consumer = consumers.pop().unwrap();
+        let sum = TestAtomic::new(0);
+        let done = TestAtomic::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                consumer.run(|&v, _| {
+                    if v < 0 {
+                        // Two producers send one sentinel each; stop at the
+                        // second so all payloads are consumed first.
+                        if done.fetch_add(1, Ordering::SeqCst) == 1 {
+                            return ControlFlow::Break(());
+                        }
+                        return ControlFlow::Continue(());
+                    }
+                    sum.fetch_add(v, Ordering::Relaxed);
+                    ControlFlow::Continue(())
+                });
+            });
+            let mut handles = Vec::new();
+            for (pi, p) in producers.into_iter().enumerate() {
+                handles.push(s.spawn(move || {
+                    for i in 1..=500i64 {
+                        p.publish(|slot| *slot = i + pi as i64 * 1000);
+                    }
+                    p.publish(|slot| *slot = -1);
+                }));
+            }
+        });
+        // Producer 0 sends 1..=500, producer 1 sends 1001..=1500.
+        let expected: i64 = (1..=500).sum::<i64>() + (1001..=1500).sum::<i64>();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn sequences_are_claimed_uniquely() {
+        let (producers, mut consumers) =
+            MultiDisruptorBuilder::new(128, WaitStrategyKind::Yielding).build::<i64>(4, 1);
+        let consumer = consumers.pop().unwrap();
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let done = TestAtomic::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                consumer.run(|&v, seq| {
+                    if v < 0 {
+                        if done.fetch_add(1, Ordering::SeqCst) == 3 {
+                            return ControlFlow::Break(());
+                        }
+                        return ControlFlow::Continue(());
+                    }
+                    seen.lock().push(seq);
+                    ControlFlow::Continue(())
+                });
+            });
+            for p in producers {
+                s.spawn(move || {
+                    for i in 0..250i64 {
+                        p.publish(|slot| *slot = i);
+                    }
+                    p.publish(|slot| *slot = -1);
+                });
+            }
+        });
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 1000);
+        // Sequence numbers are strictly increasing (in-order consumption)…
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn multiple_consumers_broadcast() {
+        let (producers, consumers) =
+            MultiDisruptorBuilder::new(32, WaitStrategyKind::Yielding).build::<i64>(2, 3);
+        let sums: Vec<TestAtomic> = (0..3).map(|_| TestAtomic::new(0)).collect();
+        std::thread::scope(|s| {
+            for (c, sum) in consumers.into_iter().zip(&sums) {
+                let dones = TestAtomic::new(0);
+                s.spawn(move || {
+                    c.run(|&v, _| {
+                        if v < 0 {
+                            if dones.fetch_add(1, Ordering::SeqCst) == 1 {
+                                return ControlFlow::Break(());
+                            }
+                            return ControlFlow::Continue(());
+                        }
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        ControlFlow::Continue(())
+                    });
+                });
+            }
+            for p in producers {
+                s.spawn(move || {
+                    for i in 1..=200i64 {
+                        p.publish(|slot| *slot = i);
+                    }
+                    p.publish(|slot| *slot = -1);
+                });
+            }
+        });
+        for sum in &sums {
+            assert_eq!(sum.load(Ordering::Relaxed), 2 * (1..=200i64).sum::<i64>());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The pre-allocated ring of recycled event slots.
+
+use std::cell::UnsafeCell;
+
+/// A power-of-two ring of slots addressed by sequence number.
+///
+/// Slots are created once (from `T::default()`) and recycled forever — the
+/// Disruptor's object-recycling design, which avoids garbage on the hot
+/// path. Synchronisation is *external*: the producer/consumer protocol
+/// (claim gate + published cursor) guarantees that `slot_mut` and `slot`
+/// are never used concurrently on the same slot, which is why the accessors
+/// are `unsafe`.
+pub struct RingBuffer<T> {
+    slots: Box<[UnsafeCell<T>]>,
+    mask: usize,
+}
+
+// SAFETY: access discipline is enforced by the sequence protocol (see
+// `SingleProducer::publish_batch` and `Consumer::run`).
+unsafe impl<T: Send> Send for RingBuffer<T> {}
+unsafe impl<T: Send + Sync> Sync for RingBuffer<T> {}
+
+impl<T: Default> RingBuffer<T> {
+    /// Allocates a ring with `capacity` slots, rounded up to a power of two
+    /// (so sequence-to-index mapping is a mask, not a modulo).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[UnsafeCell<T>]> = (0..cap).map(|_| UnsafeCell::new(T::default())).collect();
+        RingBuffer {
+            slots,
+            mask: cap - 1,
+        }
+    }
+}
+
+impl<T> RingBuffer<T> {
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn index(&self, sequence: i64) -> usize {
+        debug_assert!(sequence >= 0);
+        (sequence as usize) & self.mask
+    }
+
+    /// Shared access to the slot for `sequence`.
+    ///
+    /// # Safety
+    /// The caller must guarantee `sequence` has been published (is at or
+    /// below the producer cursor) and will not be reclaimed (the caller's
+    /// consumer sequence has not yet passed it).
+    pub unsafe fn slot(&self, sequence: i64) -> &T {
+        unsafe { &*self.slots[self.index(sequence)].get() }
+    }
+
+    /// Exclusive access to the slot for `sequence`.
+    ///
+    /// # Safety
+    /// The caller must hold the unique claim on `sequence`: it is above
+    /// every consumer gate minus capacity and not yet published.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slot_mut(&self, sequence: i64) -> &mut T {
+        unsafe { &mut *self.slots[self.index(sequence)].get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_capacity_to_power_of_two() {
+        assert_eq!(RingBuffer::<u64>::new(1000).capacity(), 1024);
+        assert_eq!(RingBuffer::<u64>::new(8).capacity(), 8);
+        assert_eq!(RingBuffer::<u64>::new(0).capacity(), 2);
+    }
+
+    #[test]
+    fn sequences_wrap_to_same_slot() {
+        let ring = RingBuffer::<u64>::new(8);
+        unsafe {
+            *ring.slot_mut(3) = 42;
+            assert_eq!(*ring.slot(3), 42);
+            // Sequence 11 maps to the same physical slot as 3.
+            assert_eq!(*ring.slot(11), 42);
+            *ring.slot_mut(11) = 7;
+            assert_eq!(*ring.slot(3), 7);
+        }
+    }
+
+    #[test]
+    fn slots_start_default() {
+        let ring = RingBuffer::<i64>::new(4);
+        unsafe {
+            for s in 0..4 {
+                assert_eq!(*ring.slot(s), 0);
+            }
+        }
+    }
+}

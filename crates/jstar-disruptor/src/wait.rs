@@ -1,0 +1,230 @@
+//! Consumer wait strategies (Table 1's "Wait Strategy" row).
+//!
+//! The Disruptor offers "several alternative waiting strategies for
+//! consumers" trading CPU for latency. The paper's best PvWatts result
+//! used `BlockingWaitStrategy`; the benchmarks in `jstar-bench` sweep all
+//! four, regenerating the Table 1 tuning exercise.
+
+use crate::sequence::Sequence;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a consumer waits for the producer cursor to reach a sequence.
+pub trait WaitStrategy: Send + Sync {
+    /// Blocks until `cursor >= needed`; returns the available cursor value.
+    fn wait_for(&self, needed: i64, cursor: &Sequence) -> i64;
+
+    /// Called by the producer after advancing the cursor; wakes blocked
+    /// consumers (no-op for spinning strategies).
+    fn signal(&self) {}
+}
+
+/// Selector for the built-in strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStrategyKind {
+    /// Lock + condition variable: lowest CPU, highest latency. The paper's
+    /// chosen setting for PvWatts.
+    Blocking,
+    /// Spin briefly, then `yield_now` — a latency/CPU compromise.
+    Yielding,
+    /// Pure spin: lowest latency, one core burned per waiting consumer.
+    BusySpin,
+    /// Spin, yield, then sleep in short naps: near-blocking CPU use
+    /// without needing producer signals.
+    Sleeping,
+}
+
+impl WaitStrategyKind {
+    /// Instantiates the strategy.
+    pub fn build(self) -> Arc<dyn WaitStrategy> {
+        match self {
+            WaitStrategyKind::Blocking => Arc::new(BlockingWaitStrategy::new()),
+            WaitStrategyKind::Yielding => Arc::new(YieldingWaitStrategy),
+            WaitStrategyKind::BusySpin => Arc::new(BusySpinWaitStrategy),
+            WaitStrategyKind::Sleeping => Arc::new(SleepingWaitStrategy),
+        }
+    }
+
+    /// All strategies, for benchmark sweeps.
+    pub fn all() -> [WaitStrategyKind; 4] {
+        [
+            WaitStrategyKind::Blocking,
+            WaitStrategyKind::Yielding,
+            WaitStrategyKind::BusySpin,
+            WaitStrategyKind::Sleeping,
+        ]
+    }
+
+    /// Display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitStrategyKind::Blocking => "BlockingWaitStrategy",
+            WaitStrategyKind::Yielding => "YieldingWaitStrategy",
+            WaitStrategyKind::BusySpin => "BusySpinWaitStrategy",
+            WaitStrategyKind::Sleeping => "SleepingWaitStrategy",
+        }
+    }
+}
+
+/// Condvar-based waiting with producer signals.
+pub struct BlockingWaitStrategy {
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl BlockingWaitStrategy {
+    pub fn new() -> Self {
+        BlockingWaitStrategy {
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+impl Default for BlockingWaitStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitStrategy for BlockingWaitStrategy {
+    fn wait_for(&self, needed: i64, cursor: &Sequence) -> i64 {
+        let mut available = cursor.get();
+        if available >= needed {
+            return available;
+        }
+        let mut guard = self.lock.lock();
+        loop {
+            available = cursor.get();
+            if available >= needed {
+                return available;
+            }
+            // Timeout guards against a signal racing between the cursor
+            // check and the sleep.
+            self.cond.wait_for(&mut guard, Duration::from_millis(1));
+        }
+    }
+
+    fn signal(&self) {
+        let _guard = self.lock.lock();
+        self.cond.notify_all();
+    }
+}
+
+/// Spin then yield.
+pub struct YieldingWaitStrategy;
+
+impl WaitStrategy for YieldingWaitStrategy {
+    fn wait_for(&self, needed: i64, cursor: &Sequence) -> i64 {
+        let mut spins = 100u32;
+        loop {
+            let available = cursor.get();
+            if available >= needed {
+                return available;
+            }
+            if spins > 0 {
+                spins -= 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Pure busy spin.
+pub struct BusySpinWaitStrategy;
+
+impl WaitStrategy for BusySpinWaitStrategy {
+    fn wait_for(&self, needed: i64, cursor: &Sequence) -> i64 {
+        loop {
+            let available = cursor.get();
+            if available >= needed {
+                return available;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Spin, yield, then nap.
+pub struct SleepingWaitStrategy;
+
+impl WaitStrategy for SleepingWaitStrategy {
+    fn wait_for(&self, needed: i64, cursor: &Sequence) -> i64 {
+        let mut stage = 0u32;
+        loop {
+            let available = cursor.get();
+            if available >= needed {
+                return available;
+            }
+            stage += 1;
+            if stage < 100 {
+                std::hint::spin_loop();
+            } else if stage < 200 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn exercise(kind: WaitStrategyKind) {
+        let strategy = kind.build();
+        let cursor = Arc::new(Sequence::new());
+        let c2 = Arc::clone(&cursor);
+        let s2 = Arc::clone(&strategy);
+        let waiter = thread::spawn(move || s2.wait_for(5, &c2));
+        thread::sleep(Duration::from_millis(10));
+        cursor.set(3);
+        strategy.signal();
+        thread::sleep(Duration::from_millis(5));
+        cursor.set(7);
+        strategy.signal();
+        let available = waiter.join().unwrap();
+        assert!(available >= 5);
+    }
+
+    #[test]
+    fn blocking_wakes() {
+        exercise(WaitStrategyKind::Blocking);
+    }
+
+    #[test]
+    fn yielding_wakes() {
+        exercise(WaitStrategyKind::Yielding);
+    }
+
+    #[test]
+    fn busy_spin_wakes() {
+        exercise(WaitStrategyKind::BusySpin);
+    }
+
+    #[test]
+    fn sleeping_wakes() {
+        exercise(WaitStrategyKind::Sleeping);
+    }
+
+    #[test]
+    fn immediate_availability_returns_fast() {
+        for kind in WaitStrategyKind::all() {
+            let strategy = kind.build();
+            let cursor = Sequence::new();
+            cursor.set(10);
+            assert_eq!(strategy.wait_for(5, &cursor), 10, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WaitStrategyKind::Blocking.name(), "BlockingWaitStrategy");
+        assert_eq!(WaitStrategyKind::all().len(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the ring buffer: exactly-once in-order
+//! delivery must survive arbitrary ring sizes, batch patterns, consumer
+//! counts and wait strategies.
+
+use jstar_disruptor::{Disruptor, WaitStrategyKind};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+use std::sync::Mutex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One producer, K consumers, arbitrary publish batching: every
+    /// consumer sees 0..n in order, exactly once.
+    #[test]
+    fn broadcast_exactly_once_in_order(
+        ring_pow in 2u32..8,
+        batches in prop::collection::vec(1usize..20, 1..30),
+        consumers in 1usize..5,
+        wait_idx in 0usize..4,
+    ) {
+        let ring = 1usize << ring_pow;
+        let wait = WaitStrategyKind::all()[wait_idx];
+        let mut d = Disruptor::<i64>::new(ring, wait);
+        let handles: Vec<_> = (0..consumers).map(|_| d.add_consumer()).collect();
+        let mut producer = d.into_producer();
+        let seen: Vec<Mutex<Vec<i64>>> = (0..consumers).map(|_| Mutex::new(Vec::new())).collect();
+        let total: usize = batches.iter().sum();
+        std::thread::scope(|s| {
+            for (c, log) in handles.iter().zip(&seen) {
+                s.spawn(move || {
+                    c.run(|&v, _| {
+                        if v < 0 {
+                            return ControlFlow::Break(());
+                        }
+                        log.lock().unwrap().push(v);
+                        ControlFlow::Continue(())
+                    });
+                });
+            }
+            let mut next = 0i64;
+            for &b in &batches {
+                let b = b.min(ring);
+                producer.publish_batch(b, |i, slot| *slot = next + i as i64);
+                next += b as i64;
+            }
+            producer.publish(|slot| *slot = -1);
+        });
+        let clamped_total: i64 = batches.iter().map(|&b| b.min(ring) as i64).sum();
+        let want: Vec<i64> = (0..clamped_total).collect();
+        let _ = total;
+        for log in &seen {
+            prop_assert_eq!(&*log.lock().unwrap(), &want);
+        }
+    }
+
+    /// The producer gate never lets a slot be overwritten before every
+    /// consumer has passed it, even with a deliberately slow consumer.
+    #[test]
+    fn no_overwrites_with_slow_consumer(
+        ring_pow in 1u32..5,
+        n in 1i64..400,
+    ) {
+        let ring = 1usize << ring_pow;
+        let mut d = Disruptor::<i64>::new(ring, WaitStrategyKind::Yielding);
+        let consumer = d.add_consumer();
+        let mut producer = d.into_producer();
+        let sum = std::sync::atomic::AtomicI64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut slow = 0u32;
+                consumer.run(|&v, _| {
+                    if v < 0 {
+                        return ControlFlow::Break(());
+                    }
+                    slow += 1;
+                    if slow.is_multiple_of(7) {
+                        std::thread::yield_now();
+                    }
+                    sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    ControlFlow::Continue(())
+                });
+            });
+            for i in 1..=n {
+                producer.publish(|slot| *slot = i);
+            }
+            producer.publish(|slot| *slot = -1);
+        });
+        prop_assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), n * (n + 1) / 2);
+    }
+}

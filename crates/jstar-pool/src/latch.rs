@@ -1,0 +1,158 @@
+//! A counting latch used to implement fork/join scopes.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A latch that counts outstanding tasks and lets one thread wait for the
+/// count to reach zero.
+///
+/// This is the synchronisation backbone of [`crate::Scope`]: every spawned
+/// task increments the latch, every completed task decrements it, and the
+/// scope owner blocks (or helps execute work) until it drains.
+///
+/// The fast path is a lone atomic; the mutex/condvar pair is only touched
+/// when a waiter is actually parked.
+pub struct CountLatch {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Creates a latch with an initial count of zero.
+    pub fn new() -> Self {
+        CountLatch {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Registers one more outstanding task.
+    pub fn increment(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one task as finished, waking waiters if the count hits zero.
+    pub fn decrement(&self) {
+        if self.count.fetch_sub(1, Ordering::Release) == 1 {
+            // Last task out: take the lock so a concurrent `wait` cannot
+            // observe the zero between its check and its sleep, then wake.
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Returns the current count. Zero means all registered tasks finished.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Returns true if there is nothing outstanding.
+    pub fn is_clear(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Blocks the calling thread until the count reaches zero.
+    ///
+    /// Callers that can do useful work instead should poll [`Self::is_clear`]
+    /// and only fall back to `wait` when no work is available (this is what
+    /// the pool's helping loop does).
+    pub fn wait(&self) {
+        if self.is_clear() {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        while !self.is_clear() {
+            self.cond.wait(&mut guard);
+        }
+    }
+
+    /// Blocks until the count reaches zero or the timeout elapses.
+    /// Returns true if the latch is clear.
+    pub fn wait_timeout(&self, dur: std::time::Duration) -> bool {
+        if self.is_clear() {
+            return true;
+        }
+        let mut guard = self.lock.lock();
+        if self.is_clear() {
+            return true;
+        }
+        self.cond.wait_for(&mut guard, dur);
+        self.is_clear()
+    }
+}
+
+impl Default for CountLatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn starts_clear() {
+        let latch = CountLatch::new();
+        assert!(latch.is_clear());
+        latch.wait(); // must not block
+    }
+
+    #[test]
+    fn increments_and_decrements() {
+        let latch = CountLatch::new();
+        latch.increment();
+        latch.increment();
+        assert_eq!(latch.count(), 2);
+        latch.decrement();
+        assert_eq!(latch.count(), 1);
+        latch.decrement();
+        assert!(latch.is_clear());
+    }
+
+    #[test]
+    fn wait_blocks_until_clear() {
+        let latch = Arc::new(CountLatch::new());
+        latch.increment();
+        let l2 = Arc::clone(&latch);
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            l2.decrement();
+        });
+        latch.wait();
+        assert!(latch.is_clear());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_reports_pending() {
+        let latch = CountLatch::new();
+        latch.increment();
+        assert!(!latch.wait_timeout(Duration::from_millis(5)));
+        latch.decrement();
+        assert!(latch.wait_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn many_threads_drain() {
+        let latch = Arc::new(CountLatch::new());
+        for _ in 0..64 {
+            latch.increment();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            let l = Arc::clone(&latch);
+            handles.push(thread::spawn(move || l.decrement()));
+        }
+        latch.wait();
+        assert!(latch.is_clear());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! The work-stealing thread pool itself.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::scope::Scope;
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its worker threads.
+pub(crate) struct Shared {
+    /// Global FIFO queue that external threads (and helpers) submit to.
+    injector: Injector<Job>,
+    /// One stealer per worker's local LIFO deque.
+    stealers: Vec<Stealer<Job>>,
+    /// Number of jobs submitted but not yet started; used to decide sleeping.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+}
+
+thread_local! {
+    /// Local deque of the current worker thread, if this thread belongs to a
+    /// pool. Used so that jobs spawned from inside the pool go to the fast
+    /// LIFO path instead of the shared injector.
+    static LOCAL: RefCell<Option<(Arc<Shared>, Worker<Job>)>> = const { RefCell::new(None) };
+}
+
+impl Shared {
+    /// Pushes a job, preferring the current worker's local deque.
+    pub(crate) fn push(self: &Arc<Self>, job: Job) {
+        self.pending.fetch_add(1, Ordering::Release);
+        let pushed_locally = LOCAL.with(|slot| {
+            if let Some((shared, worker)) = slot.borrow().as_ref() {
+                if Arc::ptr_eq(shared, self) {
+                    worker.push(job);
+                    return None;
+                }
+            }
+            Some(job)
+        });
+        if let Some(job) = pushed_locally {
+            self.injector.push(job);
+        }
+        // Wake one sleeper; it will wake further sleepers if more work shows up.
+        let _guard = self.sleep_lock.lock();
+        self.sleep_cond.notify_all();
+    }
+
+    /// Tries to take one job from anywhere: the local deque, the injector,
+    /// or a sibling worker.
+    pub(crate) fn find_job(&self, local: Option<&Worker<Job>>) -> Option<Job> {
+        if let Some(w) = local {
+            if let Some(job) = w.pop() {
+                return Some(job);
+            }
+        }
+        loop {
+            match local
+                .map(|w| self.injector.steal_batch_and_pop(w))
+                .unwrap_or_else(|| self.injector.steal())
+            {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        // Steal from siblings, scanning all of them until stable.
+        loop {
+            let mut retry = false;
+            for st in &self.stealers {
+                match st.steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    }
+
+    fn run_job(&self, job: Job) {
+        self.pending.fetch_sub(1, Ordering::Release);
+        // Job panics are caught by the scope machinery; a bare `execute`d job
+        // that panics must not take the worker thread down with it.
+        let _ = panic::catch_unwind(AssertUnwindSafe(job));
+    }
+
+    /// Executes one available job. Returns false when no job was found.
+    pub(crate) fn try_help(&self) -> bool {
+        let local_job = LOCAL.with(|slot| {
+            let borrow = slot.borrow();
+            match borrow.as_ref() {
+                Some((_, worker)) => self.find_job(Some(worker)),
+                None => self.find_job(None),
+            }
+        });
+        match local_job {
+            Some(job) => {
+                self.run_job(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>, worker: Worker<Job>) {
+        LOCAL.with(|slot| {
+            *slot.borrow_mut() = Some((Arc::clone(&self), worker));
+        });
+        loop {
+            let job = LOCAL.with(|slot| {
+                let borrow = slot.borrow();
+                let (_, worker) = borrow.as_ref().expect("worker registered above");
+                self.find_job(Some(worker))
+            });
+            match job {
+                Some(job) => self.run_job(job),
+                None => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // Park until a push notifies us. The timeout guards
+                    // against a lost wakeup between find_job and sleeping.
+                    let mut guard = self.sleep_lock.lock();
+                    if self.pending.load(Ordering::Acquire) == 0
+                        && !self.shutdown.load(Ordering::Acquire)
+                    {
+                        self.sleep_cond
+                            .wait_for(&mut guard, Duration::from_millis(5));
+                    }
+                }
+            }
+        }
+        LOCAL.with(|slot| {
+            *slot.borrow_mut() = None;
+        });
+    }
+}
+
+/// A fixed-size work-stealing fork/join thread pool.
+///
+/// This is the Rust stand-in for the Java Fork/Join pool that the JStar
+/// runtime parallelises on. Jobs spawned from inside the pool go to the
+/// spawning worker's LIFO deque (good locality, like `ForkJoinTask.fork`);
+/// idle workers steal FIFO from siblings or the global injector.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with exactly `threads` worker threads (minimum 1).
+    ///
+    /// This corresponds to the paper's `--threads=N` runtime flag.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("jstar-worker-{i}"))
+                    .spawn(move || shared.worker_loop(w))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The number of worker threads in this pool.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Submits a detached `'static` job.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.shared.push(Box::new(f));
+    }
+
+    /// Runs a fork/join scope: closures spawned on the [`Scope`] may borrow
+    /// from the enclosing stack frame, and `scope` only returns once every
+    /// spawned task (transitively) has completed.
+    ///
+    /// The calling thread *helps*: while waiting it executes queued jobs, so
+    /// a scope entered from a worker thread cannot deadlock the pool.
+    ///
+    /// If any task panics, the panic is captured and resumed on the caller
+    /// after all tasks finish (matching `rayon::scope` semantics).
+    pub fn scope<'scope, F, R>(&'scope self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        Scope::run(self, f)
+    }
+
+    /// Classic binary fork/join: runs `a` and `b` potentially in parallel and
+    /// returns both results.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            s.spawn(|_| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("spawned task completed by scope exit"))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep_lock.lock();
+            self.shared.sleep_cond.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// A process-wide pool sized to `std::thread::available_parallelism()`.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_detached_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Drain by scoping an empty task set after the submissions.
+        while counter.load(Ordering::Relaxed) < 100 {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..256 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn nested_scopes_from_workers() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                s.spawn(move |inner| {
+                    for _ in 0..8 {
+                        let c = Arc::clone(&c);
+                        inner.spawn(move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 6 * 7, || "hi".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "hi");
+    }
+
+    #[test]
+    fn join_works_on_single_thread_pool() {
+        let pool = ThreadPool::new(1);
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let v = pool.scope(|_| 99);
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn scope_propagates_panic() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn pool_survives_task_panic() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("first"));
+            });
+        }));
+        assert!(r.is_err());
+        // The pool must still execute new work after a panic.
+        let ok = pool.scope(|_| 5);
+        assert_eq!(ok, 5);
+    }
+
+    #[test]
+    fn deep_recursion_does_not_deadlock() {
+        // Spawn a task tree deeper than the thread count; helping must
+        // prevent deadlock.
+        let pool = ThreadPool::new(2);
+        fn fib(pool: &ThreadPool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        assert_eq!(fib(&pool, 16), 987);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let n = global().num_threads();
+        assert!(n >= 1);
+        let v = global().scope(|_| 7);
+        assert_eq!(v, 7);
+    }
+}

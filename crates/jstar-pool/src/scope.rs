@@ -1,0 +1,155 @@
+//! Structured fork/join scopes over the pool.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::latch::CountLatch;
+use crate::pool::{Job, ThreadPool};
+
+/// State shared by all tasks of one scope.
+struct ScopeState {
+    latch: CountLatch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A fork/join scope created by [`ThreadPool::scope`].
+///
+/// Closures spawned on the scope may borrow data living at least as long as
+/// `'scope`; the scope guarantees they all complete before
+/// [`ThreadPool::scope`] returns, which is what makes the borrows sound.
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, mirroring `std::thread::scope`'s variance
+    /// trick: prevents the scope from being smuggled to a longer lifetime.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub(crate) fn run<F, R>(pool: &'scope ThreadPool, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            pool,
+            state: Arc::new(ScopeState {
+                latch: CountLatch::new(),
+                panic: Mutex::new(None),
+            }),
+            _marker: PhantomData,
+        };
+        // Run the scope body itself under catch_unwind so that spawned tasks
+        // are always waited for, even if the body panics: otherwise borrowed
+        // data could be freed while tasks still run.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Help execute work until every spawned task has finished.
+        while !scope.state.latch.is_clear() {
+            if !pool.shared().try_help() {
+                scope
+                    .state
+                    .latch
+                    .wait_timeout(std::time::Duration::from_millis(1));
+            }
+        }
+
+        if let Some(payload) = scope.state.panic.lock().take() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Spawns a task on the pool. The closure receives the scope again so it
+    /// can spawn further subtasks (nested fork/join).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.latch.increment();
+        let state = Arc::clone(&self.state);
+        let pool = self.pool;
+        let pool_shared = Arc::clone(self.pool.shared());
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                pool,
+                state: Arc::clone(&state),
+                _marker: PhantomData,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+            if let Err(payload) = result {
+                scope.state.record_panic(payload);
+            }
+            state.latch.decrement();
+        });
+        // SAFETY: `Scope::run` does not return until the latch is clear, so
+        // the closure (and everything it borrows from 'scope, including the
+        // pool reference) outlives the task's execution. We erase the
+        // lifetime to store the job in the 'static queue, exactly like
+        // rayon's scope and crossbeam's scoped threads do.
+        let job: Job = unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) };
+        pool_shared.push(job);
+    }
+
+    /// The pool this scope runs on.
+    pub fn pool(&self) -> &'scope ThreadPool {
+        self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn tasks_can_borrow_stack_data() {
+        let pool = ThreadPool::new(2);
+        let data = [1u32, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum::<u32>() as usize, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn body_panic_still_waits_for_tasks() {
+        let pool = ThreadPool::new(2);
+        let flag = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let flag = &flag;
+                s.spawn(move |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    flag.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("body panic");
+            });
+        }));
+        assert!(r.is_err());
+        // The spawned task must have completed before scope unwound.
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the fork/join pool: parallel combinators must
+//! agree with their sequential counterparts for arbitrary inputs and
+//! chunkings.
+
+use jstar_pool::{parallel_chunks, parallel_for, parallel_map, parallel_reduce, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_reduce_matches_fold(
+        data in prop::collection::vec(any::<i32>(), 0..2000),
+        chunk in 0usize..100,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let want: i64 = data.iter().map(|&v| v as i64).sum();
+        let got = parallel_reduce(
+            &pool,
+            &data,
+            chunk,
+            0i64,
+            |c| c.iter().map(|&v| v as i64).sum::<i64>(),
+            |a, b| a + b,
+        );
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order(
+        n in 0usize..500,
+        chunk in 0usize..50,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let got = parallel_map(&pool, n, chunk, |i| i * 3 + 1);
+        let want: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once(
+        n in 0usize..800,
+        chunk in 0usize..64,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(&pool, 0..n, chunk, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_chunks_concatenate_to_input(
+        data in prop::collection::vec(any::<u16>(), 0..600),
+        chunk in 1usize..64,
+    ) {
+        let pool = ThreadPool::new(4);
+        let pieces = parallel_chunks(&pool, &data, chunk, |c, _| c.to_vec());
+        let flat: Vec<u16> = pieces.into_iter().flatten().collect();
+        prop_assert_eq!(flat, data);
+    }
+}

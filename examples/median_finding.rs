@@ -1,0 +1,73 @@
+//! Median finding — §6.6.
+//!
+//! The explicitly parallel JStar program: per iteration a controller picks
+//! a pivot, N region tasks three-way-partition their segments in parallel
+//! (one `par` equivalence class), and a collector steers into the side
+//! holding the k-th element — all expressed as tables and rules, with the
+//! `double[2][n]` native-array store for the data.
+//!
+//! ```text
+//! cargo run --release --example median_finding [n] [threads]
+//! ```
+
+use jstar::apps::median;
+use jstar::core::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    println!("generating {n} random doubles...");
+    let data = Arc::new(median::gen_data(n, 2024));
+
+    let app = median::build_program(n, threads * 4);
+    app.program.validate_strict()?;
+
+    let t0 = Instant::now();
+    let m_seq = median::run_jstar(Arc::clone(&data), threads * 4, EngineConfig::sequential())?;
+    let t_seq = t0.elapsed();
+    println!(
+        "JStar sequential:          {:.3}s -> {m_seq}",
+        t_seq.as_secs_f64()
+    );
+
+    let t0 = Instant::now();
+    let m_par = median::run_jstar(
+        Arc::clone(&data),
+        threads * 4,
+        EngineConfig::parallel(threads),
+    )?;
+    let t_par = t0.elapsed();
+    println!(
+        "JStar parallel ({threads} thr):   {:.3}s -> {m_par}  ({:.2}x)",
+        t_par.as_secs_f64(),
+        t_seq.as_secs_f64() / t_par.as_secs_f64()
+    );
+
+    let t0 = Instant::now();
+    let m_sort = median::median_by_sort(&data);
+    println!(
+        "full-sort baseline:        {:.3}s -> {m_sort}",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t0 = Instant::now();
+    let m_qs = median::median_by_quickselect(&data);
+    println!(
+        "quickselect baseline:      {:.3}s -> {m_qs}",
+        t0.elapsed().as_secs_f64()
+    );
+
+    assert_eq!(m_seq, m_sort);
+    assert_eq!(m_par, m_sort);
+    assert_eq!(m_qs, m_sort);
+    println!("\nall four agree ✓");
+    Ok(())
+}

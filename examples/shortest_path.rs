@@ -1,0 +1,64 @@
+//! Dijkstra shortest paths — §6.5, Fig. 5.
+//!
+//! The Delta tree *is* the priority queue: `Estimate` tuples are ordered
+//! by `(Int, seq distance, Estimate)`, so the engine's min-class
+//! extraction hands out frontier vertices in distance order.
+//!
+//! ```text
+//! cargo run --release --example shortest_path [vertices] [threads]
+//! ```
+
+use jstar::apps::shortest_path::{self, GraphSpec};
+use jstar::core::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let spec = GraphSpec::new(n, n, 24, 7);
+    println!(
+        "random graph: {} vertices, ≈{} edges, weights 1..=10, {} generation tasks",
+        spec.n,
+        spec.n + spec.extra,
+        spec.tasks
+    );
+
+    let app = shortest_path::build_program(spec);
+    app.program.validate_strict()?;
+
+    let t0 = Instant::now();
+    let jstar = shortest_path::run_jstar(spec, EngineConfig::sequential())?;
+    let t_seq = t0.elapsed();
+    println!("JStar sequential:        {:.3}s", t_seq.as_secs_f64());
+
+    let t0 = Instant::now();
+    let jstar_par = shortest_path::run_jstar(spec, EngineConfig::parallel(threads))?;
+    let t_par = t0.elapsed();
+    println!(
+        "JStar parallel ({threads} thr): {:.3}s  ({:.2}x)",
+        t_par.as_secs_f64(),
+        t_seq.as_secs_f64() / t_par.as_secs_f64()
+    );
+
+    let t0 = Instant::now();
+    let adj = shortest_path::adjacency(&spec);
+    let baseline = shortest_path::dijkstra_baseline(&adj, 0);
+    println!(
+        "BinaryHeap baseline:     {:.3}s (incl. graph build)",
+        t0.elapsed().as_secs_f64()
+    );
+
+    assert_eq!(jstar, baseline, "JStar distances match the baseline");
+    assert_eq!(jstar, jstar_par, "deterministic across strategies");
+    let max_d = jstar.iter().max().unwrap();
+    let mean: f64 = jstar.iter().map(|&d| d as f64).sum::<f64>() / jstar.len() as f64;
+    println!("\neccentricity from vertex 0: max distance {max_d}, mean {mean:.2}");
+    println!("first ten distances: {:?}", &jstar[..10.min(jstar.len())]);
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # jstar — umbrella crate for the JStar-rs workspace
+//!
+//! A Rust reproduction of the system described in *The JStar Language
+//! Philosophy* (Utting, Weng, Cleary, 2013): a declarative parallel
+//! programming runtime whose semantics is Datalog with negation plus an
+//! explicit causality ordering.
+//!
+//! This crate simply re-exports the workspace members under short names so
+//! the repository-level examples and integration tests have one import path:
+//!
+//! * [`core`] — tables, tuples, orderby keys, the Delta tree, the Gamma
+//!   database, rules, the causality checker, and the execution engines;
+//! * [`pool`] — the work-stealing fork/join thread pool substrate;
+//! * [`disruptor`] — the LMAX-Disruptor-style ring buffer substrate;
+//! * [`csv`] — the byte-oriented CSV reading substrate;
+//! * [`apps`] — the paper's case-study programs (Ship, PvWatts, MatrixMult,
+//!   ShortestPath, Median) together with hand-coded baselines.
+
+pub use jstar_apps as apps;
+pub use jstar_core as core;
+pub use jstar_csv as csv;
+pub use jstar_disruptor as disruptor;
+pub use jstar_pool as pool;

@@ -1,0 +1,103 @@
+//! Cross-crate integration: JStar's deterministic-parallelism guarantee
+//! (§1.3 — "the output of the program is independent of the parallelism
+//! strategy that is used"), checked across every case-study program and
+//! every optimisation variant.
+
+use jstar::apps::pvwatts::{self, InputOrder, Variant};
+use jstar::apps::{matmul, median, ship, shortest_path};
+use jstar::core::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn ship_is_strategy_independent() {
+    let seq = ship::run(7, EngineConfig::sequential()).unwrap();
+    for threads in [1, 2, 4, 8] {
+        let par = ship::run(7, EngineConfig::parallel(threads)).unwrap();
+        assert_eq!(seq, par, "{threads} threads");
+    }
+}
+
+#[test]
+fn pvwatts_output_is_strategy_and_variant_independent() {
+    let recs = pvwatts::generate_records(8_760, InputOrder::Chronological);
+    let csv = Arc::new(pvwatts::render_csv(&recs));
+    let reference = pvwatts::run_jstar(
+        Arc::clone(&csv),
+        1,
+        Variant::Naive,
+        EngineConfig::sequential(),
+    )
+    .unwrap()
+    .0;
+    assert_eq!(reference.len(), 12);
+    for variant in Variant::all() {
+        for threads in [1usize, 4] {
+            let config = if threads == 1 {
+                EngineConfig::sequential()
+            } else {
+                EngineConfig::parallel(threads)
+            };
+            let got = pvwatts::run_jstar(Arc::clone(&csv), 3, variant, config)
+                .unwrap()
+                .0;
+            assert_eq!(
+                got,
+                reference,
+                "variant={} threads={threads}",
+                variant.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_is_strategy_independent() {
+    let n = 48;
+    let a = Arc::new(matmul::gen_matrix(n, 5));
+    let b = Arc::new(matmul::gen_matrix(n, 6));
+    let reference = matmul::multiply_naive(&a, &b, n);
+    for threads in [1usize, 2, 8] {
+        let got = matmul::run_jstar(
+            n,
+            Arc::clone(&a),
+            Arc::clone(&b),
+            EngineConfig::parallel(threads),
+        )
+        .unwrap();
+        assert_eq!(got, reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn dijkstra_is_strategy_independent() {
+    let spec = shortest_path::GraphSpec::new(2_000, 2_000, 8, 99);
+    let reference = shortest_path::dijkstra_baseline(&shortest_path::adjacency(&spec), 0);
+    for threads in [1usize, 2, 4, 8] {
+        let got = shortest_path::run_jstar(spec, EngineConfig::parallel(threads)).unwrap();
+        assert_eq!(got, reference, "{threads} threads");
+    }
+    let seq = shortest_path::run_jstar(spec, EngineConfig::sequential()).unwrap();
+    assert_eq!(seq, reference);
+}
+
+#[test]
+fn median_is_strategy_independent() {
+    let data = Arc::new(median::gen_data(50_000, 31));
+    let reference = median::median_by_sort(&data);
+    for (threads, regions) in [(1usize, 1usize), (2, 8), (8, 32)] {
+        let got =
+            median::run_jstar(Arc::clone(&data), regions, EngineConfig::parallel(threads)).unwrap();
+        assert_eq!(got, reference, "threads={threads} regions={regions}");
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_agree_with_themselves() {
+    // Flush out races: same program, same config, many runs.
+    let spec = shortest_path::GraphSpec::new(800, 800, 6, 3);
+    let first = shortest_path::run_jstar(spec, EngineConfig::parallel(8)).unwrap();
+    for _ in 0..5 {
+        let again = shortest_path::run_jstar(spec, EngineConfig::parallel(8)).unwrap();
+        assert_eq!(first, again);
+    }
+}
