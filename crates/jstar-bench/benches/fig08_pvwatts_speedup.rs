@@ -16,14 +16,9 @@ fn bench_fig8(c: &mut Criterion) {
     let csv = Arc::new(pvwatts::generate_csv(8_760 * 2, InputOrder::Chronological));
     let mut g = c.benchmark_group("fig08_pvwatts_speedup");
     g.sample_size(10);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    // Full sweep regardless of core count — see fig11's note.
     for variant in [Variant::NoDelta, Variant::HashStore, Variant::CustomStore] {
         for threads in [1usize, 2, 4, 8] {
-            if threads > cores {
-                continue;
-            }
             g.bench_with_input(
                 BenchmarkId::new(variant.name(), threads),
                 &threads,

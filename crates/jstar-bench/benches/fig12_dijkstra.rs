@@ -15,15 +15,10 @@ use jstar_bench::workloads::par_config;
 
 fn bench_fig12(c: &mut Criterion) {
     let spec = GraphSpec::new(20_000, 20_000, 24, 0xD1785);
-    let cores = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(4);
     let mut g = c.benchmark_group("fig12_dijkstra");
     g.sample_size(10);
+    // Full sweep regardless of core count — see fig11's note.
     for threads in [1usize, 2, 4, 8] {
-        if threads > cores {
-            continue;
-        }
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| shortest_path::run_jstar(spec, par_config(t)).unwrap())
         });

@@ -1,0 +1,296 @@
+//! Minimal in-repo stand-in for the `crossbeam` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the three pieces it uses: `queue::SegQueue`,
+//! `deque::{Worker, Stealer, Injector, Steal}` and `utils::CachePadded`.
+//! The implementations are mutex-based rather than lock-free — correct
+//! under the same API, with coarser contention behaviour. The engine's
+//! hot path no longer depends on them (it uses per-worker sharded staging
+//! buffers), so the simplification does not gate throughput.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue (mutex-backed shim of crossbeam's
+    /// lock-free segment queue).
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    /// Owner side of a work-stealing deque: LIFO for the owner, FIFO for
+    /// thieves. Mutex-backed shim; the owner may be moved across threads.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Owner pop: LIFO end.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+
+    /// Thief side of a [`Worker`] deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one job from the FIFO end.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// Global FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch into `dest`'s deque and pop one job for immediate
+        /// execution.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let first = match q.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            // Move up to half of the remaining jobs over to the destination.
+            let extra = (q.len() / 2).min(16);
+            if extra > 0 {
+                let mut dq = dest.inner.lock().unwrap_or_else(|e| e.into_inner());
+                for _ in 0..extra {
+                    if let Some(v) = q.pop_front() {
+                        // Preserve FIFO order for the stolen batch: the
+                        // owner pops LIFO, so push to the front in reverse.
+                        dq.push_back(v);
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+}
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes to avoid false sharing.
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use super::queue::SegQueue;
+    use super::utils::CachePadded;
+
+    #[test]
+    fn segqueue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(w.pop(), Some(3), "owner pops LIFO");
+        assert_eq!(s.steal(), Steal::Success(1), "thief steals FIFO");
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_batch_steal() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        let mut drained = Vec::new();
+        while let Some(v) = w.pop() {
+            drained.push(v);
+        }
+        for v in drained {
+            assert!((1..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cache_padded_alignment() {
+        let v = CachePadded::new(7u8);
+        assert_eq!(*v, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+    }
+}

@@ -1,0 +1,294 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the subset of proptest it uses: the [`proptest!`]
+//! macro, `prop_assert*` macros, [`strategy::Strategy`] with `prop_map`,
+//! `any::<T>()`, numeric-range strategies, tuple strategies,
+//! `prop::collection::vec`, [`prop_oneof!`], and simple `"[a-z]{lo,hi}"`
+//! string patterns.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a deterministic per-test seed (reproducible across
+//! runs), and failing inputs are *not* shrunk — the failing values are
+//! printed as-is. Both are acceptable for CI-style property checks.
+
+pub mod strategy;
+
+use std::fmt;
+
+/// Error produced by `prop_assert*` macros inside a test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// FNV-1a over a test's name, mixed with the case index, so every test
+/// walks its own reproducible input sequence.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Glob-import module mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    /// Mirrors proptest's `prelude::prop` re-export.
+    pub mod prop {
+        pub mod collection {
+            pub use crate::strategy::collection_vec as vec;
+        }
+    }
+}
+
+/// Top-level `prop::` path (some call sites use `proptest::prop::...`).
+pub use prelude::prop;
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Union-of-strategies macro: picks one arm uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The main harness macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::new($crate::seed_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                ));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $arg;)+
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        concat!($(stringify!($arg), " "),+)
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and plain attributes both pass through.
+        #[test]
+        fn ranges_in_bounds(a in 0i64..10, b in 1usize..=4, f in -1.0f64..1.0) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u32..5, any::<bool>()), 0..20),
+        ) {
+            prop_assert!(v.len() < 20);
+            for (x, _) in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![0i64..3, (10i64..13).prop_map(|v| v * 2)]) {
+            prop_assert!((0..3).contains(&x) || [20, 22, 24].contains(&x));
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-z]{0,6}") {
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(crate::seed_for("t", 3), crate::seed_for("t", 3));
+        assert_ne!(crate::seed_for("t", 3), crate::seed_for("t", 4));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+    }
+}
