@@ -87,7 +87,12 @@ fn all_apps_print_dot_graphs() {
     let programs: Vec<Arc<Program>> = vec![
         Arc::new(jstar_apps::ship::program(7)),
         pvwatts::build_program(csv, 1).program,
-        matmul::build_program(4, Arc::new(matmul::gen_matrix(4, 1)), Arc::new(matmul::gen_matrix(4, 2))).program,
+        matmul::build_program(
+            4,
+            Arc::new(matmul::gen_matrix(4, 1)),
+            Arc::new(matmul::gen_matrix(4, 2)),
+        )
+        .program,
         shortest_path::build_program(shortest_path::GraphSpec::new(10, 10, 1, 1)).program,
         median::build_program(100, 2).program,
     ];

@@ -34,6 +34,9 @@ fn main() {
             .unwrap_or(0)
     );
 
+    if want("hotpath") {
+        hotpath();
+    }
     if want("fig6") {
         fig6();
     }
@@ -61,6 +64,68 @@ fn main() {
     if want("fig13") {
         fig13();
     }
+}
+
+/// Hot-path profile: Delta throughput and the coordinator's drain/execute
+/// split per engine mode, from [`RunReport`]'s derived metrics. This is
+/// the exhibit that tracks the sharded-inbox pipeline across PRs (the
+/// BENCH_*.json trajectories) — a rising drain fraction means the
+/// coordinator is becoming the bottleneck again.
+fn hotpath() {
+    fn row(name: String, report: &jstar_core::engine::RunReport) -> Vec<String> {
+        let (drain_step, exec_step) = report.per_step();
+        vec![
+            name,
+            report.steps.to_string(),
+            report.tuples_processed.to_string(),
+            format!("{:.0}", report.tuples_per_sec()),
+            format!("{:.1}%", 100.0 * report.drain_fraction()),
+            format!("{:.1}", drain_step.as_nanos() as f64 / 1000.0),
+            format!("{:.1}", exec_step.as_nanos() as f64 / 1000.0),
+            format!("{}/{}", report.inline_classes, report.forked_classes),
+        ]
+    }
+    let csv = pvwatts_csv(InputOrder::Chronological);
+    let mut rows = Vec::new();
+    let mut run = |name: String, threads: usize, config: EngineConfig| {
+        // record_steps also enables the drain/execute timers.
+        let (_, report) = jstar_apps::pvwatts::run_jstar(
+            Arc::clone(&csv),
+            threads.max(2),
+            jstar_apps::pvwatts::Variant::HashStore,
+            config.record_steps(),
+        )
+        .expect("pvwatts runs");
+        rows.push(row(name, &report));
+    };
+    run("pvwatts sequential".into(), 1, EngineConfig::sequential());
+    for threads in [1usize, 4] {
+        run(
+            format!("pvwatts parallel({threads})"),
+            threads,
+            par_config(threads),
+        );
+    }
+    let spec = dijkstra_spec();
+    for threads in [1usize, 4] {
+        let (_, report) = shortest_path::run_jstar_report(spec, par_config(threads).record_steps())
+            .expect("dijkstra runs");
+        rows.push(row(format!("dijkstra parallel({threads})"), &report));
+    }
+    print_table(
+        "Hot path — Delta throughput and coordinator drain/execute split (PvWatts hash store; Dijkstra)",
+        &[
+            "engine",
+            "steps",
+            "tuples",
+            "tuples/sec",
+            "drain share",
+            "drain µs/step",
+            "execute µs/step",
+            "inline/forked classes",
+        ],
+        &rows,
+    );
 }
 
 /// Fig. 6: absolute sequential speed, JStar vs hand-coded baselines.

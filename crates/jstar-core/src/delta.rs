@@ -12,18 +12,22 @@
 //!
 //! * [`DeltaTree`] — the single-threaded tree used directly by the
 //!   sequential engine and by the coordinator of the parallel engine;
-//! * [`DeltaInbox`] — a lock-free staging queue that worker threads push
-//!   freshly produced tuples into during a parallel step. The coordinator
-//!   drains it into the tree between steps. The Law of Causality guarantees
-//!   staged tuples never belong to the *current* step, so draining at the
-//!   step boundary is semantically exact. (The paper's implementation used
-//!   a `ConcurrentSkipListMap` tree; our inbox plays the same role of
-//!   absorbing concurrent inserts and exhibits the analogous contention at
-//!   high thread counts.)
+//! * [`ShardedInbox`] — per-worker staging buffers that worker threads
+//!   append freshly produced tuples into during a parallel step. Each pool
+//!   worker owns one shard (routed by its stable
+//!   [`jstar_pool::ThreadPool::current_worker_index`]), so staging a tuple
+//!   is an uncontended `Vec::push`; the coordinator swaps all shards out in
+//!   bulk between steps ([`ShardedInbox::drain_batch`]). The Law of
+//!   Causality guarantees staged tuples never belong to the *current* step,
+//!   so draining at the step boundary is semantically exact. (The paper's
+//!   implementation used a `ConcurrentSkipListMap` tree, which all workers
+//!   mutate concurrently; the sharded design removes that contention point
+//!   entirely — the predecessor of this design, a single shared MPMC
+//!   `SegQueue`, serialised every worker `put` on one queue head.)
 
 use crate::orderby::{KeyPart, OrderKey};
 use crate::tuple::Tuple;
-use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
 
 /// One node of the Delta tree: tuples whose keys end exactly here, plus
@@ -48,11 +52,20 @@ impl DeltaNode {
     fn insert(&mut self, key: &[KeyPart], tuple: Tuple) -> bool {
         match key.first() {
             None => self.here.insert(tuple),
-            Some(part) => self
-                .children
-                .entry(part.clone())
-                .or_default()
-                .insert(&key[1..], tuple),
+            Some(part) => {
+                // Look up by reference first: the common case on a hot
+                // workload (Dijkstra re-putting Estimates at an existing
+                // distance) hits an existing child, so the `KeyPart` clone
+                // of the `entry` API would be pure waste.
+                match self.children.get_mut(part) {
+                    Some(child) => child.insert(&key[1..], tuple),
+                    None => self
+                        .children
+                        .entry(part.clone())
+                        .or_default()
+                        .insert(&key[1..], tuple),
+                }
+            }
         }
     }
 
@@ -75,19 +88,18 @@ impl DeltaNode {
             return Some(self.here.drain().collect());
         }
         loop {
-            let first_key = self.children.keys().next().cloned()?;
-            let child = self.children.get_mut(&first_key).expect("key just seen");
-            path.push(first_key.clone());
-            if let Some(class) = child.pop_min(path) {
-                if child.is_empty() {
-                    self.children.remove(&first_key);
+            let mut entry = self.children.first_entry()?;
+            path.push(entry.key().clone());
+            if let Some(class) = entry.get_mut().pop_min(path) {
+                if entry.get().is_empty() {
+                    entry.remove();
                 }
                 return Some(class);
             }
             // Empty child left behind (should not happen, but prune and
             // retry rather than loop forever).
             path.pop();
-            self.children.remove(&first_key);
+            entry.remove();
         }
     }
 
@@ -178,7 +190,12 @@ impl FlatDelta {
 
     /// Inserts a tuple; false when it is a duplicate at the same key.
     pub fn insert(&mut self, key: &OrderKey, tuple: Tuple) -> bool {
-        let fresh = self.map.entry(key.clone()).or_default().insert(tuple);
+        // Borrow-first lookup avoids cloning the whole key when the class
+        // already exists (the common case for wide classes).
+        let fresh = match self.map.get_mut(key) {
+            Some(set) => set.insert(tuple),
+            None => self.map.entry(key.clone()).or_default().insert(tuple),
+        };
         if fresh {
             self.len += 1;
         }
@@ -259,33 +276,73 @@ impl DeltaQueue {
     }
 }
 
-/// Lock-free staging area for tuples produced by parallel workers.
+/// One staging shard. Padded to its own cache lines so two workers
+/// appending to neighbouring shards never false-share.
 #[derive(Debug, Default)]
-pub struct DeltaInbox {
-    queue: SegQueue<(OrderKey, Tuple)>,
+#[repr(align(128))]
+struct Shard {
+    buf: Mutex<Vec<(OrderKey, Tuple)>>,
 }
 
-impl DeltaInbox {
-    pub fn new() -> Self {
-        Self::default()
+/// Per-worker staging area for tuples produced during a parallel step.
+///
+/// Shard `i` is written only by pool worker `i` (routed via
+/// [`jstar_pool::ThreadPool::current_worker_index`]); the last shard
+/// collects puts from foreign threads (the coordinator between steps,
+/// `-noDelta` rule cascades on external threads, injected events). A
+/// worker's push is therefore an uncontended mutex acquire — the lock
+/// exists only to order the worker's appends against the coordinator's
+/// bulk swap at the step boundary, never against other workers.
+#[derive(Debug)]
+pub struct ShardedInbox {
+    shards: Vec<Shard>,
+}
+
+impl ShardedInbox {
+    /// Creates an inbox with one shard per pool worker plus one overflow
+    /// shard for non-worker threads.
+    pub fn new(workers: usize) -> Self {
+        ShardedInbox {
+            shards: (0..workers + 1).map(|_| Shard::default()).collect(),
+        }
     }
 
-    /// Stages a tuple produced during the current parallel step.
-    pub fn push(&self, key: OrderKey, tuple: Tuple) {
-        self.queue.push((key, tuple));
+    /// The shard index for threads that are not pool workers.
+    pub fn external_shard(&self) -> usize {
+        self.shards.len() - 1
     }
 
-    /// Removes one staged tuple, if any (lets the engine attribute per-table
-    /// statistics while draining).
-    pub fn pop(&self) -> Option<(OrderKey, Tuple)> {
-        self.queue.pop()
+    /// Stages a tuple produced during the current step. `shard` must be
+    /// the caller's stable worker index, or [`Self::external_shard`].
+    /// Deliberately touches *only* the caller's shard — no shared counter,
+    /// no cross-core cache-line traffic per tuple.
+    pub fn push(&self, shard: usize, key: OrderKey, tuple: Tuple) {
+        self.shards[shard].buf.lock().push((key, tuple));
     }
 
-    /// Drains everything staged so far into the tree. Returns the number of
-    /// tuples actually inserted (duplicates are dropped by the tree).
+    /// Swaps every shard's buffer out into `out` (appending), leaving the
+    /// inbox empty. One mutex acquire per shard per step (shards =
+    /// workers + 1) — the per-tuple queue traffic of the old single-queue
+    /// design is gone.
+    pub fn drain_batch(&self, out: &mut Vec<(OrderKey, Tuple)>) {
+        for shard in &self.shards {
+            let mut buf = shard.buf.lock();
+            if out.is_empty() && buf.len() > out.capacity() {
+                // Steal the biggest allocation wholesale instead of copying.
+                std::mem::swap(&mut *buf, out);
+            } else {
+                out.append(&mut buf);
+            }
+        }
+    }
+
+    /// Drains everything staged so far into the tree. Returns the number
+    /// of tuples actually inserted (duplicates are dropped by the tree).
     pub fn drain_into(&self, tree: &mut DeltaTree) -> usize {
+        let mut staged = Vec::new();
+        self.drain_batch(&mut staged);
         let mut inserted = 0;
-        while let Some((key, tuple)) = self.queue.pop() {
+        for (key, tuple) in staged {
             if tree.insert(&key, tuple) {
                 inserted += 1;
             }
@@ -293,9 +350,10 @@ impl DeltaInbox {
         inserted
     }
 
-    /// True when nothing is staged.
+    /// True when nothing is staged (sweeps the shards; intended for
+    /// assertions and tests, not the hot path).
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.shards.iter().all(|s| s.buf.lock().is_empty())
     }
 }
 
@@ -475,10 +533,11 @@ mod tests {
 
     #[test]
     fn inbox_drains_to_tree_with_dedup() {
-        let inbox = DeltaInbox::new();
-        inbox.push(skey(0, 1), tup(0, 1));
-        inbox.push(skey(0, 1), tup(0, 1)); // duplicate
-        inbox.push(skey(0, 2), tup(0, 2));
+        let inbox = ShardedInbox::new(2);
+        let ext = inbox.external_shard();
+        inbox.push(ext, skey(0, 1), tup(0, 1));
+        inbox.push(0, skey(0, 1), tup(0, 1)); // duplicate, different shard
+        inbox.push(1, skey(0, 2), tup(0, 2));
         let mut tree = DeltaTree::new();
         let inserted = inbox.drain_into(&mut tree);
         assert_eq!(inserted, 2);
@@ -487,15 +546,36 @@ mod tests {
     }
 
     #[test]
-    fn inbox_is_safe_from_many_threads() {
-        let inbox = std::sync::Arc::new(DeltaInbox::new());
+    fn inbox_drain_batch_collects_all_shards() {
+        let inbox = ShardedInbox::new(3);
+        for shard in 0..4 {
+            for i in 0..10 {
+                inbox.push(shard, skey(0, i), tup(0, (shard as i64) * 100 + i));
+            }
+        }
+        let mut out = Vec::new();
+        inbox.drain_batch(&mut out);
+        assert_eq!(out.len(), 40);
+        assert!(inbox.is_empty());
+        // Second drain is a no-op.
+        inbox.drain_batch(&mut out);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn inbox_is_safe_from_many_worker_threads() {
+        let inbox = std::sync::Arc::new(ShardedInbox::new(4));
         let pool = jstar_pool::ThreadPool::new(4);
         pool.scope(|s| {
             for thread in 0..8i64 {
                 let inbox = std::sync::Arc::clone(&inbox);
+                let pool = &pool;
                 s.spawn(move |_| {
+                    let shard = pool
+                        .current_worker_index()
+                        .unwrap_or_else(|| inbox.external_shard());
                     for i in 0..250 {
-                        inbox.push(skey(0, i % 50), tup(0, thread * 1000 + i));
+                        inbox.push(shard, skey(0, i % 50), tup(0, thread * 1000 + i));
                     }
                 });
             }

@@ -71,25 +71,22 @@ macro_rules! jstar_table {
         $crate::jstar_table!(@cols $b.col_bool(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
     };
 
-    // Orderby list: build a Vec<OrderComponent>.
-    (@ob $($items:tt)*) => {{
-        #[allow(unused_mut)]
-        let mut v: ::std::vec::Vec<$crate::orderby::OrderComponent> = ::std::vec::Vec::new();
-        $crate::jstar_table!(@obpush v; $($items)*);
-        v
-    }};
-    (@obpush $v:ident; ) => {};
-    (@obpush $v:ident; seq $f:ident $(, $($rest:tt)*)?) => {
-        $v.push($crate::orderby::seq(stringify!($f)));
-        $crate::jstar_table!(@obpush $v; $($($rest)*)?);
+    // Orderby list: accumulate component expressions, then emit one
+    // `vec![...]` literal.
+    (@ob $($items:tt)*) => {
+        $crate::jstar_table!(@oblist [] $($items)*)
     };
-    (@obpush $v:ident; par $f:ident $(, $($rest:tt)*)?) => {
-        $v.push($crate::orderby::par(stringify!($f)));
-        $crate::jstar_table!(@obpush $v; $($($rest)*)?);
+    (@oblist [$($acc:expr,)*] ) => {
+        ::std::vec![$($acc),*]
     };
-    (@obpush $v:ident; $lit:ident $(, $($rest:tt)*)?) => {
-        $v.push($crate::orderby::strat(stringify!($lit)));
-        $crate::jstar_table!(@obpush $v; $($($rest)*)?);
+    (@oblist [$($acc:expr,)*] seq $f:ident $(, $($rest:tt)*)?) => {
+        $crate::jstar_table!(@oblist [$($acc,)* $crate::orderby::seq(stringify!($f)),] $($($rest)*)?)
+    };
+    (@oblist [$($acc:expr,)*] par $f:ident $(, $($rest:tt)*)?) => {
+        $crate::jstar_table!(@oblist [$($acc,)* $crate::orderby::par(stringify!($f)),] $($($rest)*)?)
+    };
+    (@oblist [$($acc:expr,)*] $lit:ident $(, $($rest:tt)*)?) => {
+        $crate::jstar_table!(@oblist [$($acc,)* $crate::orderby::strat(stringify!($lit)),] $($($rest)*)?)
     };
 }
 

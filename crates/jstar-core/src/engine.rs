@@ -16,11 +16,47 @@
 //! Per-table optimisation flags are faithful to §5.1: `-noDelta T` sends
 //! `T`'s tuples straight to Gamma and fires their rules immediately;
 //! `-noGamma T` skips storing `T`'s tuples (they act as pure triggers).
+//!
+//! ## Hot-path architecture
+//!
+//! The put→Delta→Gamma pipeline is built to add **zero coordinator-side
+//! contention** per tuple:
+//!
+//! 1. **Sharded staging** — a worker `put` appends `(OrderKey, Tuple)` to
+//!    its own [`crate::delta::ShardedInbox`] shard, routed by the pool's
+//!    stable [`jstar_pool::ThreadPool::current_worker_index`]. No worker
+//!    ever touches another worker's shard; the old design funnelled every
+//!    put through one shared MPMC queue head.
+//! 2. **Bulk drain** — between steps the coordinator swaps all shard
+//!    buffers out in one pass ([`crate::delta::ShardedInbox::drain_batch`])
+//!    and inserts the whole batch into the [`DeltaQueue`], accumulating
+//!    per-table statistics in a local scratch array and publishing them
+//!    with **one** atomic update per table instead of one per tuple.
+//! 3. **Borrowed trigger keys** — [`process_tuple`] and [`RuleCtx`] borrow
+//!    the equivalence class's `OrderKey`; triggering a rule no longer
+//!    clones the key (the old code cloned it per triggered rule). Tables
+//!    whose orderby yields a constant key (pure-stratum orderings like
+//!    PvWatts') get that key interned once in their [`QueryPlan`].
+//! 4. **Per-table query plans** — each table's resolved orderby extractor
+//!    and its store's index-selection decision (`covers_fields` over the
+//!    hash store's index fields) are cached in a [`QueryPlan`] computed
+//!    once at engine construction, instead of being re-derived inside
+//!    every `ctx.query`.
+//! 5. **Adaptive all-minimums scheduling** — classes at or below
+//!    [`EngineConfig::inline_class_threshold`] execute inline on the
+//!    coordinator (fork/join overhead exceeds the work), wider classes are
+//!    chunked by measured class width and submitted as one batch
+//!    ([`jstar_pool::Scope::spawn_batch`], a single wakeup). Data-parallel
+//!    loops *inside* rule bodies ([`RuleCtx::par_for_each_match`] and the
+//!    `jstar_pool::parallel_*` helpers) additionally coarsen their chunks
+//!    when the pool already has a backlog
+//!    ([`jstar_pool::ThreadPool::pending_jobs`]), since fine splits behind
+//!    a backlog buy no parallelism.
 
-use crate::delta::{DeltaInbox, DeltaKind, DeltaQueue};
+use crate::delta::{DeltaKind, DeltaQueue, ShardedInbox};
 use crate::error::{JStarError, Result};
 use crate::gamma::{Gamma, InsertOutcome, StoreKind, TableStore};
-use crate::orderby::OrderKey;
+use crate::orderby::{OrderKey, ResolvedComponent, ResolvedOrderBy};
 use crate::program::Program;
 use crate::query::Query;
 use crate::reduce::Reducer;
@@ -73,6 +109,11 @@ pub struct EngineConfig {
     pub lifetime_hints: Vec<(TableId, LifetimeHint)>,
     /// How often (in steps) lifetime hints run; 0 disables them.
     pub hint_interval: u64,
+    /// Classes of at most this many tuples execute inline on the
+    /// coordinator instead of being forked to the pool: below this width
+    /// the fork/join round trip costs more than the work. Ignored in
+    /// sequential mode (everything is inline there).
+    pub inline_class_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +134,7 @@ impl Default for EngineConfig {
             delta: DeltaKind::Tree,
             lifetime_hints: Vec::new(),
             hint_interval: 0,
+            inline_class_threshold: 4,
         }
     }
 }
@@ -152,6 +194,13 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the maximum class width executed inline on the coordinator.
+    /// 0 forks every multi-tuple class (the pre-adaptive behaviour).
+    pub fn inline_classes_up_to(mut self, width: usize) -> Self {
+        self.inline_class_threshold = width;
+        self
+    }
+
     /// Registers a tuple-lifetime hint for `table`: every `interval` steps,
     /// tuples the hook rejects are discarded from Gamma (§5 step 4 — the
     /// manual garbage-collection hints).
@@ -167,11 +216,76 @@ impl EngineConfig {
     }
 }
 
+/// Per-table hot-path cache, computed once at engine construction.
+///
+/// Consolidates everything `put` and `query` would otherwise re-derive per
+/// call: the resolved orderby key extractor, the interned key for tables
+/// whose ordering is tuple-independent (pure-stratum orderbys — every
+/// tuple of the table shares one Delta equivalence class), and the store's
+/// index-selection data (`covers_fields` input).
+pub struct QueryPlan {
+    /// The table's resolved orderby list (the key extractor).
+    orderby: ResolvedOrderBy,
+    /// Interned order key when the orderby has no tuple-dependent
+    /// component; such tables form a single delta class per run.
+    const_key: Option<OrderKey>,
+    /// Fields the table's Gamma store is hash-indexed on, if any.
+    index_fields: Option<Box<[usize]>>,
+}
+
+impl QueryPlan {
+    fn new(orderby: &ResolvedOrderBy, store: &dyn crate::gamma::TableStore) -> QueryPlan {
+        let tuple_independent = orderby
+            .components
+            .iter()
+            .all(|c| !matches!(c, ResolvedComponent::Seq { .. }));
+        let const_key = tuple_independent.then(|| {
+            let mut parts = Vec::new();
+            for c in &orderby.components {
+                match c {
+                    ResolvedComponent::Strat { rank, .. } => {
+                        parts.push(crate::orderby::KeyPart::Strat(*rank))
+                    }
+                    ResolvedComponent::Seq { .. } => unreachable!("tuple-independent"),
+                    ResolvedComponent::Par { .. } => break,
+                }
+            }
+            OrderKey(parts)
+        });
+        QueryPlan {
+            orderby: orderby.clone(),
+            const_key,
+            index_fields: store.index_fields().map(|f| f.to_vec().into_boxed_slice()),
+        }
+    }
+
+    /// The order key of `t` — a clone of the interned key when the table's
+    /// ordering is tuple-independent, a fresh extraction otherwise.
+    #[inline]
+    pub fn key_for(&self, t: &Tuple) -> OrderKey {
+        match &self.const_key {
+            Some(k) => k.clone(),
+            None => self.orderby.key_of(t),
+        }
+    }
+
+    /// True when `q` binds every indexed field of the table's store with an
+    /// equality constraint — the cached index-selection decision.
+    #[inline]
+    pub fn query_uses_index(&self, q: &Query) -> bool {
+        match &self.index_fields {
+            Some(fields) => q.covers_fields(fields),
+            None => false,
+        }
+    }
+}
+
 /// Shared run-time state, accessible from worker threads.
 pub(crate) struct RunState {
     program: Arc<Program>,
     gamma: Gamma,
-    inbox: DeltaInbox,
+    inbox: ShardedInbox,
+    plans: Vec<QueryPlan>,
     no_delta: Vec<bool>,
     no_gamma: Vec<bool>,
     type_check: bool,
@@ -190,6 +304,16 @@ impl RunState {
     fn has_errors(&self) -> bool {
         !self.errors.lock().is_empty()
     }
+
+    /// The staging shard for the calling thread: the worker's stable index
+    /// on pool threads, the external shard everywhere else.
+    #[inline]
+    fn staging_shard(&self) -> usize {
+        self.pool
+            .as_ref()
+            .and_then(|p| p.current_worker_index())
+            .unwrap_or_else(|| self.inbox.external_shard())
+    }
 }
 
 /// The context a rule body receives: its window onto the database.
@@ -199,14 +323,16 @@ impl RunState {
 /// and aggregate query results are stable (§4).
 pub struct RuleCtx<'a> {
     state: &'a RunState,
-    trigger_key: OrderKey,
+    /// Borrowed from the executing equivalence class — constructing a
+    /// context per triggered rule copies nothing.
+    trigger_key: &'a OrderKey,
     rule: &'a str,
 }
 
 impl<'a> RuleCtx<'a> {
     /// The causal position of the trigger tuple.
     pub fn trigger_key(&self) -> &OrderKey {
-        &self.trigger_key
+        self.trigger_key
     }
 
     /// The name of the executing rule (diagnostics).
@@ -227,25 +353,35 @@ impl<'a> RuleCtx<'a> {
     /// of Causality is enforced: the tuple's order key must not precede the
     /// trigger's.
     pub fn put(&self, t: Tuple) {
-        put_tuple(self.state, &self.trigger_key, self.rule, t);
+        put_tuple(self.state, self.trigger_key, self.rule, t);
     }
 
     /// Collects all Gamma tuples matching `q` (a positive query).
     pub fn query(&self, q: &Query) -> Vec<Tuple> {
-        self.count_query(q.table);
-        self.state.gamma.collect(q)
+        let use_index = self.count_query(q);
+        let mut out = Vec::new();
+        self.state.gamma.query_hinted(q, use_index, &mut |t| {
+            out.push(t.clone());
+            true
+        });
+        out
     }
 
     /// Streams Gamma tuples matching `q`; return `false` to stop early.
     pub fn query_for_each(&self, q: &Query, mut f: impl FnMut(&Tuple) -> bool) {
-        self.count_query(q.table);
-        self.state.gamma.query(q, &mut f);
+        let use_index = self.count_query(q);
+        self.state.gamma.query_hinted(q, use_index, &mut f);
     }
 
     /// True if some tuple matches (positive existence).
     pub fn exists(&self, q: &Query) -> bool {
-        self.count_query(q.table);
-        self.state.gamma.any_match(q)
+        let use_index = self.count_query(q);
+        let mut found = false;
+        self.state.gamma.query_hinted(q, use_index, &mut |_| {
+            found = true;
+            false
+        });
+        found
     }
 
     /// Negative query: true if *no* tuple matches — the paper's
@@ -258,9 +394,9 @@ impl<'a> RuleCtx<'a> {
 
     /// Returns the unique match, if any (`get uniq?`).
     pub fn get_uniq(&self, q: &Query) -> Option<Tuple> {
-        self.count_query(q.table);
+        let use_index = self.count_query(q);
         let mut found = None;
-        self.state.gamma.query(q, &mut |t| {
+        self.state.gamma.query_hinted(q, use_index, &mut |t| {
             found = Some(t.clone());
             false
         });
@@ -269,9 +405,9 @@ impl<'a> RuleCtx<'a> {
 
     /// Aggregate query: folds every match through `reducer`.
     pub fn reduce<R: Reducer>(&self, q: &Query, reducer: &R) -> R::Acc {
-        self.count_query(q.table);
+        let use_index = self.count_query(q);
         let mut acc = reducer.identity();
-        self.state.gamma.query(q, &mut |t| {
+        self.state.gamma.query_hinted(q, use_index, &mut |t| {
             reducer.accept(&mut acc, t);
             true
         });
@@ -358,15 +494,24 @@ impl<'a> RuleCtx<'a> {
         self.state.record_error(JStarError::Other(msg.into()));
     }
 
-    fn count_query(&self, table: TableId) {
-        self.state.stats.tables[table.index()]
-            .queries
-            .fetch_add(1, Ordering::Relaxed);
+    /// Counts the query and returns the table plan's index-selection
+    /// decision — computed once here and passed down to the store, which
+    /// no longer re-derives it per call.
+    fn count_query(&self, q: &Query) -> bool {
+        let ti = q.table.index();
+        let stats = &self.state.stats.tables[ti];
+        stats.queries.fetch_add(1, Ordering::Relaxed);
+        let use_index = self.state.plans[ti].query_uses_index(q);
+        if use_index {
+            stats.queries_indexed.fetch_add(1, Ordering::Relaxed);
+        }
+        use_index
     }
 }
 
 /// Core put path, shared by `RuleCtx::put`, initial puts and injected
-/// event tuples.
+/// event tuples. The trigger key is borrowed; the computed key for `t`
+/// moves into the staging shard without further copies.
 fn put_tuple(state: &RunState, trigger_key: &OrderKey, rule: &str, t: Tuple) {
     let table = t.table();
     let ti = table.index();
@@ -379,7 +524,7 @@ fn put_tuple(state: &RunState, trigger_key: &OrderKey, rule: &str, t: Tuple) {
         }
     }
 
-    let key = state.program.orderbys()[ti].key_of(&t);
+    let key = state.plans[ti].key_for(&t);
     if state.enforce_causality && trigger_key.cmp(&key) == CmpOrdering::Greater {
         state.record_error(JStarError::CausalityViolation {
             rule: rule.to_string(),
@@ -395,12 +540,14 @@ fn put_tuple(state: &RunState, trigger_key: &OrderKey, rule: &str, t: Tuple) {
         // immediately on this thread.
         process_tuple(state, &key, t);
     } else {
-        state.inbox.push(key, t);
+        state.inbox.push(state.staging_shard(), key, t);
     }
 }
 
 /// Moves one tuple out of the Delta set: inserts it into Gamma (unless
-/// `-noGamma`), and if it is fresh, fires every rule it triggers.
+/// `-noGamma`), and if it is fresh, fires every rule it triggers. `key`
+/// is borrowed from the executing class — rule contexts borrow it too,
+/// so triggering N rules performs zero key clones.
 fn process_tuple(state: &RunState, key: &OrderKey, t: Tuple) {
     let table = t.table();
     let ti = table.index();
@@ -434,17 +581,77 @@ fn process_tuple(state: &RunState, key: &OrderKey, t: Tuple) {
     if !fresh {
         return;
     }
+    state.stats.tables[ti].triggers.fetch_add(
+        state.program.rules_by_trigger()[ti].len() as u64,
+        Ordering::Relaxed,
+    );
+    fire_rules(state, key, &t);
+}
+
+/// Fires every rule triggered by `t` (which must be fresh). Contexts
+/// borrow the class key — zero copies per trigger.
+fn fire_rules(state: &RunState, key: &OrderKey, t: &Tuple) {
+    let ti = t.table().index();
     for &ri in &state.program.rules_by_trigger()[ti] {
         let rule = &state.program.rules()[ri];
-        state.stats.tables[ti]
-            .triggers
-            .fetch_add(1, Ordering::Relaxed);
         let ctx = RuleCtx {
             state,
-            trigger_key: key.clone(),
+            trigger_key: key,
             rule: &rule.name,
         };
-        (rule.body)(&ctx, &t);
+        (rule.body)(&ctx, t);
+    }
+}
+
+/// Executes one chunk of an equivalence class on a worker.
+///
+/// Uniform-table chunks (the overwhelmingly common case — a class is one
+/// key, and most keys belong to one table) take the batch path: a single
+/// [`Gamma::insert_batch`] call amortises store locking, statistics are
+/// published once per chunk, and rules fire afterwards for the fresh
+/// tuples. Mixed-table chunks fall back to the per-tuple path.
+fn process_class_chunk(state: &RunState, key: &OrderKey, chunk: &[Tuple]) {
+    let table = chunk[0].table();
+    let ti = table.index();
+    let uniform =
+        chunk.len() > 1 && !state.no_gamma[ti] && chunk.iter().all(|t| t.table() == table);
+    if !uniform {
+        for t in chunk {
+            process_tuple(state, key, t.clone());
+        }
+        return;
+    }
+
+    let mut outcomes = Vec::with_capacity(chunk.len());
+    state.gamma.insert_batch(table, chunk, &mut outcomes);
+    let (mut fresh, mut dups) = (0u64, 0u64);
+    for (t, outcome) in chunk.iter().zip(&outcomes) {
+        match outcome {
+            InsertOutcome::Fresh => fresh += 1,
+            InsertOutcome::Duplicate => dups += 1,
+            InsertOutcome::KeyConflict => {
+                state.record_error(JStarError::KeyViolation {
+                    table: state.program.def(table).name.clone(),
+                    detail: format!("insert of {t} violates the -> key invariant"),
+                });
+            }
+        }
+    }
+    let stats = &state.stats.tables[ti];
+    if fresh > 0 {
+        stats.gamma_fresh.fetch_add(fresh, Ordering::Relaxed);
+        stats.triggers.fetch_add(
+            fresh * state.program.rules_by_trigger()[ti].len() as u64,
+            Ordering::Relaxed,
+        );
+    }
+    if dups > 0 {
+        stats.gamma_dups.fetch_add(dups, Ordering::Relaxed);
+    }
+    for (t, outcome) in chunk.iter().zip(&outcomes) {
+        if matches!(outcome, InsertOutcome::Fresh) {
+            fire_rules(state, key, t);
+        }
     }
 }
 
@@ -457,8 +664,49 @@ pub struct RunReport {
     pub tuples_processed: u64,
     /// Wall time of the run.
     pub elapsed: Duration,
+    /// Coordinator time spent draining staged tuples into the Delta queue.
+    /// Zero unless [`EngineConfig::record_steps`] is set — the per-step
+    /// timers are profiling instrumentation, not free.
+    pub drain_time: Duration,
+    /// Time spent executing equivalence classes (Gamma inserts + rules).
+    /// Zero unless [`EngineConfig::record_steps`] is set.
+    pub execute_time: Duration,
+    /// Classes executed inline on the coordinator.
+    pub inline_classes: u64,
+    /// Classes fanned out to the fork/join pool.
+    pub forked_classes: u64,
     /// Collected `println` output (order not significant).
     pub output: Vec<String>,
+}
+
+impl RunReport {
+    /// Delta-set throughput: tuples processed per second of wall time.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.tuples_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of accounted step time the coordinator spent draining
+    /// (vs. executing). A high value means the drain, not the hardware,
+    /// sets the speed limit.
+    pub fn drain_fraction(&self) -> f64 {
+        let total = self.drain_time.as_secs_f64() + self.execute_time.as_secs_f64();
+        if total > 0.0 {
+            self.drain_time.as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean drain and execute time per step.
+    pub fn per_step(&self) -> (Duration, Duration) {
+        let steps = self.steps.max(1) as u32;
+        (self.drain_time / steps, self.execute_time / steps)
+    }
 }
 
 /// A configured instance of a JStar program, ready to run.
@@ -505,10 +753,15 @@ impl Engine {
         for t in &config.no_gamma {
             no_gamma[t.index()] = true;
         }
+        let plans: Vec<QueryPlan> = (0..n)
+            .map(|i| QueryPlan::new(&program.orderbys()[i], &**gamma.store(TableId(i as u32))))
+            .collect();
+        let workers = pool.as_ref().map(|p| p.num_threads()).unwrap_or(0);
         let state = Arc::new(RunState {
             program: Arc::clone(&program),
             gamma,
-            inbox: DeltaInbox::new(),
+            inbox: ShardedInbox::new(workers),
+            plans,
             no_delta,
             no_gamma,
             type_check: config.type_check,
@@ -550,19 +803,47 @@ impl Engine {
 
         let mut tree = DeltaQueue::new(self.config.delta);
         let mut steps: u64 = 0;
+        // Reusable drain buffer and per-table insert counters: the batch
+        // drain publishes one stats update per touched table per step,
+        // not one per tuple.
+        let mut staged: Vec<(OrderKey, Tuple)> = Vec::new();
+        let mut inserted_by_table: Vec<u64> = vec![0; state.program.defs().len()];
+        let inline_threshold = self.config.inline_class_threshold.max(1);
+        // The per-step drain/execute timers share the record_steps gate:
+        // profiling runs get the split, production runs pay zero clock
+        // reads in the coordinator loop.
+        let timing = self.config.record_steps;
         loop {
             if state.has_errors() {
                 break;
             }
-            // Absorb everything staged by the previous step's workers.
-            while let Some((key, t)) = state.inbox.pop() {
-                let ti = t.table().index();
-                if tree.insert(&key, t) {
-                    state.stats.tables[ti]
-                        .delta_inserts
-                        .fetch_add(1, Ordering::Relaxed);
+            // Absorb everything staged by the previous step's workers: one
+            // bulk swap across the shards, then batched tree inserts.
+            let drain_start = timing.then(Instant::now);
+            state.inbox.drain_batch(&mut staged);
+            if !staged.is_empty() {
+                for (key, t) in staged.drain(..) {
+                    let ti = t.table().index();
+                    if tree.insert(&key, t) {
+                        inserted_by_table[ti] += 1;
+                    }
+                }
+                for (ti, count) in inserted_by_table.iter_mut().enumerate() {
+                    if *count > 0 {
+                        state.stats.tables[ti]
+                            .delta_inserts
+                            .fetch_add(*count, Ordering::Relaxed);
+                        *count = 0;
+                    }
                 }
             }
+            if let Some(t0) = drain_start {
+                state
+                    .stats
+                    .drain_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+
             let Some((key, mut class)) = tree.pop_min_class() else {
                 break;
             };
@@ -577,41 +858,54 @@ impl Engine {
             }
             let class_size = class.len();
             state.stats.record_step(class_size);
-            let step_start = self.config.record_steps.then(Instant::now);
+            let exec_start = timing.then(Instant::now);
 
-            // Deterministic intra-class order for the sequential engine
-            // (parallel execution order is intentionally unspecified).
-            class.sort();
-
-            match (&self.pool, class.len()) {
-                (Some(pool), n) if n > 1 => {
-                    // The all-minimums strategy: one fork/join task per
-                    // tuple (chunked to keep task overhead sane for the
-                    // very wide classes of e.g. MatrixMult).
-                    let chunk = n.div_ceil(pool.num_threads() * 4).max(1);
+            match &self.pool {
+                Some(pool) if class_size > inline_threshold => {
+                    // Adaptive all-minimums: chunk by measured class width
+                    // and current pool occupancy, submit all chunks as one
+                    // batch (single wakeup).
+                    state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
+                    let chunk = jstar_pool::adaptive_chunk(pool, class_size);
                     let key = &key;
                     pool.scope(|s| {
-                        for piece in class.chunks(chunk) {
-                            s.spawn(move |_| {
-                                for t in piece {
-                                    process_tuple(state, key, t.clone());
-                                }
-                            });
-                        }
+                        s.spawn_batch(class.chunks(chunk).map(|piece| {
+                            move |_: &jstar_pool::Scope<'_>| {
+                                process_class_chunk(state, key, piece);
+                            }
+                        }));
                     });
                 }
-                _ => {
+                Some(_) => {
+                    // Tiny class: fork/join overhead exceeds the work, so
+                    // execute inline on the coordinator.
+                    state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
+                    for t in class {
+                        process_tuple(state, &key, t);
+                    }
+                }
+                None => {
+                    // Deterministic intra-class order for the sequential
+                    // engine (parallel execution order is intentionally
+                    // unspecified, so only this arm pays for the sort).
+                    state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
+                    class.sort();
                     for t in class {
                         process_tuple(state, &key, t);
                     }
                 }
             }
 
-            if let Some(t0) = step_start {
+            if let Some(t0) = exec_start {
+                let exec_elapsed = t0.elapsed();
+                state
+                    .stats
+                    .execute_nanos
+                    .fetch_add(exec_elapsed.as_nanos() as u64, Ordering::Relaxed);
                 state.stats.log_step(StepRecord {
                     key: key.to_string(),
                     class_size,
-                    micros: t0.elapsed().as_micros(),
+                    micros: exec_elapsed.as_micros(),
                 });
             }
 
@@ -633,6 +927,10 @@ impl Engine {
             steps,
             tuples_processed: state.stats.tuples_processed.load(Ordering::Relaxed),
             elapsed: start.elapsed(),
+            drain_time: Duration::from_nanos(state.stats.drain_nanos.load(Ordering::Relaxed)),
+            execute_time: Duration::from_nanos(state.stats.execute_nanos.load(Ordering::Relaxed)),
+            inline_classes: state.stats.inline_classes.load(Ordering::Relaxed),
+            forked_classes: state.stats.forked_classes.load(Ordering::Relaxed),
             output: state.output.lock().clone(),
         })
     }

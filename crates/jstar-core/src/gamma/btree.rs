@@ -1,6 +1,6 @@
 //! Sequential ordered store — the paper's `TreeSet` default.
 
-use super::{pk_conflict, InsertOutcome, TableStore};
+use super::{insert_locked, InsertOutcome, TableStore};
 use crate::query::Query;
 use crate::schema::TableDef;
 use crate::tuple::Tuple;
@@ -32,27 +32,17 @@ impl BTreeStore {
 
 impl TableStore for BTreeStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
+        insert_locked(&self.def, &mut self.set.lock(), t)
+    }
+
+    fn insert_batch(&self, tuples: &[Tuple], outcomes: &mut Vec<InsertOutcome>) {
+        // One lock acquisition for the whole batch.
         let mut set = self.set.lock();
-        if set.contains(&t) {
-            return InsertOutcome::Duplicate;
-        }
-        if let Some(k) = self.def.key_arity {
-            // Key fields are leading fields, and tuples sort by fields, so
-            // all candidates with the same key are contiguous: range over
-            // them starting at the first tuple with those key fields.
-            let probe = Tuple::new(t.table(), t.key_fields(&self.def).to_vec());
-            for existing in set.range(probe..) {
-                if existing.fields().len() >= k && existing.fields()[..k] == t.fields()[..k] {
-                    if pk_conflict(&self.def, existing, &t) {
-                        return InsertOutcome::KeyConflict;
-                    }
-                } else {
-                    break;
-                }
-            }
-        }
-        set.insert(t);
-        InsertOutcome::Fresh
+        outcomes.extend(
+            tuples
+                .iter()
+                .map(|t| insert_locked(&self.def, &mut set, t.clone())),
+        );
     }
 
     fn contains(&self, t: &Tuple) -> bool {

@@ -1,7 +1,7 @@
 //! Concurrent ordered store — the paper's `ConcurrentSkipListSet` default
 //! for parallel code, realised as sharded reader-writer-locked BTrees.
 
-use super::{pk_conflict, InsertOutcome, TableStore};
+use super::{insert_locked, InsertOutcome, TableStore};
 use crate::query::Query;
 use crate::schema::TableDef;
 use crate::tuple::Tuple;
@@ -48,24 +48,32 @@ impl ConcurrentOrderedStore {
 impl TableStore for ConcurrentOrderedStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
         let shard = &self.shards[self.shard_of(&t)];
-        let mut set = shard.write();
-        if set.contains(&t) {
-            return InsertOutcome::Duplicate;
-        }
-        if let Some(k) = self.def.key_arity {
-            let probe = Tuple::new(t.table(), t.key_fields(&self.def).to_vec());
-            for existing in set.range(probe..) {
-                if existing.fields()[..k] == t.fields()[..k] {
-                    if pk_conflict(&self.def, existing, &t) {
-                        return InsertOutcome::KeyConflict;
-                    }
-                } else {
-                    break;
-                }
+        insert_locked(&self.def, &mut shard.write(), t)
+    }
+
+    fn insert_batch(&self, tuples: &[Tuple], outcomes: &mut Vec<InsertOutcome>) {
+        // Group the batch by shard so each shard lock is taken once per
+        // run instead of once per tuple. Order of outcomes still matches
+        // the input order.
+        let base = outcomes.len();
+        outcomes.resize(base + tuples.len(), InsertOutcome::Duplicate);
+        let mut by_shard: Vec<(usize, usize)> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (self.shard_of(t), i))
+            .collect();
+        by_shard.sort_unstable();
+        let mut i = 0;
+        while i < by_shard.len() {
+            let shard_idx = by_shard[i].0;
+            let mut set = self.shards[shard_idx].write();
+            while i < by_shard.len() && by_shard[i].0 == shard_idx {
+                let tuple_idx = by_shard[i].1;
+                outcomes[base + tuple_idx] =
+                    insert_locked(&self.def, &mut set, tuples[tuple_idx].clone());
+                i += 1;
             }
         }
-        set.insert(t);
-        InsertOutcome::Fresh
     }
 
     fn contains(&self, t: &Tuple) -> bool {

@@ -17,6 +17,10 @@ use std::sync::Arc;
 /// One shard: index key -> set of tuples sharing that key.
 type Shard = RwLock<HashMap<Box<[Value]>, HashSet<Tuple>>>;
 
+/// Batch-insert routing entry: (shard, input index, index key). The key is
+/// an `Option` only so it can be moved out exactly once during insertion.
+type KeyedEntry = (usize, usize, Option<Box<[Value]>>);
+
 /// A sharded hash index over chosen fields.
 ///
 /// Tuples are bucketed by the values of `index_fields`; queries that
@@ -71,24 +75,68 @@ impl HashStore {
     }
 }
 
+fn insert_into_map(
+    def: &TableDef,
+    map: &mut HashMap<Box<[Value]>, HashSet<Tuple>>,
+    key: Box<[Value]>,
+    t: Tuple,
+) -> InsertOutcome {
+    let bucket = map.entry(key).or_default();
+    // Keyless tables skip the membership probe: one hash op decides
+    // fresh-vs-duplicate.
+    if def.key_arity.is_none() {
+        return if bucket.insert(t) {
+            InsertOutcome::Fresh
+        } else {
+            InsertOutcome::Duplicate
+        };
+    }
+    if bucket.contains(&t) {
+        return InsertOutcome::Duplicate;
+    }
+    for existing in bucket.iter() {
+        if pk_conflict(def, existing, &t) {
+            return InsertOutcome::KeyConflict;
+        }
+    }
+    bucket.insert(t);
+    InsertOutcome::Fresh
+}
+
 impl TableStore for HashStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
         let key = self.index_key(&t);
         let shard = &self.shards[self.shard_for_key(&key)];
-        let mut map = shard.write();
-        let bucket = map.entry(key).or_default();
-        if bucket.contains(&t) {
-            return InsertOutcome::Duplicate;
-        }
-        if self.def.key_arity.is_some() {
-            for existing in bucket.iter() {
-                if pk_conflict(&self.def, existing, &t) {
-                    return InsertOutcome::KeyConflict;
-                }
+        insert_into_map(&self.def, &mut shard.write(), key, t)
+    }
+
+    fn insert_batch(&self, tuples: &[Tuple], outcomes: &mut Vec<InsertOutcome>) {
+        // Group by shard so each shard lock is taken once per run (same
+        // shape as ConcurrentOrderedStore::insert_batch); outcome order
+        // matches input order.
+        let base = outcomes.len();
+        outcomes.resize(base + tuples.len(), InsertOutcome::Duplicate);
+        let mut keyed: Vec<KeyedEntry> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let key = self.index_key(t);
+                (self.shard_for_key(&key), i, Some(key))
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|(shard, i, _)| (*shard, *i));
+        let mut i = 0;
+        while i < keyed.len() {
+            let shard_idx = keyed[i].0;
+            let mut map = self.shards[shard_idx].write();
+            while i < keyed.len() && keyed[i].0 == shard_idx {
+                let (_, tuple_idx, key) = &mut keyed[i];
+                let key = key.take().expect("key consumed once");
+                outcomes[base + *tuple_idx] =
+                    insert_into_map(&self.def, &mut map, key, tuples[*tuple_idx].clone());
+                i += 1;
             }
         }
-        bucket.insert(t);
-        InsertOutcome::Fresh
     }
 
     fn contains(&self, t: &Tuple) -> bool {
@@ -117,8 +165,14 @@ impl TableStore for HashStore {
     }
 
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
-        // Fast path: all indexed fields are bound — one bucket.
-        if q.covers_fields(&self.index_fields) {
+        self.query_hinted(q, q.covers_fields(&self.index_fields), f);
+    }
+
+    fn query_hinted(&self, q: &Query, use_index: bool, f: &mut dyn FnMut(&Tuple) -> bool) {
+        // Fast path: all indexed fields are bound — one bucket. The
+        // decision arrives pre-computed (engine `QueryPlan`) or from
+        // `query`'s own covers check.
+        if use_index {
             let key: Box<[Value]> = self
                 .index_fields
                 .iter()
@@ -135,6 +189,10 @@ impl TableStore for HashStore {
             return;
         }
         self.for_each(&mut |t| if q.matches(t) { f(t) } else { true });
+    }
+
+    fn index_fields(&self) -> Option<&[usize]> {
+        Some(&self.index_fields)
     }
 
     fn retain(&self, keep: &dyn Fn(&Tuple) -> bool) {
@@ -165,6 +223,29 @@ mod tests {
     #[test]
     fn satisfies_store_contract() {
         exercise_store_contract(&indexed_on_key());
+    }
+
+    #[test]
+    fn insert_batch_matches_per_tuple_outcomes() {
+        let batch_store = indexed_on_key();
+        let loop_store = indexed_on_key();
+        // Duplicates and key conflicts interleaved across buckets/shards.
+        let tuples: Vec<_> = (0..100)
+            .map(|i| match i % 4 {
+                0 => kt(i / 4, i, "v"),
+                1 => kt(i / 4, i - 1, "v"), // key conflict with the 0-arm
+                2 => kt(i / 4, i - 2, "v"), // duplicate of the 0-arm
+                _ => kt(1000 + i, i, "w"),  // fresh, other shard
+            })
+            .collect();
+        let want: Vec<InsertOutcome> = tuples
+            .iter()
+            .map(|t| loop_store.insert(t.clone()))
+            .collect();
+        let mut got = Vec::new();
+        batch_store.insert_batch(&tuples, &mut got);
+        assert_eq!(got, want, "batch outcomes match per-tuple order");
+        assert_eq!(batch_store.len(), loop_store.len());
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct TableStats {
     pub triggers: AtomicU64,
     /// Queries answered against this table.
     pub queries: AtomicU64,
+    /// Queries that the table's [`crate::engine::QueryPlan`] routed through
+    /// an index (all index fields equality-bound), vs. full scans.
+    pub queries_indexed: AtomicU64,
 }
 
 /// Plain snapshot of [`TableStats`].
@@ -37,6 +40,7 @@ pub struct TableStatsSnapshot {
     pub gamma_dups: u64,
     pub triggers: u64,
     pub queries: u64,
+    pub queries_indexed: u64,
 }
 
 impl TableStats {
@@ -48,6 +52,7 @@ impl TableStats {
             gamma_dups: self.gamma_dups.load(Ordering::Relaxed),
             triggers: self.triggers.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            queries_indexed: self.queries_indexed.load(Ordering::Relaxed),
         }
     }
 }
@@ -70,6 +75,18 @@ pub struct EngineStats {
     pub steps: AtomicU64,
     pub tuples_processed: AtomicU64,
     pub max_class: AtomicU64,
+    /// Coordinator time spent absorbing staged tuples into the Delta queue
+    /// (nanoseconds, summed over all steps).
+    pub drain_nanos: AtomicU64,
+    /// Time spent executing equivalence classes — Gamma inserts plus rule
+    /// bodies (nanoseconds, summed over all steps; wall time of the step's
+    /// execution phase, not CPU time across workers).
+    pub execute_nanos: AtomicU64,
+    /// Classes executed inline on the coordinator (width at or below the
+    /// adaptive scheduler's inline threshold).
+    pub inline_classes: AtomicU64,
+    /// Classes fanned out to the fork/join pool.
+    pub forked_classes: AtomicU64,
     /// Per-step log; only populated when
     /// [`crate::engine::EngineConfig::record_steps`] is set.
     pub step_log: Mutex<Vec<StepRecord>>,
@@ -82,6 +99,10 @@ impl EngineStats {
             steps: AtomicU64::new(0),
             tuples_processed: AtomicU64::new(0),
             max_class: AtomicU64::new(0),
+            drain_nanos: AtomicU64::new(0),
+            execute_nanos: AtomicU64::new(0),
+            inline_classes: AtomicU64::new(0),
+            forked_classes: AtomicU64::new(0),
             step_log: Mutex::new(Vec::new()),
         }
     }

@@ -36,6 +36,8 @@ mod pool;
 mod scope;
 
 pub use latch::CountLatch;
-pub use parfor::{parallel_chunks, parallel_for, parallel_for_each, parallel_map, parallel_reduce};
+pub use parfor::{
+    adaptive_chunk, parallel_chunks, parallel_for, parallel_for_each, parallel_map, parallel_reduce,
+};
 pub use pool::{global, ThreadPool};
 pub use scope::Scope;

@@ -7,10 +7,18 @@
 
 use crate::pool::ThreadPool;
 
-/// Picks a chunk size that gives each thread a few chunks to steal.
-fn auto_chunk(len: usize, threads: usize) -> usize {
-    let target_chunks = threads * 4;
-    len.div_ceil(target_chunks.max(1)).max(1)
+/// Occupancy-aware chunk size: gives each thread a few chunks to steal
+/// when the pool is idle, but when the pool already has a backlog of
+/// queued jobs the split is coarsened — extra tasks would only queue
+/// behind the backlog, so fine-grained splitting buys no extra
+/// parallelism and costs task overhead.
+pub fn adaptive_chunk(pool: &ThreadPool, len: usize) -> usize {
+    let threads = pool.num_threads();
+    let backlog = pool.pending_jobs();
+    // Idle pool: 4 stealable chunks per thread. Saturated pool: one chunk
+    // per thread is plenty.
+    let per_thread = if backlog >= threads { 1 } else { 4 };
+    len.div_ceil((threads * per_thread).max(1)).max(1)
 }
 
 /// Runs `body(i)` for every `i` in `range`, in parallel chunks.
@@ -25,7 +33,7 @@ where
         return;
     }
     let chunk = if chunk == 0 {
-        auto_chunk(len, pool.num_threads())
+        adaptive_chunk(pool, len)
     } else {
         chunk
     };
@@ -63,7 +71,7 @@ where
         return;
     }
     let chunk = if chunk == 0 {
-        auto_chunk(len, pool.num_threads())
+        adaptive_chunk(pool, len)
     } else {
         chunk
     };
@@ -91,7 +99,7 @@ where
         return Vec::new();
     }
     let chunk = if chunk == 0 {
-        auto_chunk(len, pool.num_threads())
+        adaptive_chunk(pool, len)
     } else {
         chunk
     };
@@ -123,7 +131,7 @@ where
         return Vec::new();
     }
     let chunk = if chunk == 0 {
-        auto_chunk(n, pool.num_threads())
+        adaptive_chunk(pool, n)
     } else {
         chunk
     };

@@ -2,7 +2,7 @@
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -26,19 +26,39 @@ pub(crate) struct Shared {
     sleep_cond: Condvar,
 }
 
+/// A worker thread's registration: its pool, local deque, and stable index.
+type LocalWorker = (Arc<Shared>, Worker<Job>, usize);
+
 thread_local! {
     /// Local deque of the current worker thread, if this thread belongs to a
-    /// pool. Used so that jobs spawned from inside the pool go to the fast
-    /// LIFO path instead of the shared injector.
-    static LOCAL: RefCell<Option<(Arc<Shared>, Worker<Job>)>> = const { RefCell::new(None) };
+    /// pool, together with the worker's stable index within that pool. Used
+    /// so that jobs spawned from inside the pool go to the fast LIFO path
+    /// instead of the shared injector, and so engine code can route
+    /// per-worker state (e.g. sharded Delta staging buffers) without
+    /// synchronisation.
+    static LOCAL: RefCell<Option<LocalWorker>> = const { RefCell::new(None) };
+
+    /// Nesting depth of "helping" job execution on this thread. Helping
+    /// recurses (a helped job can enter a scope, which helps again); an
+    /// unbounded chain overflows the stack on deeply recursive fork/join
+    /// programs, so waiters past [`MAX_HELP_DEPTH`] park on the latch and
+    /// let other threads drain the queue instead.
+    static HELP_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
+
+/// Deeper helping than this parks the waiter instead of executing more
+/// jobs inline, letting workers and shallower waiters drain the queue.
+/// If *every* thread sits at the cap (pathologically deep single-chain
+/// nesting), [`Scope::run`] falls back to forced helping after a stall,
+/// trading the stack-depth guarantee for guaranteed progress.
+const MAX_HELP_DEPTH: usize = 48;
 
 impl Shared {
     /// Pushes a job, preferring the current worker's local deque.
     pub(crate) fn push(self: &Arc<Self>, job: Job) {
         self.pending.fetch_add(1, Ordering::Release);
         let pushed_locally = LOCAL.with(|slot| {
-            if let Some((shared, worker)) = slot.borrow().as_ref() {
+            if let Some((shared, worker, _)) = slot.borrow().as_ref() {
                 if Arc::ptr_eq(shared, self) {
                     worker.push(job);
                     return None;
@@ -50,6 +70,35 @@ impl Shared {
             self.injector.push(job);
         }
         // Wake one sleeper; it will wake further sleepers if more work shows up.
+        let _guard = self.sleep_lock.lock();
+        self.sleep_cond.notify_all();
+    }
+
+    /// Pushes a whole batch of jobs with a single wakeup, instead of one
+    /// lock/notify round-trip per job. This is the submission shape of the
+    /// engine's all-minimums step: all chunks of one equivalence class are
+    /// ready at once, so per-job notification is pure overhead.
+    pub(crate) fn push_batch(self: &Arc<Self>, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        self.pending.fetch_add(jobs.len(), Ordering::Release);
+        let leftover = LOCAL.with(|slot| {
+            if let Some((shared, worker, _)) = slot.borrow().as_ref() {
+                if Arc::ptr_eq(shared, self) {
+                    for job in jobs {
+                        worker.push(job);
+                    }
+                    return None;
+                }
+            }
+            Some(jobs)
+        });
+        if let Some(jobs) = leftover {
+            for job in jobs {
+                self.injector.push(job);
+            }
+        }
         let _guard = self.sleep_lock.lock();
         self.sleep_cond.notify_all();
     }
@@ -95,32 +144,39 @@ impl Shared {
         let _ = panic::catch_unwind(AssertUnwindSafe(job));
     }
 
-    /// Executes one available job. Returns false when no job was found.
-    pub(crate) fn try_help(&self) -> bool {
+    /// Executes one available job. Returns false when no job was found or
+    /// this thread's helping recursion is already at the depth cap
+    /// (unless `force` overrides the cap to break a stall).
+    pub(crate) fn try_help(&self, force: bool) -> bool {
+        if !force && HELP_DEPTH.with(|d| d.get()) >= MAX_HELP_DEPTH {
+            return false;
+        }
         let local_job = LOCAL.with(|slot| {
             let borrow = slot.borrow();
             match borrow.as_ref() {
-                Some((_, worker)) => self.find_job(Some(worker)),
+                Some((_, worker, _)) => self.find_job(Some(worker)),
                 None => self.find_job(None),
             }
         });
         match local_job {
             Some(job) => {
+                HELP_DEPTH.with(|d| d.set(d.get() + 1));
                 self.run_job(job);
+                HELP_DEPTH.with(|d| d.set(d.get() - 1));
                 true
             }
             None => false,
         }
     }
 
-    fn worker_loop(self: Arc<Self>, worker: Worker<Job>) {
+    fn worker_loop(self: Arc<Self>, worker: Worker<Job>, index: usize) {
         LOCAL.with(|slot| {
-            *slot.borrow_mut() = Some((Arc::clone(&self), worker));
+            *slot.borrow_mut() = Some((Arc::clone(&self), worker, index));
         });
         loop {
             let job = LOCAL.with(|slot| {
                 let borrow = slot.borrow();
-                let (_, worker) = borrow.as_ref().expect("worker registered above");
+                let (_, worker, _) = borrow.as_ref().expect("worker registered above");
                 self.find_job(Some(worker))
             });
             match job {
@@ -182,7 +238,7 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("jstar-worker-{i}"))
-                    .spawn(move || shared.worker_loop(w))
+                    .spawn(move || shared.worker_loop(w, i))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -196,6 +252,33 @@ impl ThreadPool {
     /// The number of worker threads in this pool.
     pub fn num_threads(&self) -> usize {
         self.threads
+    }
+
+    /// The stable index of the calling worker thread within *this* pool:
+    /// `Some(0..num_threads)` on a pool worker, `None` on any other thread
+    /// (including workers of a different pool).
+    ///
+    /// This is what lets callers keep per-worker state — e.g. the engine's
+    /// sharded Delta staging buffers — without any cross-thread
+    /// synchronisation on the hot path.
+    pub fn current_worker_index(&self) -> Option<usize> {
+        LOCAL.with(|slot| {
+            slot.borrow().as_ref().and_then(|(shared, _, index)| {
+                if Arc::ptr_eq(shared, &self.shared) {
+                    Some(*index)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of submitted-but-not-yet-started jobs — a cheap occupancy
+    /// signal. The engine's adaptive scheduler uses it to pick chunk sizes:
+    /// a backlog means smaller task counts (bigger chunks) waste less time
+    /// queuing.
+    pub fn pending_jobs(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
     }
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {
@@ -382,6 +465,59 @@ mod tests {
             a + b
         }
         assert_eq!(fib(&pool, 16), 987);
+    }
+
+    #[test]
+    fn worker_index_is_stable_and_scoped_to_pool() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let other = ThreadPool::new(2);
+        assert_eq!(pool.current_worker_index(), None, "caller is not a worker");
+        assert_eq!(other.current_worker_index(), None);
+        // Detached jobs run on worker threads only (no caller helping), so
+        // every one of them must observe a valid index for its own pool.
+        let done = Arc::new(AtomicU64::new(0));
+        let ok = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let pool2 = Arc::clone(&pool);
+            let done = Arc::clone(&done);
+            let ok = Arc::clone(&ok);
+            pool.execute(move || {
+                if matches!(pool2.current_worker_index(), Some(i) if i < 3) {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while done.load(Ordering::Relaxed) < 64 {
+            std::thread::yield_now();
+        }
+        assert_eq!(ok.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn spawn_batch_runs_every_task() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn_batch((0..128).map(|_| {
+                |_: &crate::Scope<'_>| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn pending_jobs_drains_to_zero() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {});
+            }
+        });
+        // After the scope, every submitted job has started (and finished).
+        assert_eq!(pool.pending_jobs(), 0);
     }
 
     #[test]

@@ -57,13 +57,26 @@ impl<'scope> Scope<'scope> {
         // data could be freed while tasks still run.
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
 
-        // Help execute work until every spawned task has finished.
+        // Help execute work until every spawned task has finished. Helping
+        // is depth-capped to bound stack growth; if the pool stalls with
+        // every thread at the cap (pathologically deep nesting), force one
+        // over-cap help so the system always makes progress.
+        let mut stalled_waits = 0u32;
         while !scope.state.latch.is_clear() {
-            if !pool.shared().try_help() {
+            if pool.shared().try_help(false) {
+                stalled_waits = 0;
+            } else {
                 scope
                     .state
                     .latch
                     .wait_timeout(std::time::Duration::from_millis(1));
+                stalled_waits += 1;
+                if stalled_waits >= 2
+                    && !scope.state.latch.is_clear()
+                    && pool.shared().try_help(true)
+                {
+                    stalled_waits = 0;
+                }
             }
         }
 
@@ -107,6 +120,45 @@ impl<'scope> Scope<'scope> {
         pool_shared.push(job);
     }
 
+    /// Spawns a whole batch of tasks with a single queue submission and a
+    /// single worker wakeup. Use this when all tasks of a fork/join step
+    /// are known up front (the engine's all-minimums class execution): it
+    /// removes the per-task notify storm of repeated [`Scope::spawn`].
+    pub fn spawn_batch<F, I>(&self, fs: I)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+        I: IntoIterator<Item = F>,
+    {
+        let pool = self.pool;
+        // Drain the caller's iterator *before* touching the latch: user
+        // code may panic mid-iteration, and an increment without a queued
+        // job would make Scope::run wait forever.
+        let fs: Vec<F> = fs.into_iter().collect();
+        let jobs: Vec<Job> = fs
+            .into_iter()
+            .map(|f| {
+                self.state.latch.increment();
+                let state = Arc::clone(&self.state);
+                let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    let scope = Scope {
+                        pool,
+                        state: Arc::clone(&state),
+                        _marker: PhantomData,
+                    };
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+                    if let Err(payload) = result {
+                        scope.state.record_panic(payload);
+                    }
+                    state.latch.decrement();
+                });
+                // SAFETY: identical to `spawn` — the latch keeps `'scope`
+                // alive until every batched task has run.
+                unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) }
+            })
+            .collect();
+        Arc::clone(self.pool.shared()).push_batch(jobs);
+    }
+
     /// The pool this scope runs on.
     pub fn pool(&self) -> &'scope ThreadPool {
         self.pool
@@ -132,6 +184,50 @@ mod tests {
             }
         });
         assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pathologically_deep_nesting_makes_progress() {
+        // Regression: a single chain of nested scopes deeper than the
+        // helping cap used to livelock once every thread hit the cap.
+        // The forced-help fallback must keep it moving.
+        let pool = ThreadPool::new(1);
+        fn nest(pool: &ThreadPool, depth: usize, hits: &AtomicUsize) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if depth == 0 {
+                return;
+            }
+            pool.scope(|s| {
+                s.spawn(move |inner| nest(inner.pool(), depth - 1, hits));
+            });
+        }
+        let hits = AtomicUsize::new(0);
+        nest(&pool, 200, &hits);
+        assert_eq!(hits.load(Ordering::Relaxed), 201);
+    }
+
+    #[test]
+    fn spawn_batch_iterator_panic_does_not_hang() {
+        // Regression: a panicking batch iterator used to leak latch
+        // increments, making Scope::run wait forever.
+        let pool = ThreadPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let ran = &ran;
+                s.spawn_batch((0..10).map(move |i| {
+                    if i == 5 {
+                        panic!("iterator panic");
+                    }
+                    move |_: &crate::Scope<'_>| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+        // No task ever started: the latch was never incremented.
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -189,8 +189,9 @@ pub mod deque {
                 let mut dq = dest.inner.lock().unwrap_or_else(|e| e.into_inner());
                 for _ in 0..extra {
                     if let Some(v) = q.pop_front() {
-                        // Preserve FIFO order for the stolen batch: the
-                        // owner pops LIFO, so push to the front in reverse.
+                        // Appended at the owner's LIFO end, so the owner
+                        // pops the stolen batch newest-first. Job order is
+                        // unspecified for the pool, so this is fine.
                         dq.push_back(v);
                     }
                 }
