@@ -16,6 +16,7 @@
 //! matrix, shared safely across row tasks.
 
 use jstar_core::gamma::{InsertOutcome, TableStore};
+use jstar_core::jstar_table;
 use jstar_core::prelude::*;
 use jstar_core::query::Query as CoreQuery;
 use std::any::Any;
@@ -26,6 +27,25 @@ use std::sync::Arc;
 pub const MAT_A: i64 = 0;
 pub const MAT_B: i64 = 1;
 pub const MAT_C: i64 = 2;
+
+jstar_table! {
+    /// The multiplication request: carries the dimension.
+    #[derive(Copy, Eq)]
+    pub MultRequest(int n) orderby (Req)
+}
+
+jstar_table! {
+    /// One output-row task; all rows form a single `par` class.
+    #[derive(Copy, Eq)]
+    pub RowRequest(int row) orderby (Row, par row)
+}
+
+jstar_table! {
+    /// `table Matrix(int mat, int row, int col -> int value)` — the
+    /// native-arrays table of §6.4, held in [`MatrixStore`].
+    #[derive(Copy, Eq)]
+    pub Matrix(int mat, int row, int col -> int value) orderby (Mat)
+}
 
 /// Dense native-array store for `table Matrix(int mat, int row, int col ->
 /// int value)`.
@@ -91,24 +111,27 @@ impl MatrixStore {
     fn tuple_of(&self, mat: i64, row: usize, col: usize) -> Tuple {
         Tuple::new(
             self.def.id,
-            vec![
-                Value::Int(mat),
-                Value::Int(row as i64),
-                Value::Int(col as i64),
-                Value::Int(self.get(mat, row, col)),
-            ],
+            Matrix {
+                mat,
+                row: row as i64,
+                col: col as i64,
+                value: self.get(mat, row, col),
+            }
+            .into_values(),
         )
     }
 }
 
 impl TableStore for MatrixStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
-        self.set(t.int(0), t.int(1) as usize, t.int(2) as usize, t.int(3));
+        let m = Matrix::from_tuple(&t);
+        self.set(m.mat, m.row as usize, m.col as usize, m.value);
         InsertOutcome::Fresh
     }
 
     fn contains(&self, t: &Tuple) -> bool {
-        self.get(t.int(0), t.int(1) as usize, t.int(2) as usize) == t.int(3)
+        let m = Matrix::from_tuple(t);
+        self.get(m.mat, m.row as usize, m.col as usize) == m.value
     }
 
     fn len(&self) -> usize {
@@ -129,7 +152,11 @@ impl TableStore for MatrixStore {
 
     fn query(&self, q: &CoreQuery, f: &mut dyn FnMut(&Tuple) -> bool) {
         // Dense keys: point and row queries resolve by direct indexing.
-        match (q.eq_value(0), q.eq_value(1), q.eq_value(2)) {
+        match (
+            q.eq_value(Matrix::mat.index()),
+            q.eq_value(Matrix::row.index()),
+            q.eq_value(Matrix::col.index()),
+        ) {
             (Some(mat), Some(row), Some(col)) => {
                 let t = self.tuple_of(mat.as_int(), row.as_int() as usize, col.as_int() as usize);
                 if q.matches(&t) {
@@ -172,18 +199,9 @@ pub fn build_program(n: usize, a: Arc<Vec<i64>>, b: Arc<Vec<i64>>) -> MatMulApp 
     assert_eq!(b.len(), n * n);
     let mut p = ProgramBuilder::new();
 
-    let request = p.table("MultRequest", |t| t.col_int("n").orderby(&[strat("Req")]));
-    let row_req = p.table("RowRequest", |t| {
-        t.col_int("row").orderby(&[strat("Row"), par("row")])
-    });
-    let matrix = p.table("Matrix", |t| {
-        t.col_int("mat")
-            .col_int("row")
-            .col_int("col")
-            .col_int("value")
-            .key(3)
-            .orderby(&[strat("Mat")])
-    });
+    let request = p.relation::<MultRequest>().id();
+    let row_req = p.relation::<RowRequest>().id();
+    let matrix = p.relation::<Matrix>().id();
     p.order(&["Req", "Row", "Mat"]);
 
     // Rule 1: the request loads A and B into the native-array Gamma store
@@ -200,22 +218,23 @@ pub fn build_program(n: usize, a: Arc<Vec<i64>>, b: Arc<Vec<i64>>) -> MatMulApp 
         queries: vec![],
     };
     let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
-    p.rule_with_model("load-and-fan-out", request, load_model, move |ctx, req| {
-        let n = req.int(0) as usize;
-        let store = ctx.store(ctx.table("Matrix"));
-        let mstore = store
-            .as_any()
-            .downcast_ref::<MatrixStore>()
-            .expect("Matrix table uses MatrixStore");
-        mstore.load(MAT_A, &a2);
-        mstore.load(MAT_B, &b2);
-        for row in 0..n {
-            ctx.put(Tuple::new(
-                ctx.table("RowRequest"),
-                vec![Value::Int(row as i64)],
-            ));
-        }
-    });
+    p.rule_rel_with_model(
+        "load-and-fan-out",
+        load_model,
+        move |ctx, req: MultRequest| {
+            let n = req.n as usize;
+            let store = ctx.store(ctx.rel::<Matrix>().id());
+            let mstore = store
+                .as_any()
+                .downcast_ref::<MatrixStore>()
+                .expect("Matrix table uses MatrixStore");
+            mstore.load(MAT_A, &a2);
+            mstore.load(MAT_B, &b2);
+            for row in 0..n {
+                ctx.put_rel(RowRequest { row: row as i64 });
+            }
+        },
+    );
 
     // Rule 2: each row request computes one output row — "loops over all
     // the columns of that row, and uses a nested loop with a summation
@@ -231,9 +250,9 @@ pub fn build_program(n: usize, a: Arc<Vec<i64>>, b: Arc<Vec<i64>>) -> MatMulApp 
         }],
         queries: vec![],
     };
-    p.rule_with_model("compute-row", row_req, row_model, move |ctx, t| {
-        let row = t.int(0) as usize;
-        let store = ctx.store(ctx.table("Matrix"));
+    p.rule_rel_with_model("compute-row", row_model, move |ctx, t: RowRequest| {
+        let row = t.row as usize;
+        let store = ctx.store(ctx.rel::<Matrix>().id());
         let m = store
             .as_any()
             .downcast_ref::<MatrixStore>()
@@ -249,7 +268,7 @@ pub fn build_program(n: usize, a: Arc<Vec<i64>>, b: Arc<Vec<i64>>) -> MatMulApp 
         }
     });
 
-    p.put(Tuple::new(request, vec![Value::Int(n as i64)]));
+    p.put_rel(MultRequest { n: n as i64 });
 
     MatMulApp {
         program: Arc::new(p.build().expect("matmul program builds")),
@@ -417,19 +436,23 @@ mod tests {
         );
         let store = MatrixStore::new(def, 4);
         store.set(MAT_A, 2, 3, 42);
-        // Point query.
-        let q = CoreQuery::on(TableId(0))
-            .eq(0, MAT_A)
-            .eq(1, 2i64)
-            .eq(2, 3i64);
+        // Point query, written with the typed tokens and lowered.
+        let q = Matrix::query()
+            .eq(Matrix::mat, MAT_A)
+            .eq(Matrix::row, 2)
+            .eq(Matrix::col, 3)
+            .lower(TableId(0));
         let mut got = Vec::new();
         store.query(&q, &mut |t| {
-            got.push(t.int(3));
+            got.push(Matrix::from_tuple(t).value);
             true
         });
         assert_eq!(got, vec![42]);
         // Row query returns n cells.
-        let q = CoreQuery::on(TableId(0)).eq(0, MAT_A).eq(1, 2i64);
+        let q = Matrix::query()
+            .eq(Matrix::mat, MAT_A)
+            .eq(Matrix::row, 2)
+            .lower(TableId(0));
         let mut count = 0;
         store.query(&q, &mut |_| {
             count += 1;

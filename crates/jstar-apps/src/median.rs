@@ -25,6 +25,7 @@
 //! the `iter` timestamp orders iterations.
 
 use jstar_core::gamma::{InsertOutcome, TableStore};
+use jstar_core::jstar_table;
 use jstar_core::prelude::*;
 use std::any::Any;
 use std::cell::UnsafeCell;
@@ -33,6 +34,60 @@ use std::sync::Arc;
 /// When the active element count drops to this, the controller gathers and
 /// sorts directly ("until only one value is left", loosely).
 const DIRECT_THRESHOLD: usize = 64;
+
+jstar_table! {
+    /// §6.6's `table Data(int iter, int index -> double value)`, held in
+    /// the two-row native array store. The paper orders it
+    /// `(Int, seq iter, Data, seq index)`; here the trailing `seq index`
+    /// is dropped — Data tuples never trigger rules (the store absorbs
+    /// them directly), so only the `iter` generation matters for
+    /// causality.
+    #[derive(Copy)]
+    pub Data(int iter, int index -> double value)
+        orderby (Int, seq iter, DataS)
+}
+
+jstar_table! {
+    /// One active segment `[lo, hi)` of a region in generation `iter`.
+    #[derive(Copy, Eq)]
+    pub Seg(int iter, int region -> int lo, int hi)
+        orderby (Int, seq iter, SegS)
+}
+
+jstar_table! {
+    /// The per-iteration controller state: which rank is sought.
+    #[derive(Copy, Eq)]
+    pub Ctl(int iter -> int k)
+        orderby (Int, seq iter, CtlS)
+}
+
+jstar_table! {
+    /// One partition task — the parallel phase (`par region`).
+    #[derive(Copy)]
+    pub PartReq(int iter, int region -> int lo, int hi, double pivot)
+        orderby (Int, seq iter, ReqS, par region)
+}
+
+jstar_table! {
+    /// One region's partition-size report.
+    #[derive(Copy, Eq)]
+    pub Res(int iter, int region -> int less, int eq)
+        orderby (Int, seq iter, ResS)
+}
+
+jstar_table! {
+    /// The per-iteration collection trigger (set semantics dedups the
+    /// one-per-task copies).
+    #[derive(Copy, Eq)]
+    pub Collect(int iter)
+        orderby (Int, seq iter, ColS)
+}
+
+jstar_table! {
+    /// The answer.
+    #[derive(Copy)]
+    pub MedianResult(double value) orderby (Ans)
+}
 
 /// The two-row native array store for the `Data` table.
 ///
@@ -138,15 +193,17 @@ impl MedianArrayStore {
 
 impl TableStore for MedianArrayStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
-        // table Data(int iter, int index -> double value)
-        let (iter, index, value) = (t.int(0), t.int(1) as usize, t.double(2));
-        let row = &self.rows[(iter % 2) as usize];
-        unsafe { *row[index].get() = value };
+        // table Data(int iter, int index -> double value) — decoded
+        // through the typed relation so the layout lives in one place.
+        let d = Data::from_tuple(&t);
+        let row = &self.rows[(d.iter % 2) as usize];
+        unsafe { *row[d.index as usize].get() = d.value };
         InsertOutcome::Fresh
     }
 
     fn contains(&self, t: &Tuple) -> bool {
-        self.read(t.int(0), t.int(1) as usize) == t.double(2)
+        let d = Data::from_tuple(t);
+        self.read(d.iter, d.index as usize) == d.value
     }
 
     fn len(&self) -> usize {
@@ -158,11 +215,12 @@ impl TableStore for MedianArrayStore {
             for index in 0..self.rows[0].len() {
                 let t = Tuple::new(
                     self.def.id,
-                    vec![
-                        Value::Int(iter),
-                        Value::Int(index as i64),
-                        Value::Double(self.read(iter, index)),
-                    ],
+                    Data {
+                        iter,
+                        index: index as i64,
+                        value: self.read(iter, index),
+                    }
+                    .into_values(),
                 );
                 if !f(&t) {
                     return;
@@ -195,52 +253,15 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
     let regions = regions.clamp(1, data_len);
     let mut p = ProgramBuilder::new();
 
-    // The Data relation, held in the custom two-row array store.
-    let data_t = p.table("Data", |t| {
-        t.col_int("iter")
-            .col_int("index")
-            .col_double("value")
-            .key(2)
-            .orderby(&[strat("Int"), seq("iter"), strat("DataS")])
-    });
-    let seg = p.table("Seg", |t| {
-        t.col_int("iter")
-            .col_int("region")
-            .col_int("lo")
-            .col_int("hi")
-            .key(2)
-            .orderby(&[strat("Int"), seq("iter"), strat("SegS")])
-    });
-    let ctl = p.table("Ctl", |t| {
-        t.col_int("iter")
-            .col_int("k")
-            .key(1)
-            .orderby(&[strat("Int"), seq("iter"), strat("CtlS")])
-    });
-    let part_req = p.table("PartReq", |t| {
-        t.col_int("iter")
-            .col_int("region")
-            .col_int("lo")
-            .col_int("hi")
-            .col_double("pivot")
-            .key(2)
-            .orderby(&[strat("Int"), seq("iter"), strat("ReqS"), par("region")])
-    });
-    let _res = p.table("Res", |t| {
-        t.col_int("iter")
-            .col_int("region")
-            .col_int("less")
-            .col_int("eq")
-            .key(2)
-            .orderby(&[strat("Int"), seq("iter"), strat("ResS")])
-    });
-    let collect = p.table("Collect", |t| {
-        t.col_int("iter")
-            .orderby(&[strat("Int"), seq("iter"), strat("ColS")])
-    });
-    let result = p.table("MedianResult", |t| {
-        t.col_double("value").orderby(&[strat("Ans")])
-    });
+    // The typed declarations above carry the schemas; the Data relation
+    // is held in the custom two-row array store.
+    let data_t = p.relation::<Data>().id();
+    let _seg = p.relation::<Seg>().id();
+    let _ctl = p.relation::<Ctl>().id();
+    let _part_req = p.relation::<PartReq>().id();
+    let _res = p.relation::<Res>().id();
+    let _collect = p.relation::<Collect>().id();
+    let result = p.relation::<MedianResult>().id();
     // Stage ordering within an iteration, and the final answer last.
     p.order(&["SegS", "CtlS", "ReqS", "ResS", "ColS"]);
     p.order(&["DataS", "CtlS"]);
@@ -277,16 +298,15 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
             }],
         }
     };
-    p.rule_with_model("control", ctl, ctl_model, move |ctx, t| {
-        let (iter, k) = (t.int(0), t.int(1) as usize);
-        let seg_t = ctx.table("Seg");
+    p.rule_rel_with_model("control", ctl_model, move |ctx, t: Ctl| {
+        let (iter, k) = (t.iter, t.k as usize);
         let mut segments: Vec<(usize, usize)> = Vec::new();
-        ctx.query_for_each(&Query::on(seg_t).eq(0, iter), |s| {
-            segments.push((s.int(2) as usize, s.int(3) as usize));
+        ctx.for_each_rel(Seg::query().eq(Seg::iter, iter), |s: Seg| {
+            segments.push((s.lo as usize, s.hi as usize));
             true
         });
         segments.sort();
-        let store = ctx.store(ctx.table("Data"));
+        let store = ctx.store(ctx.rel::<Data>().id());
         let arr = store
             .as_any()
             .downcast_ref::<MedianArrayStore>()
@@ -296,24 +316,18 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
             // Gather, sort, answer.
             let mut vals = arr.gather(iter, &segments);
             vals.sort_by(f64::total_cmp);
-            ctx.put(Tuple::new(
-                ctx.table("MedianResult"),
-                vec![Value::Double(vals[k])],
-            ));
+            ctx.put_rel(MedianResult { value: vals[k] });
             return;
         }
         let pivot = arr.first_of(iter, &segments).expect("non-empty");
         for (region, &(lo, hi)) in segments.iter().enumerate() {
-            ctx.put(Tuple::new(
-                ctx.table("PartReq"),
-                vec![
-                    Value::Int(iter),
-                    Value::Int(region as i64),
-                    Value::Int(lo as i64),
-                    Value::Int(hi as i64),
-                    Value::Double(pivot),
-                ],
-            ));
+            ctx.put_rel(PartReq {
+                iter,
+                region: region as i64,
+                lo: lo as i64,
+                hi: hi as i64,
+                pivot,
+            });
         }
     });
 
@@ -341,31 +355,26 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
             queries: vec![],
         }
     };
-    p.rule_with_model("partition", part_req, part_model, move |ctx, t| {
-        let (iter, region) = (t.int(0), t.int(1));
-        let (lo, hi) = (t.int(2) as usize, t.int(3) as usize);
-        let pivot = t.double(4);
-        let store = ctx.store(ctx.table("Data"));
+    p.rule_rel_with_model("partition", part_model, move |ctx, t: PartReq| {
+        let (lo, hi) = (t.lo as usize, t.hi as usize);
+        let store = ctx.store(ctx.rel::<Data>().id());
         let arr = store
             .as_any()
             .downcast_ref::<MedianArrayStore>()
             .expect("Data uses MedianArrayStore");
         let (less, eq) = if hi > lo {
-            arr.partition3(iter, lo, hi, pivot)
+            arr.partition3(t.iter, lo, hi, t.pivot)
         } else {
             (0, 0)
         };
-        ctx.put(Tuple::new(
-            ctx.table("Res"),
-            vec![
-                Value::Int(iter),
-                Value::Int(region),
-                Value::Int(less as i64),
-                Value::Int(eq as i64),
-            ],
-        ));
+        ctx.put_rel(Res {
+            iter: t.iter,
+            region: t.region,
+            less: less as i64,
+            eq: eq as i64,
+        });
         // One Collect per iteration (set semantics dedups the copies).
-        ctx.put(Tuple::new(ctx.table("Collect"), vec![Value::Int(iter)]));
+        ctx.put_rel(Collect { iter: t.iter });
     });
 
     // Collector: aggregate the region reports and recurse on the side
@@ -429,40 +438,36 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
             ],
         }
     };
-    p.rule_with_model("collect", collect, col_model, move |ctx, t| {
-        let iter = t.int(0);
+    p.rule_rel_with_model("collect", col_model, move |ctx, t: Collect| {
+        let iter = t.iter;
         // Aggregate the per-region reports, in region order.
         let mut rows: Vec<(i64, usize, usize, usize, usize)> = Vec::new(); // region, lo, hi, less, eq
-        ctx.query_for_each(&Query::on(ctx.table("Seg")).eq(0, iter), |s| {
-            rows.push((s.int(1), s.int(2) as usize, s.int(3) as usize, 0, 0));
+        ctx.for_each_rel(Seg::query().eq(Seg::iter, iter), |s: Seg| {
+            rows.push((s.region, s.lo as usize, s.hi as usize, 0, 0));
             true
         });
         rows.sort();
-        ctx.query_for_each(&Query::on(ctx.table("Res")).eq(0, iter), |r| {
-            let region = r.int(1);
-            if let Some(row) = rows.iter_mut().find(|row| row.0 == region) {
-                row.3 = r.int(2) as usize;
-                row.4 = r.int(3) as usize;
+        ctx.for_each_rel(Res::query().eq(Res::iter, iter), |r: Res| {
+            if let Some(row) = rows.iter_mut().find(|row| row.0 == r.region) {
+                row.3 = r.less as usize;
+                row.4 = r.eq as usize;
             }
             true
         });
         let k = ctx
-            .get_uniq(&Query::on(ctx.table("Ctl")).eq(0, iter))
+            .get_uniq_rel(Ctl::query().eq(Ctl::iter, iter))
             .expect("controller exists")
-            .int(1) as usize;
+            .k as usize;
         let pivot = ctx
-            .get_uniq(&Query::on(ctx.table("PartReq")).eq(0, iter))
+            .get_uniq_rel(PartReq::query().eq(PartReq::iter, iter))
             .expect("partition request exists")
-            .double(4);
+            .pivot;
         let total_less: usize = rows.iter().map(|r| r.3).sum();
         let total_eq: usize = rows.iter().map(|r| r.4).sum();
 
         if k >= total_less && k < total_less + total_eq {
             // The k-th element equals the pivot.
-            ctx.put(Tuple::new(
-                ctx.table("MedianResult"),
-                vec![Value::Double(pivot)],
-            ));
+            ctx.put_rel(MedianResult { value: pivot });
             return;
         }
         let (next_k, pick_less) = if k < total_less {
@@ -476,20 +481,17 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
             } else {
                 (lo + less + eq, hi)
             };
-            ctx.put(Tuple::new(
-                ctx.table("Seg"),
-                vec![
-                    Value::Int(iter + 1),
-                    Value::Int(region),
-                    Value::Int(nlo as i64),
-                    Value::Int(nhi as i64),
-                ],
-            ));
+            ctx.put_rel(Seg {
+                iter: iter + 1,
+                region,
+                lo: nlo as i64,
+                hi: nhi as i64,
+            });
         }
-        ctx.put(Tuple::new(
-            ctx.table("Ctl"),
-            vec![Value::Int(iter + 1), Value::Int(next_k as i64)],
-        ));
+        ctx.put_rel(Ctl {
+            iter: iter + 1,
+            k: next_k as i64,
+        });
     });
 
     // Initial segments (N consecutive regions) and the first controller.
@@ -498,17 +500,17 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
     for region in 0..regions {
         let lo = region * per;
         let hi = ((region + 1) * per).min(data_len);
-        p.put(Tuple::new(
-            seg,
-            vec![
-                Value::Int(0),
-                Value::Int(region as i64),
-                Value::Int(lo.min(data_len) as i64),
-                Value::Int(hi as i64),
-            ],
-        ));
+        p.put_rel(Seg {
+            iter: 0,
+            region: region as i64,
+            lo: lo.min(data_len) as i64,
+            hi: hi as i64,
+        });
     }
-    p.put(Tuple::new(ctl, vec![Value::Int(0), Value::Int(k as i64)]));
+    p.put_rel(Ctl {
+        iter: 0,
+        k: k as i64,
+    });
 
     MedianApp {
         program: Arc::new(p.build().expect("median program builds")),
@@ -523,9 +525,9 @@ pub fn run_jstar(data: Arc<Vec<f64>>, regions: usize, config: EngineConfig) -> R
     let config = config.store(app.data, MedianArrayStore::factory(data));
     let mut engine = Engine::new(Arc::clone(&app.program), config);
     engine.run()?;
-    let results = engine.gamma().collect(&Query::on(app.result));
+    let results = engine.collect_rel(MedianResult::query());
     match results.first() {
-        Some(t) => Ok(t.double(0)),
+        Some(r) => Ok(r.value),
         None => Err(JStarError::Other(
             "median program produced no result".into(),
         )),

@@ -17,6 +17,7 @@
 //! over its local Gamma — the exact Fig. 9 structure, not a shortcut map.
 
 use crate::pvwatts::data::parse_record;
+use crate::pvwatts::{PvWatts, SumMonth};
 use jstar_core::delta::DeltaTree;
 use jstar_core::gamma::{HashStore, TableStore};
 use jstar_core::orderby::{KeyPart, OrderKey};
@@ -91,7 +92,11 @@ impl ConsumerState {
                 .build_def(TableId(1)),
         );
         ConsumerState {
-            gamma: HashStore::new(Arc::clone(&pv_def), vec![0, 1], 4),
+            gamma: HashStore::new(
+                Arc::clone(&pv_def),
+                vec![PvWatts::year.index(), PvWatts::month.index()],
+                4,
+            ),
             pv_def,
             delta: DeltaTree::new(),
             sum_def,
@@ -100,22 +105,25 @@ impl ConsumerState {
 
     /// Phase-1 work per claimed event: create the PvWatts tuple, insert it
     /// into the local Gamma, and stage the (deduplicated) SumMonth tuple
-    /// in the local Delta tree.
+    /// in the local Delta tree. Rows are encoded through the typed
+    /// relations, so the field layout lives in one declaration.
     fn absorb(&mut self, ev: &PvEvent) {
-        let tuple = Tuple::new(
-            self.pv_def.id,
-            vec![
-                Value::Int(ev.year as i64),
-                Value::Int(ev.month as i64),
-                Value::Int(ev.day as i64),
-                Value::Int(ev.hour as i64),
-                Value::Int(ev.power),
-            ],
-        );
-        self.gamma.insert(tuple);
+        let row = PvWatts {
+            year: ev.year as i64,
+            month: ev.month as i64,
+            day: ev.day as i64,
+            hour: ev.hour as i64,
+            power: ev.power,
+        };
+        self.gamma
+            .insert(Tuple::new(self.pv_def.id, row.into_values()));
         let sum = Tuple::new(
             self.sum_def.id,
-            vec![Value::Int(ev.year as i64), Value::Int(ev.month as i64)],
+            SumMonth {
+                year: ev.year as i64,
+                month: ev.month as i64,
+            }
+            .into_values(),
         );
         // SumMonth orderby (SumMonth): a single stratum key.
         self.delta.insert(&OrderKey(vec![KeyPart::Strat(1)]), sum);
@@ -128,14 +136,17 @@ impl ConsumerState {
         let mut out = Vec::new();
         while let Some((_, class)) = self.delta.pop_min_class() {
             for sm in class {
-                let (y, m) = (sm.int(0), sm.int(1));
-                let q = Query::on(self.pv_def.id).eq(0, y).eq(1, m);
+                let sm = SumMonth::from_tuple(&sm);
+                let q = PvWatts::query()
+                    .eq(PvWatts::year, sm.year)
+                    .eq(PvWatts::month, sm.month)
+                    .lower(self.pv_def.id);
                 let mut stats = jstar_core::reduce::Stats::empty();
                 self.gamma.query(&q, &mut |t| {
-                    stats.add(t.int(4) as f64);
+                    stats.add(t.int(PvWatts::power.index()) as f64);
                     true
                 });
-                out.push((y, m, stats.mean()));
+                out.push((sm.year, sm.month, stats.mean()));
             }
         }
         out.sort_by_key(|a| (a.0, a.1));

@@ -26,8 +26,32 @@ pub use data::{generate_csv, generate_records, render_csv, InputOrder, PvRecord}
 pub use disruptor_version::{run_multi_producer, DisruptorConfig, PvEvent};
 pub use month_store::MonthArrayStore;
 
+use jstar_core::jstar_table;
 use jstar_core::prelude::*;
 use std::sync::Arc;
+
+jstar_table! {
+    /// `table PvWattsRequest(int region, int start, int end)
+    ///  orderby (Req, par region)` — one region-read request per reader.
+    #[derive(Copy, Eq)]
+    pub PvWattsRequest(int region, int start, int end)
+        orderby (Req, par region)
+}
+
+jstar_table! {
+    /// `table PvWatts(int year, int month, int day, int hour, int power)
+    ///  orderby (PvWatts)` — Fig. 4, one row per hourly measurement.
+    #[derive(Copy, Eq)]
+    pub PvWatts(int year, int month, int day, int hour, int power)
+        orderby (PvWatts)
+}
+
+jstar_table! {
+    /// `table SumMonth(int year, int month) orderby (SumMonth)` — Fig. 4;
+    /// set semantics dedups the one-per-record copies.
+    #[derive(Copy, Eq)]
+    pub SumMonth(int year, int month) orderby (SumMonth)
+}
 
 /// The built PvWatts program plus its table handles.
 pub struct PvWattsApp {
@@ -77,28 +101,10 @@ impl Variant {
 pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
     let mut p = ProgramBuilder::new();
 
-    // table PvWattsRequest(int region, int start, int end) orderby (Req, par region)
-    let request = p.table("PvWattsRequest", |b| {
-        b.col_int("region")
-            .col_int("start")
-            .col_int("end")
-            .orderby(&[strat("Req"), par("region")])
-    });
-    // table PvWatts(int year, int month, int day, int hour, int power) orderby (PvWatts)
-    let pvwatts = p.table("PvWatts", |b| {
-        b.col_int("year")
-            .col_int("month")
-            .col_int("day")
-            .col_int("hour")
-            .col_int("power")
-            .orderby(&[strat("PvWatts")])
-    });
-    // table SumMonth(int year, int month) orderby (SumMonth)
-    let summonth = p.table("SumMonth", |b| {
-        b.col_int("year")
-            .col_int("month")
-            .orderby(&[strat("SumMonth")])
-    });
+    // The typed declarations above carry the schemas.
+    let request = p.relation::<PvWattsRequest>().id();
+    let pvwatts = p.relation::<PvWatts>().id();
+    let summonth = p.relation::<SumMonth>().id();
     // order Req < PvWatts < SumMonth — without this, the summarise rule is
     // not stratifiable (Fig. 4's discussion).
     p.order(&["Req", "PvWatts", "SumMonth"]);
@@ -116,21 +122,18 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
         queries: vec![],
     };
     let csv_for_read = Arc::clone(&csv);
-    p.rule_with_model("read-csv", request, read_model, move |ctx, req| {
-        let (start, end) = (req.int(1) as usize, req.int(2) as usize);
+    p.rule_rel_with_model("read-csv", read_model, move |ctx, req: PvWattsRequest| {
+        let (start, end) = (req.start as usize, req.end as usize);
         let reader = jstar_csv::RegionReader::new(&csv_for_read, start, end);
         for rec in reader.records() {
             if let Some(r) = data::parse_record(&rec) {
-                ctx.put(Tuple::new(
-                    ctx.table("PvWatts"),
-                    vec![
-                        Value::Int(r.year),
-                        Value::Int(r.month),
-                        Value::Int(r.day),
-                        Value::Int(r.hour),
-                        Value::Int(r.power),
-                    ],
-                ));
+                ctx.put_rel(PvWatts {
+                    year: r.year,
+                    month: r.month,
+                    day: r.day,
+                    hour: r.hour,
+                    power: r.power,
+                });
             }
         }
     });
@@ -147,11 +150,11 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
         }],
         queries: vec![],
     };
-    p.rule_with_model("request-month", pvwatts, month_model, move |ctx, pv| {
-        ctx.put(Tuple::new(
-            ctx.table("SumMonth"),
-            vec![pv.get(0).clone(), pv.get(1).clone()],
-        ));
+    p.rule_rel_with_model("request-month", month_model, move |ctx, pv: PvWatts| {
+        ctx.put_rel(SumMonth {
+            year: pv.year,
+            month: pv.month,
+        });
     });
 
     // Rule 3: foreach (SumMonth s) { Statistics over PvWatts(s.year, s.month) }
@@ -166,9 +169,9 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
             label: "aggregate month".into(),
         }],
     };
-    p.rule_with_model("summarise", summonth, sum_model, move |ctx, s| {
-        let (year, month) = (s.int(0), s.int(1));
-        let store = ctx.store(ctx.table("PvWatts"));
+    p.rule_rel_with_model("summarise", sum_model, move |ctx, s: SumMonth| {
+        let (year, month) = (s.year, s.month);
+        let store = ctx.store(ctx.rel::<PvWatts>().id());
         let stats = if let Some(ms) = store.as_any().downcast_ref::<MonthArrayStore>() {
             // Custom-store fast path: fold raw samples, no tuple
             // materialisation (the paper's hand-optimised reducer loop).
@@ -176,8 +179,15 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
                 ms.fold_powers(year, month, (0u64, 0i64), |(n, s), p| (n + 1, s + p));
             (count, sum as f64)
         } else {
-            let q = Query::on(ctx.table("PvWatts")).eq(0, year).eq(1, month);
-            let st = ctx.reduce(&q, &Statistics { field: 4 });
+            let q = PvWatts::query()
+                .eq(PvWatts::year, year)
+                .eq(PvWatts::month, month);
+            let st = ctx.reduce_rel(
+                q,
+                &Statistics {
+                    field: PvWatts::power.index(),
+                },
+            );
             (st.count, st.sum)
         };
         ctx.println(format!("{year}/{month}: {}", stats.1 / stats.0 as f64));
@@ -186,14 +196,11 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
     // Initial puts: one region request per reader (Fig. 7's phase 1).
     let regions = jstar_csv::split_regions(csv.len(), n_readers.max(1));
     for (i, (start, end)) in regions.into_iter().enumerate() {
-        p.put(Tuple::new(
-            request,
-            vec![
-                Value::Int(i as i64),
-                Value::Int(start as i64),
-                Value::Int(end as i64),
-            ],
-        ));
+        p.put_rel(PvWattsRequest {
+            region: i as i64,
+            start: start as i64,
+            end: end as i64,
+        });
     }
 
     PvWattsApp {

@@ -10,8 +10,10 @@
 //! samples without materialising tuples — the paper's hand-written
 //! override of "one factory method".
 
+use super::PvWatts;
 use jstar_core::gamma::{InsertOutcome, TableStore};
 use jstar_core::query::Query;
+use jstar_core::relation::Relation;
 use jstar_core::schema::TableDef;
 use jstar_core::tuple::Tuple;
 use jstar_core::value::Value;
@@ -97,16 +99,22 @@ impl MonthArrayStore {
 
 impl TableStore for MonthArrayStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
-        let (year, month) = (t.int(0), t.int(1));
-        assert!((1..=12).contains(&month), "month out of range: {month}");
+        // Decode through the typed relation: field offsets live in one
+        // place (the `jstar_table!` declaration), not in this store.
+        let r = PvWatts::from_tuple(&t);
+        assert!(
+            (1..=12).contains(&r.month),
+            "month out of range: {}",
+            r.month
+        );
         let sample = Sample {
-            day: t.int(2) as i32,
-            hour: t.int(3) as i32,
-            power: t.int(4),
+            day: r.day as i32,
+            hour: r.hour as i32,
+            power: r.power,
         };
-        self.months[(month - 1) as usize]
+        self.months[(r.month - 1) as usize]
             .lock()
-            .entry(year)
+            .entry(r.year)
             .or_default()
             .push(sample);
         self.len.fetch_add(1, Ordering::Relaxed);
@@ -114,18 +122,18 @@ impl TableStore for MonthArrayStore {
     }
 
     fn contains(&self, t: &Tuple) -> bool {
-        let (year, month) = (t.int(0), t.int(1));
-        if !(1..=12).contains(&month) {
+        let r = PvWatts::from_tuple(t);
+        if !(1..=12).contains(&r.month) {
             return false;
         }
         let probe = Sample {
-            day: t.int(2) as i32,
-            hour: t.int(3) as i32,
-            power: t.int(4),
+            day: r.day as i32,
+            hour: r.hour as i32,
+            power: r.power,
         };
-        self.months[(month - 1) as usize]
+        self.months[(r.month - 1) as usize]
             .lock()
-            .get(&year)
+            .get(&r.year)
             .is_some_and(|v| v.contains(&probe))
     }
 
@@ -148,7 +156,10 @@ impl TableStore for MonthArrayStore {
 
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
         // The intended access path: year and month both bound.
-        if let (Some(year), Some(month)) = (q.eq_value(0), q.eq_value(1)) {
+        if let (Some(year), Some(month)) = (
+            q.eq_value(PvWatts::year.index()),
+            q.eq_value(PvWatts::month.index()),
+        ) {
             let (year, month) = (year.as_int(), month.as_int());
             if !(1..=12).contains(&month) {
                 return;
@@ -230,10 +241,12 @@ mod tests {
         store.insert(rec(2001, 1, 1, 12, 50));
         assert_eq!(store.len(), 4);
 
-        let q = Query::on(TableId(0)).eq(0, 2000i64).eq(1, 1i64);
+        let q = Query::on(TableId(0))
+            .eq(PvWatts::year.index(), 2000i64)
+            .eq(PvWatts::month.index(), 1i64);
         let mut powers = Vec::new();
         store.query(&q, &mut |t| {
-            powers.push(t.int(4));
+            powers.push(t.int(PvWatts::power.index()));
             true
         });
         powers.sort();
@@ -274,7 +287,7 @@ mod tests {
         for d in 1..=10 {
             store.insert(rec(2000, 6, d, 12, d * 10));
         }
-        store.retain(&|t| t.int(4) > 50);
+        store.retain(&|t| t.int(PvWatts::power.index()) > 50);
         assert_eq!(store.len(), 5);
     }
 

@@ -19,23 +19,29 @@
 //! Time is modelled as the `frame` timestamp field; the movement rule puts
 //! the next frame's Ship from the current one — the canonical
 //! "record data that changes over time by adding timestamps" pattern.
+//!
+//! The table is declared through the typed `jstar_table!` item form, so
+//! the one-line declaration of §3 yields both the schema and the [`Ship`]
+//! struct the rule body receives.
 
+use jstar_core::jstar_table;
 use jstar_core::prelude::*;
 use std::sync::Arc;
 
-/// One row of the Ship table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShipState {
-    pub frame: i64,
-    pub x: i64,
-    pub y: i64,
-    pub dx: i64,
-    pub dy: i64,
+jstar_table! {
+    /// `table Ship(int frame -> int x, int y, int dx, int dy)
+    ///  orderby (Int, seq frame)` — §3's declaration, verbatim.
+    #[derive(Copy, Eq)]
+    pub Ship(int frame -> int x, int y, int dx, int dy)
+        orderby (Int, seq frame)
 }
+
+/// Backwards-compatible name for one row of the Ship table.
+pub type ShipState = Ship;
 
 /// The movement transition of Fig. 2: right in 150 px jumps until x = 460,
 /// down in 10 px steps until y = 30, then left in 150 px jumps.
-pub fn next_state(s: ShipState) -> ShipState {
+pub fn next_state(s: Ship) -> Ship {
     let (x, y, dx, dy) = (s.x, s.y, s.dx, s.dy);
     // Apply current velocity.
     let (nx, ny) = (x + dx, y + dy);
@@ -47,7 +53,7 @@ pub fn next_state(s: ShipState) -> ShipState {
     } else {
         (dx, dy)
     };
-    ShipState {
+    Ship {
         frame: s.frame + 1,
         x: nx,
         y: ny,
@@ -57,21 +63,8 @@ pub fn next_state(s: ShipState) -> ShipState {
 }
 
 /// Builds the Ship program, stopping after `max_frame` (Fig. 2 uses 7).
-///
-/// The table is declared exactly as in §3:
-/// `table Ship(int frame -> int x, int y, int dx, int dy)
-///  orderby (Int, seq frame)`.
 pub fn program(max_frame: i64) -> Program {
     let mut p = ProgramBuilder::new();
-    let ship = p.table("Ship", |b| {
-        b.col_int("frame")
-            .col_int("x")
-            .col_int("y")
-            .col_int("dx")
-            .col_int("dy")
-            .key(1)
-            .orderby(&[strat("Int"), seq("frame")])
-    });
 
     // Causality model: out.frame == trig.frame + 1 under guard
     // trig.frame < max_frame.
@@ -90,66 +83,34 @@ pub fn program(max_frame: i64) -> Program {
         queries: vec![],
     };
 
-    p.rule_with_model("move", ship, model, move |ctx, t| {
-        let s = ShipState {
-            frame: t.int(0),
-            x: t.int(1),
-            y: t.int(2),
-            dx: t.int(3),
-            dy: t.int(4),
-        };
+    p.rule_rel_with_model("move", model, move |ctx, s: Ship| {
         if s.frame < max_frame {
-            let n = next_state(s);
-            ctx.put(Tuple::new(
-                ship,
-                vec![
-                    Value::Int(n.frame),
-                    Value::Int(n.x),
-                    Value::Int(n.y),
-                    Value::Int(n.dx),
-                    Value::Int(n.dy),
-                ],
-            ));
+            ctx.put_rel(next_state(s));
         }
     });
 
-    p.put(Tuple::new(
-        ship,
-        vec![
-            Value::Int(0),
-            Value::Int(10),
-            Value::Int(10),
-            Value::Int(150),
-            Value::Int(0),
-        ],
-    ));
+    p.put_rel(Ship {
+        frame: 0,
+        x: 10,
+        y: 10,
+        dx: 150,
+        dy: 0,
+    });
     p.build().expect("ship program builds")
 }
 
 /// Runs the program and returns the Ship table sorted by frame.
-pub fn run(max_frame: i64, config: EngineConfig) -> Result<Vec<ShipState>> {
+pub fn run(max_frame: i64, config: EngineConfig) -> Result<Vec<Ship>> {
     let prog = Arc::new(program(max_frame));
-    let ship = prog.table_id("Ship").expect("Ship declared");
     let mut engine = Engine::new(Arc::clone(&prog), config);
     engine.run()?;
-    let mut rows: Vec<ShipState> = engine
-        .gamma()
-        .collect(&Query::on(ship))
-        .into_iter()
-        .map(|t| ShipState {
-            frame: t.int(0),
-            x: t.int(1),
-            y: t.int(2),
-            dx: t.int(3),
-            dy: t.int(4),
-        })
-        .collect();
+    let mut rows = engine.collect_rel(Ship::query());
     rows.sort_by_key(|s| s.frame);
     Ok(rows)
 }
 
 /// The 8-frame trace of Fig. 2, for tests and the quickstart example.
-pub fn figure2_trace() -> Vec<ShipState> {
+pub fn figure2_trace() -> Vec<Ship> {
     let rows = [
         (0, 10, 10, 150, 0),
         (1, 160, 10, 150, 0),
@@ -161,7 +122,7 @@ pub fn figure2_trace() -> Vec<ShipState> {
         (7, 160, 30, -150, 0),
     ];
     rows.iter()
-        .map(|&(frame, x, y, dx, dy)| ShipState {
+        .map(|&(frame, x, y, dx, dy)| Ship {
             frame,
             x,
             y,
@@ -209,5 +170,17 @@ mod tests {
             s = next_state(s);
             assert_eq!(s, *expected);
         }
+    }
+
+    #[test]
+    fn typed_queries_address_fields_by_name() {
+        let prog = Arc::new(program(7));
+        let mut engine = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        engine.run().unwrap();
+        // All frames at the right edge: Ship::x is a compile-checked token.
+        let at_edge = engine.collect_rel(Ship::query().eq(Ship::x, 460));
+        assert_eq!(at_edge.len(), 3);
+        let descending = engine.collect_rel(Ship::query().gt(Ship::dy, 0));
+        assert!(descending.iter().all(|s| s.dx == 0));
     }
 }

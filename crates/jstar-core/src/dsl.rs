@@ -1,16 +1,50 @@
 //! Declarative macros giving JStar's concise surface syntax (§1.1).
 //!
 //! The paper's first design goal is concision: "a concise one-line
-//! notation for defining relational tables". These macros let table and
-//! order declarations be written almost verbatim from the paper:
+//! notation for defining relational tables". The **item form** of
+//! [`crate::jstar_table!`] turns that one line into the full typed façade — a
+//! Rust struct, its [`crate::relation::Relation`] impl, and a
+//! [`crate::relation::Field`] token per column — so rules and queries
+//! are written against named, compile-time-checked fields:
+//!
+//! ```
+//! use jstar_core::prelude::*;
+//!
+//! jstar_core::jstar_table! {
+//!     /// table Ship(int frame -> int x, int y, int dx, int dy)
+//!     ///   orderby (Int, seq frame)           — §3's declaration.
+//!     #[derive(Copy, Eq)]
+//!     pub Ship(int frame -> int x, int y, int dx, int dy)
+//!         orderby (Int, seq frame)
+//! }
+//!
+//! let mut p = ProgramBuilder::new();
+//! let ship = p.relation::<Ship>();
+//! p.rule_rel("move", |ctx, s: Ship| {
+//!     if s.x < 400 {
+//!         ctx.put_rel(Ship { frame: s.frame + 1, x: s.x + 150, ..s });
+//!     }
+//! });
+//! p.put_rel(Ship { frame: 0, x: 10, y: 10, dx: 150, dy: 0 });
+//! let program = std::sync::Arc::new(p.build().unwrap());
+//! let mut engine = Engine::new(program, EngineConfig::sequential());
+//! engine.run().unwrap();
+//! // Typed queries: field/type mismatches are compile errors.
+//! let far = engine.collect_rel(Ship::query().ge(Ship::x, 400));
+//! assert_eq!(far.len(), 1);
+//! # let _ = ship;
+//! ```
+//!
+//! The **expression form** is the positional escape hatch: it declares
+//! the table on a builder and returns only the
+//! [`crate::schema::TableId`], for generic tooling that manipulates
+//! schemas it does not know at compile time:
 //!
 //! ```
 //! use jstar_core::prelude::*;
 //! use jstar_core::{jstar_order, jstar_table};
 //!
 //! let mut p = ProgramBuilder::new();
-//! // table Ship(int frame -> int x, int y, int dx, int dy)
-//! //   orderby (Int, seq frame)
 //! let ship = jstar_table!(p, Ship(int frame -> int x, int y, int dx, int dy)
 //!     orderby (Int, seq frame));
 //! // order Req < PvWatts < SumMonth
@@ -19,15 +53,37 @@
 //! ```
 //!
 //! Column types are `int`, `double`, `String`, `boolean` (the paper's Java
-//! surface types); `->` marks the primary-key split; orderby items are
-//! capitalised stratum literals, `seq field`, or `par field`.
+//! surface types), mapped to `i64`, `f64`, `Arc<str>`, `bool` struct
+//! fields; `->` marks the primary-key split; orderby items are capitalised
+//! stratum literals, `seq field`, or `par field`. Attributes written
+//! before the declaration (doc comments, extra `#[derive(...)]`s such as
+//! `Copy` or `Eq` for all-scalar tables) are passed through to the
+//! generated struct, which always derives `Debug`, `Clone`, `PartialEq`.
 
-/// Declares a table on a [`crate::program::ProgramBuilder`] using the
-/// paper's `table Name(type col, ... -> type col, ...) orderby (...)`
-/// notation. Returns the [`crate::schema::TableId`].
+/// Declares a table using the paper's
+/// `table Name(type col, ... -> type col, ...) orderby (...)` notation.
+///
+/// * **Item form** (`jstar_table! { pub Name(...) orderby (...) }`):
+///   expands to the struct `Name`, its [`crate::relation::Relation`]
+///   impl and one [`crate::relation::Field`] constant per column
+///   (`Name::col`). Register it with
+///   [`crate::program::ProgramBuilder::relation`].
+/// * **Expression form** (`jstar_table!(builder, Name(...) orderby (...))`):
+///   declares the table on the builder and returns the
+///   [`crate::schema::TableId`] — the positional escape hatch.
+///
+/// See the [module docs](crate::dsl) for a worked example of both.
 #[macro_export]
 macro_rules! jstar_table {
-    // Entry point.
+    // ── Item form: emit struct + Relation impl + Field tokens. ──────
+    ($(#[$meta:meta])* $vis:vis $name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
+        $crate::jstar_table!(@item [$(#[$meta])*] [$vis] $name; []; (none); 0usize; [$($ob)*]; $($cols)*);
+    };
+    ($(#[$meta:meta])* $vis:vis $name:ident ( $($cols:tt)* )) => {
+        $crate::jstar_table!(@item [$(#[$meta])*] [$vis] $name; []; (none); 0usize; []; $($cols)*);
+    };
+
+    // ── Expression form: declare on a builder, return the TableId. ──
     ($p:expr, $name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
         $p.table(stringify!($name), |b| {
             let b = $crate::jstar_table!(@cols b, 0usize; $($cols)*);
@@ -87,6 +143,99 @@ macro_rules! jstar_table {
     };
     (@oblist [$($acc:expr,)*] $lit:ident $(, $($rest:tt)*)?) => {
         $crate::jstar_table!(@oblist [$($acc,)* $crate::orderby::strat(stringify!($lit)),] $($($rest)*)?)
+    };
+
+    // Item-form column munchers: accumulate `($idx, $name, RustType,
+    // ValueTypeVariant)` per column, tracking the `->` key split, then
+    // emit the struct and impls in one final step.
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; ) => {
+        $crate::jstar_table!(@emit $m $v $name; [$($acc)*]; $key; $ob);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident) => {
+        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $ob);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident) => {
+        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $ob);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident) => {
+        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $ob);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident) => {
+        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $ob);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident , $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, i64, Int)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, f64, Double)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident -> $($rest:tt)*) => {
+        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, bool, Bool)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+
+    (@key (none)) => { ::core::option::Option::None };
+    (@key (some $k:expr)) => { ::core::option::Option::Some($k) };
+
+    // Final item-form expansion: the struct, its Relation impl, and one
+    // Field token per column.
+    (@emit [$($meta:tt)*] [$vis:vis] $name:ident;
+        [$( ($idx:expr, $n:ident, $rty:ty, $vt:ident) )*]; $key:tt; [$($ob:tt)*]) => {
+        $($meta)*
+        #[derive(Debug, Clone, PartialEq)]
+        $vis struct $name {
+            $( pub $n: $rty, )*
+        }
+
+        impl $crate::relation::Relation for $name {
+            const NAME: &'static str = ::core::stringify!($name);
+            const COLUMNS: &'static [$crate::relation::ColumnSpec] = &[
+                $( $crate::relation::ColumnSpec {
+                    name: ::core::stringify!($n),
+                    ty: $crate::value::ValueType::$vt,
+                }, )*
+            ];
+            const KEY_ARITY: ::core::option::Option<usize> = $crate::jstar_table!(@key $key);
+
+            fn orderby() -> ::std::vec::Vec<$crate::orderby::OrderComponent> {
+                $crate::jstar_table!(@ob $($ob)*)
+            }
+
+            fn from_tuple(t: &$crate::tuple::Tuple) -> Self {
+                $name {
+                    $( $n: $crate::relation::FieldValue::from_value(t.get($idx)), )*
+                }
+            }
+
+            fn into_values(self) -> ::std::vec::Vec<$crate::value::Value> {
+                ::std::vec![ $( $crate::relation::FieldValue::into_value(self.$n), )* ]
+            }
+        }
+
+        #[allow(non_upper_case_globals)]
+        impl $name {
+            $(
+                #[doc = ::core::concat!(
+                    "Typed field token for column `", ::core::stringify!($n), "`."
+                )]
+                pub const $n: $crate::relation::Field<$name, $rty> =
+                    $crate::relation::Field::new($idx, ::core::stringify!($n));
+            )*
+        }
     };
 }
 

@@ -32,7 +32,7 @@
 //!    and inserts the whole batch into the [`DeltaQueue`], accumulating
 //!    per-table statistics in a local scratch array and publishing them
 //!    with **one** atomic update per table instead of one per tuple.
-//! 3. **Borrowed trigger keys** — [`process_tuple`] and [`RuleCtx`] borrow
+//! 3. **Borrowed trigger keys** — `process_tuple` and [`RuleCtx`] borrow
 //!    the equivalence class's `OrderKey`; triggering a rule no longer
 //!    clones the key (the old code cloned it per triggered rule). Tables
 //!    whose orderby yields a constant key (pure-stratum orderings like
@@ -60,6 +60,7 @@ use crate::orderby::{OrderKey, ResolvedComponent, ResolvedOrderBy};
 use crate::program::Program;
 use crate::query::Query;
 use crate::reduce::Reducer;
+use crate::relation::{Field, PreparedQuery, Relation, TableHandle, TypedQuery};
 use crate::schema::TableId;
 use crate::stats::{EngineStats, StepRecord};
 use crate::tuple::Tuple;
@@ -358,7 +359,9 @@ impl<'a> RuleCtx<'a> {
 
     /// Collects all Gamma tuples matching `q` (a positive query).
     pub fn query(&self, q: &Query) -> Vec<Tuple> {
-        let use_index = self.count_query(q);
+        let Some(use_index) = self.count_query(q) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         self.state.gamma.query_hinted(q, use_index, &mut |t| {
             out.push(t.clone());
@@ -369,13 +372,17 @@ impl<'a> RuleCtx<'a> {
 
     /// Streams Gamma tuples matching `q`; return `false` to stop early.
     pub fn query_for_each(&self, q: &Query, mut f: impl FnMut(&Tuple) -> bool) {
-        let use_index = self.count_query(q);
+        let Some(use_index) = self.count_query(q) else {
+            return;
+        };
         self.state.gamma.query_hinted(q, use_index, &mut f);
     }
 
     /// True if some tuple matches (positive existence).
     pub fn exists(&self, q: &Query) -> bool {
-        let use_index = self.count_query(q);
+        let Some(use_index) = self.count_query(q) else {
+            return false;
+        };
         let mut found = false;
         self.state.gamma.query_hinted(q, use_index, &mut |_| {
             found = true;
@@ -394,7 +401,7 @@ impl<'a> RuleCtx<'a> {
 
     /// Returns the unique match, if any (`get uniq?`).
     pub fn get_uniq(&self, q: &Query) -> Option<Tuple> {
-        let use_index = self.count_query(q);
+        let use_index = self.count_query(q)?;
         let mut found = None;
         self.state.gamma.query_hinted(q, use_index, &mut |t| {
             found = Some(t.clone());
@@ -405,7 +412,12 @@ impl<'a> RuleCtx<'a> {
 
     /// Aggregate query: folds every match through `reducer`.
     pub fn reduce<R: Reducer>(&self, q: &Query, reducer: &R) -> R::Acc {
-        let use_index = self.count_query(q);
+        let Some(use_index) = self.count_query(q) else {
+            return reducer.identity();
+        };
+        if !self.check_reducer_field(q, reducer) {
+            return reducer.identity();
+        }
         let mut acc = reducer.identity();
         self.state.gamma.query_hinted(q, use_index, &mut |t| {
             reducer.accept(&mut acc, t);
@@ -458,6 +470,9 @@ impl<'a> RuleCtx<'a> {
     /// could also be executed in parallel, with a tree-based pass to
     /// combine the final reducer results").
     pub fn reduce_parallel<R: Reducer>(&self, q: &Query, reducer: &R) -> R::Acc {
+        if !self.check_reducer_field(q, reducer) {
+            return reducer.identity();
+        }
         match &self.state.pool {
             Some(pool) => {
                 let matches = self.query(q);
@@ -494,18 +509,148 @@ impl<'a> RuleCtx<'a> {
         self.state.record_error(JStarError::Other(msg.into()));
     }
 
-    /// Counts the query and returns the table plan's index-selection
-    /// decision — computed once here and passed down to the store, which
-    /// no longer re-derives it per call.
-    fn count_query(&self, q: &Query) -> bool {
+    /// Counts the query, validates its field indexes against the table
+    /// schema, and returns the table plan's index-selection decision —
+    /// computed once here and passed down to the store, which no longer
+    /// re-derives it per call. `None` means the query named a field the
+    /// table does not have: the error is recorded (failing the run) and
+    /// the query reports no matches instead of panicking in a store.
+    fn count_query(&self, q: &Query) -> Option<bool> {
         let ti = q.table.index();
+        if let Err(e) = q.validate(self.state.program.def(q.table)) {
+            self.state.record_error(e);
+            return None;
+        }
         let stats = &self.state.stats.tables[ti];
         stats.queries.fetch_add(1, Ordering::Relaxed);
         let use_index = self.state.plans[ti].query_uses_index(q);
         if use_index {
             stats.queries_indexed.fetch_add(1, Ordering::Relaxed);
         }
-        use_index
+        Some(use_index)
+    }
+
+    /// Validates a reducer's input field against the queried table's
+    /// arity — the aggregate counterpart of the query-constraint check
+    /// in [`RuleCtx::count_query`]. Records
+    /// [`JStarError::NoSuchField`] and returns false when out of
+    /// bounds, so the fold never reaches a store with a bad index.
+    fn check_reducer_field<R: Reducer>(&self, q: &Query, reducer: &R) -> bool {
+        match reducer.input_field() {
+            Some(f) if f >= self.state.program.def(q.table).arity() => {
+                self.state.record_error(JStarError::NoSuchField {
+                    table: self.state.program.def(q.table).name.clone(),
+                    field: format!("#{f}"),
+                });
+                false
+            }
+            _ => true,
+        }
+    }
+
+    // ── Typed entry points ──────────────────────────────────────────
+    //
+    // The façade of [`crate::relation`]: the same operations as the
+    // positional methods above, but relations in and out. Each method
+    // resolves `R`'s table once (a linear scan over the program's
+    // handful of registrations — cheaper than the per-call string
+    // lookup `ctx.table("...")` the positional style encouraged) and
+    // lowers the typed query by moving its vectors, so nothing below
+    // this layer changes.
+
+    /// The typed handle for relation `R` (panics if unregistered).
+    pub fn rel<R: Relation>(&self) -> TableHandle<R> {
+        self.state.program.handle::<R>()
+    }
+
+    /// Typed [`RuleCtx::put`]: encodes `row` and puts it.
+    pub fn put_rel<R: Relation>(&self, row: R) {
+        let id = self.rel::<R>().id();
+        self.put(Tuple::new(id, row.into_values()));
+    }
+
+    /// Typed [`RuleCtx::query`]: collects and decodes every match.
+    pub fn query_rel<R: Relation>(&self, q: TypedQuery<R>) -> Vec<R> {
+        let q = q.lower(self.rel::<R>());
+        let mut out = Vec::new();
+        self.query_for_each(&q, |t| {
+            out.push(R::from_tuple(t));
+            true
+        });
+        out
+    }
+
+    /// Typed [`RuleCtx::query_for_each`]: streams decoded matches;
+    /// return `false` to stop early.
+    pub fn for_each_rel<R: Relation>(&self, q: TypedQuery<R>, mut f: impl FnMut(R) -> bool) {
+        let q = q.lower(self.rel::<R>());
+        self.query_for_each(&q, |t| f(R::from_tuple(t)));
+    }
+
+    /// Typed [`RuleCtx::exists`].
+    pub fn exists_rel<R: Relation>(&self, q: TypedQuery<R>) -> bool {
+        let q = q.lower(self.rel::<R>());
+        self.exists(&q)
+    }
+
+    /// Typed [`RuleCtx::none`] — the `get uniq? R(...) == null` pattern.
+    pub fn none_rel<R: Relation>(&self, q: TypedQuery<R>) -> bool {
+        !self.exists_rel(q)
+    }
+
+    /// Typed [`RuleCtx::get_uniq`].
+    pub fn get_uniq_rel<R: Relation>(&self, q: TypedQuery<R>) -> Option<R> {
+        let q = q.lower(self.rel::<R>());
+        self.get_uniq(&q).map(|t| R::from_tuple(&t))
+    }
+
+    /// Typed [`RuleCtx::reduce`]: aggregates without decoding rows —
+    /// reducers address fields via [`Field::index`].
+    pub fn reduce_rel<R: Relation, Red: Reducer>(
+        &self,
+        q: TypedQuery<R>,
+        reducer: &Red,
+    ) -> Red::Acc {
+        let q = q.lower(self.rel::<R>());
+        self.reduce(&q, reducer)
+    }
+
+    /// Typed [`RuleCtx::count`].
+    pub fn count_rel<R: Relation>(&self, q: TypedQuery<R>) -> u64 {
+        let q = q.lower(self.rel::<R>());
+        self.count(&q)
+    }
+
+    /// Typed `get min` over an integer field.
+    pub fn min_int_rel<R: Relation>(&self, q: TypedQuery<R>, field: Field<R, i64>) -> Option<i64> {
+        let q = q.lower(self.rel::<R>());
+        self.min_int(&q, field.index())
+    }
+
+    /// Typed `get max` over an integer field.
+    pub fn max_int_rel<R: Relation>(&self, q: TypedQuery<R>, field: Field<R, i64>) -> Option<i64> {
+        let q = q.lower(self.rel::<R>());
+        self.max_int(&q, field.index())
+    }
+
+    /// Collects and decodes the matches of a [`PreparedQuery`] — the
+    /// reuse point for constraint vectors interned once per rule.
+    pub fn query_prepared<R: Relation>(&self, q: &PreparedQuery<R>) -> Vec<R> {
+        let mut out = Vec::new();
+        self.query_for_each(q.as_query(), |t| {
+            out.push(R::from_tuple(t));
+            true
+        });
+        out
+    }
+
+    /// Aggregates over a [`PreparedQuery`] without decoding rows.
+    pub fn reduce_prepared<R: Relation, Red: Reducer>(
+        &self,
+        q: &PreparedQuery<R>,
+        reducer: &Red,
+    ) -> Red::Acc {
+        self.reduce(q.as_query(), reducer)
     }
 }
 
@@ -786,6 +931,12 @@ impl Engine {
         self.injected.push(t);
     }
 
+    /// Typed [`Engine::inject`]: queues an external event relation.
+    pub fn inject_rel<R: Relation>(&mut self, row: R) {
+        let id = self.state.program.handle::<R>().id();
+        self.injected.push(Tuple::new(id, row.into_values()));
+    }
+
     /// Runs the program to quiescence (empty Delta set).
     pub fn run(&mut self) -> Result<RunReport> {
         let start = Instant::now();
@@ -948,6 +1099,31 @@ impl Engine {
     /// The program being executed.
     pub fn program(&self) -> &Arc<Program> {
         &self.state.program
+    }
+
+    /// The typed handle for relation `R` (panics if unregistered).
+    pub fn handle<R: Relation>(&self) -> TableHandle<R> {
+        self.state.program.handle::<R>()
+    }
+
+    /// Collects and decodes every Gamma row matching a typed query —
+    /// the typed read path for inspecting results after a run:
+    /// `engine.collect_rel(Ship::query())`.
+    pub fn collect_rel<R: Relation>(&self, q: TypedQuery<R>) -> Vec<R> {
+        let q = q.lower(self.handle::<R>());
+        let mut out = Vec::new();
+        self.state.gamma.query(&q, &mut |t| {
+            out.push(R::from_tuple(t));
+            true
+        });
+        out
+    }
+
+    /// Streams decoded Gamma rows matching a typed query; return
+    /// `false` from the callback to stop early.
+    pub fn for_each_rel_gamma<R: Relation>(&self, q: TypedQuery<R>, mut f: impl FnMut(R) -> bool) {
+        let q = q.lower(self.handle::<R>());
+        self.state.gamma.query(&q, &mut |t| f(R::from_tuple(t)));
     }
 
     /// Collected output lines so far.

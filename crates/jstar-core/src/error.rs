@@ -21,6 +21,18 @@ pub enum JStarError {
     KeyViolation { table: String, detail: String },
     /// A tuple failed schema type checking.
     Type(String),
+    /// Two tables were declared with the same name. Recorded by the
+    /// builder and reported at [`crate::program::ProgramBuilder::build`]
+    /// so misuse is an error, not a crash.
+    DuplicateTable { table: String },
+    /// A table declared two columns with the same name. Recorded by the
+    /// builder and reported at build time.
+    DuplicateColumn { table: String, column: String },
+    /// A query constrained a field the table does not have. Positional
+    /// queries are validated when they first reach the engine (typed
+    /// [`crate::relation::TypedQuery`] constraints cannot express this).
+    /// `field` is the column name, or `#i` for a raw positional index.
+    NoSuchField { table: String, field: String },
     /// Static causality checking could not prove an obligation. The paper
     /// treats this as a strong warning;
     /// [`crate::program::Program::validate_strict`]
@@ -48,6 +60,15 @@ impl fmt::Display for JStarError {
                 write!(f, "Key violation in table {table}: {detail}")
             }
             JStarError::Type(msg) => write!(f, "Type error: {msg}"),
+            JStarError::DuplicateTable { table } => {
+                write!(f, "Duplicate table declaration: {table}")
+            }
+            JStarError::DuplicateColumn { table, column } => {
+                write!(f, "Duplicate column {column} in table {table}")
+            }
+            JStarError::NoSuchField { table, field } => {
+                write!(f, "Query error: table {table} has no field {field}")
+            }
             JStarError::Unproved(msg) => write!(f, "Causality warning: {msg}"),
             JStarError::Other(msg) => write!(f, "{msg}"),
         }

@@ -21,6 +21,9 @@
 //!   "late commitment to data structures" (§1.4, §5);
 //! * [`rule`] / [`query`] / [`reduce`] — rules, positive/negative/aggregate
 //!   queries, and reducers with user-defined operators (§1.3, §3);
+//! * [`relation`] / [`dsl`] — the typed façade: schema-carrying relation
+//!   structs, `Field` tokens, typed queries, and the `jstar_table!`
+//!   declaration macro (§1.1's concision goal);
 //! * [`causality`] — static proof obligations discharged by a built-in
 //!   Fourier–Motzkin linear-arithmetic engine (the paper's SMT solvers, §4);
 //! * [`engine`] — the pseudo-naive bottom-up evaluator with sequential and
@@ -31,6 +34,13 @@
 //! * [`stats`] — per-table usage statistics and DOT dependency graphs
 //!   (§1.5).
 //!
+//! The public surface is the **typed relation façade** ([`relation`],
+//! [`dsl`]): the paper's one-line table declaration generates a Rust
+//! struct, a schema, and per-column [`relation::Field`] tokens, so rules
+//! and queries are compile-time checked. The positional API
+//! ([`query::Query::on`], [`tuple::Tuple::new`]) remains the documented
+//! low-level escape hatch for custom stores and generic tooling.
+//!
 //! ## Quickstart
 //!
 //! The paper's Ship example (§3): a ship moves right 150 px/frame while
@@ -39,25 +49,25 @@
 //! ```
 //! use jstar_core::prelude::*;
 //!
+//! jstar_core::jstar_table! {
+//!     /// table Ship(int frame -> int x) orderby (Int, seq frame)
+//!     #[derive(Copy, Eq)]
+//!     pub Ship(int frame -> int x) orderby (Int, seq frame)
+//! }
+//!
 //! let mut p = ProgramBuilder::new();
-//! let ship = p.table("Ship", |b| {
-//!     b.col_int("frame").col_int("x")
-//!      .orderby(&[strat("Int"), seq("frame")])
-//! });
-//! p.rule("move-right", ship, move |ctx, s| {
-//!     if s.int(1) < 400 {
-//!         ctx.put(Tuple::new(ship, vec![
-//!             Value::Int(s.int(0) + 1),
-//!             Value::Int(s.int(1) + 150),
-//!         ]));
+//! p.rule_rel("move-right", |ctx, s: Ship| {
+//!     if s.x < 400 {
+//!         ctx.put_rel(Ship { frame: s.frame + 1, x: s.x + 150 });
 //!     }
 //! });
-//! p.put(Tuple::new(ship, vec![Value::Int(0), Value::Int(10)]));
+//! p.put_rel(Ship { frame: 0, x: 10 });
 //!
 //! let program = std::sync::Arc::new(p.build().unwrap());
 //! let mut engine = Engine::new(program.clone(), EngineConfig::sequential());
 //! engine.run().unwrap();
-//! assert_eq!(engine.gamma().collect(&Query::on(ship)).len(), 4);
+//! assert_eq!(engine.collect_rel(Ship::query()).len(), 4);
+//! assert_eq!(engine.collect_rel(Ship::query().ge(Ship::x, 400)).len(), 1);
 //! ```
 
 pub mod causality;
@@ -70,6 +80,7 @@ pub mod orderby;
 pub mod program;
 pub mod query;
 pub mod reduce;
+pub mod relation;
 pub mod rule;
 pub mod schema;
 pub mod stats;
@@ -89,6 +100,9 @@ pub mod prelude {
     pub use crate::reduce::{
         reduce_par, reduce_seq, CountReducer, MaxIntReducer, MinIntReducer, Reducer, Statistics,
         Stats, SumReducer,
+    };
+    pub use crate::relation::{
+        ColumnSpec, Field, FieldValue, PreparedQuery, Relation, TableHandle, TypedQuery,
     };
     pub use crate::schema::{TableDef, TableId};
     pub use crate::tuple::Tuple;

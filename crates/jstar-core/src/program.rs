@@ -1,5 +1,17 @@
 //! Programs — tables + order declarations + rules + initial puts.
 //!
+//! Programs are normally assembled through the **typed layer**: declare
+//! relations with the [`crate::jstar_table!`] item form, register them
+//! with [`ProgramBuilder::relation`], attach rules with
+//! [`ProgramBuilder::rule_rel`] / [`ProgramBuilder::rule_rel_with_model`]
+//! (bodies receive decoded relation structs), and seed the run with
+//! [`ProgramBuilder::put_rel`]. The positional entry points
+//! ([`ProgramBuilder::table`], [`ProgramBuilder::rule`],
+//! [`ProgramBuilder::put`]) remain as the low-level escape hatch for
+//! generic tooling. Builder misuse (duplicate table or column names) is
+//! recorded and reported by [`ProgramBuilder::build`] as a
+//! [`JStarError`], not a panic.
+//!
 //! A [`Program`] is the object the paper's XText compiler would produce
 //! from JStar source: fully resolved table schemas, the strata order, the
 //! rule set indexed by trigger table, and the initial `put` commands. The
@@ -13,11 +25,13 @@ use crate::causality::{check_rule, CausalityModel, ObligationResult};
 use crate::engine::RuleCtx;
 use crate::error::{JStarError, Result};
 use crate::orderby::{OrderComponent, OrderKey, ResolvedOrderBy};
+use crate::relation::{Relation, TableHandle};
 use crate::rule::{Rule, RuleBody};
 use crate::schema::{TableDef, TableDefBuilder, TableId};
 use crate::stats::DependencyGraph;
 use crate::strata::{StrataBuilder, StrataOrder};
 use crate::tuple::Tuple;
+use std::any::TypeId;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -26,9 +40,16 @@ use std::sync::Arc;
 pub struct ProgramBuilder {
     tables: Vec<TableDef>,
     name_to_id: HashMap<String, TableId>,
+    /// Typed-relation registrations: which Rust type owns which table.
+    /// Small (one entry per relation), searched linearly.
+    relations: Vec<(TypeId, TableId)>,
     orders: Vec<Vec<String>>,
     rules: Vec<Rule>,
     initial: Vec<Tuple>,
+    /// Builder misuse (duplicate tables/columns, unregistered
+    /// relations) collected here and reported by
+    /// [`ProgramBuilder::build`] instead of panicking mid-declaration.
+    errors: Vec<JStarError>,
 }
 
 impl ProgramBuilder {
@@ -52,12 +73,20 @@ impl ProgramBuilder {
         name: &str,
         f: impl FnOnce(TableDefBuilder) -> TableDefBuilder,
     ) -> TableId {
-        assert!(
-            !self.name_to_id.contains_key(name),
-            "duplicate table {name}"
-        );
+        if let Some(&existing) = self.name_to_id.get(name) {
+            // Misuse is recorded, not panicked on: the existing id keeps
+            // the fluent call site compiling and build() reports the
+            // error with the offending table name.
+            self.errors.push(JStarError::DuplicateTable {
+                table: name.to_string(),
+            });
+            return existing;
+        }
         let id = TableId(self.tables.len() as u32);
         let b = f(TableDefBuilder::new(name));
+        if let Some(e) = b.error {
+            self.errors.push(e);
+        }
         self.tables.push(TableDef {
             id,
             name: b.name,
@@ -67,6 +96,39 @@ impl ProgramBuilder {
         });
         self.name_to_id.insert(name.to_string(), id);
         id
+    }
+
+    /// Registers (or looks up) the typed relation `R`, declaring its
+    /// table from the schema the [`Relation`] impl carries. Idempotent:
+    /// repeated calls return the same handle, so rules and puts can
+    /// auto-register their relations.
+    ///
+    /// ```
+    /// use jstar_core::prelude::*;
+    /// jstar_core::jstar_table! {
+    ///     /// table Ship(int frame -> int x) orderby (Int, seq frame)
+    ///     pub Ship(int frame -> int x) orderby (Int, seq frame)
+    /// }
+    /// let mut p = ProgramBuilder::new();
+    /// let ship = p.relation::<Ship>();
+    /// assert_eq!(ship.id().index(), 0);
+    /// ```
+    pub fn relation<R: Relation>(&mut self) -> TableHandle<R> {
+        let tid = TypeId::of::<R>();
+        if let Some(&(_, id)) = self.relations.iter().find(|(t, _)| *t == tid) {
+            return TableHandle::new(id);
+        }
+        let id = self.table(R::NAME, |mut b| {
+            for c in R::COLUMNS {
+                b = b.col(c.name, c.ty);
+            }
+            if let Some(k) = R::KEY_ARITY {
+                b = b.key(k);
+            }
+            b.orderby(&R::orderby())
+        });
+        self.relations.push((tid, id));
+        TableHandle::new(id)
     }
 
     /// Declares an order chain: `order A < B < C`.
@@ -107,15 +169,78 @@ impl ProgramBuilder {
         });
     }
 
+    /// Adds a typed rule: `R`'s table triggers it and the body receives
+    /// the decoded relation struct instead of a raw tuple. The relation
+    /// is auto-registered. Strict validation flags the missing
+    /// causality model, as with [`ProgramBuilder::rule`].
+    ///
+    /// ```
+    /// use jstar_core::prelude::*;
+    /// jstar_core::jstar_table! {
+    ///     /// table Ship(int frame -> int x) orderby (Int, seq frame)
+    ///     pub Ship(int frame -> int x) orderby (Int, seq frame)
+    /// }
+    /// let mut p = ProgramBuilder::new();
+    /// p.rule_rel("move", |ctx, s: Ship| {
+    ///     if s.x < 400 {
+    ///         ctx.put_rel(Ship { frame: s.frame + 1, x: s.x + 150 });
+    ///     }
+    /// });
+    /// p.put_rel(Ship { frame: 0, x: 10 });
+    /// assert!(p.build().is_ok());
+    /// ```
+    pub fn rule_rel<R: Relation>(
+        &mut self,
+        name: &str,
+        body: impl Fn(&RuleCtx<'_>, R) + Send + Sync + 'static,
+    ) {
+        let trigger = self.relation::<R>().id();
+        self.rules.push(Rule {
+            name: name.to_string(),
+            trigger,
+            body: Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| body(ctx, R::from_tuple(t)))
+                as RuleBody,
+            model: None,
+        });
+    }
+
+    /// Adds a typed rule together with its causality model for static
+    /// checking — the typed twin of [`ProgramBuilder::rule_with_model`].
+    pub fn rule_rel_with_model<R: Relation>(
+        &mut self,
+        name: &str,
+        model: CausalityModel,
+        body: impl Fn(&RuleCtx<'_>, R) + Send + Sync + 'static,
+    ) {
+        let trigger = self.relation::<R>().id();
+        self.rules.push(Rule {
+            name: name.to_string(),
+            trigger,
+            body: Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| body(ctx, R::from_tuple(t)))
+                as RuleBody,
+            model: Some(model),
+        });
+    }
+
     /// Adds an initial `put` command.
     pub fn put(&mut self, t: Tuple) {
         self.initial.push(t);
     }
 
+    /// Adds a typed initial `put`, auto-registering the relation.
+    pub fn put_rel<R: Relation>(&mut self, row: R) {
+        let id = self.relation::<R>().id();
+        self.initial.push(Tuple::new(id, row.into_values()));
+    }
+
     /// Finalises the program: interns strat literals, linearises the
-    /// declared order, resolves every orderby list. Fails on order cycles
-    /// or orderby lists naming unknown columns.
+    /// declared order, resolves every orderby list. Fails on builder
+    /// misuse recorded earlier (duplicate tables or columns), on order
+    /// cycles, or on orderby lists naming unknown columns.
     pub fn build(self) -> Result<Program> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
         let mut sb = StrataBuilder::new();
         // Intern order-declaration literals first so their ranks follow
         // declaration order deterministically, then any literals that only
@@ -159,6 +284,7 @@ impl ProgramBuilder {
             strata,
             rules,
             rules_by_trigger,
+            relations: self.relations,
             initial: self.initial,
         })
     }
@@ -172,6 +298,9 @@ pub struct Program {
     strata: StrataOrder,
     rules: Vec<Arc<Rule>>,
     rules_by_trigger: Vec<Vec<usize>>,
+    /// Typed-relation registrations, searched linearly (a handful of
+    /// entries; cheaper than hashing on the rule-body hot path).
+    relations: Vec<(TypeId, TableId)>,
     initial: Vec<Tuple>,
 }
 
@@ -202,6 +331,25 @@ impl Program {
     /// Table lookup by name.
     pub fn table_id(&self, name: &str) -> Option<TableId> {
         self.by_name.get(name).map(|d| d.id)
+    }
+
+    /// The table a typed relation was registered as, if any.
+    pub fn relation_id<R: Relation>(&self) -> Option<TableId> {
+        let tid = TypeId::of::<R>();
+        self.relations
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|&(_, id)| id)
+    }
+
+    /// The typed handle for relation `R`. Panics when `R` was never
+    /// registered with this program — a programming bug, like querying
+    /// an undeclared table.
+    pub fn handle<R: Relation>(&self) -> TableHandle<R> {
+        match self.relation_id::<R>() {
+            Some(id) => TableHandle::new(id),
+            None => panic!("relation {} is not registered in this program", R::NAME),
+        }
     }
 
     /// Resolved orderby specs, indexed by [`TableId`].
@@ -351,11 +499,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate table")]
-    fn duplicate_table_panics() {
+    fn duplicate_table_is_a_build_error() {
         let mut p = ProgramBuilder::new();
-        let _ = p.table("A", |b| b.col_int("t"));
-        let _ = p.table("A", |b| b.col_int("t"));
+        let a = p.table("A", |b| b.col_int("t"));
+        let also_a = p.table("A", |b| b.col_int("t"));
+        assert_eq!(a, also_a, "misuse still returns a usable id");
+        let err = p.build().unwrap_err();
+        assert_eq!(err, JStarError::DuplicateTable { table: "A".into() });
+    }
+
+    #[test]
+    fn duplicate_column_is_a_build_error() {
+        let mut p = ProgramBuilder::new();
+        let _ = p.table("A", |b| b.col_int("t").col_double("t"));
+        let err = p.build().unwrap_err();
+        assert_eq!(
+            err,
+            JStarError::DuplicateColumn {
+                table: "A".into(),
+                column: "t".into(),
+            }
+        );
     }
 
     #[test]

@@ -158,6 +158,31 @@ impl Query {
     pub fn covers_fields(&self, fields: &[usize]) -> bool {
         fields.iter().all(|f| self.eq_value(*f).is_some())
     }
+
+    /// Checks every constrained field index against `def`'s arity.
+    ///
+    /// Positional queries are built without schema access
+    /// ([`Query::on`] only has a [`TableId`]), so this runs when the
+    /// query first reaches the engine; an out-of-bounds index used to
+    /// panic deep in a store or silently match nothing depending on the
+    /// access path. Typed [`crate::relation::TypedQuery`] constraints
+    /// cannot express an invalid field, so they skip straight through.
+    pub fn validate(&self, def: &crate::schema::TableDef) -> crate::error::Result<()> {
+        let arity = def.arity();
+        let bad_field = self
+            .eq
+            .iter()
+            .map(|(f, _)| *f)
+            .chain(self.ranges.iter().map(|r| r.field))
+            .find(|f| *f >= arity);
+        match bad_field {
+            Some(f) => Err(crate::error::JStarError::NoSuchField {
+                table: def.name.clone(),
+                field: format!("#{f}"),
+            }),
+            None => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,16 @@ pub trait Reducer: Send + Sync {
     /// [`Self::identity`] as the unit, for parallel reduction to be
     /// deterministic.
     fn combine(&self, a: Self::Acc, b: Self::Acc) -> Self::Acc;
+
+    /// The field index this reducer reads per tuple, if any. The engine
+    /// validates it against the queried table's arity so an
+    /// out-of-bounds aggregate reports
+    /// [`crate::error::JStarError::NoSuchField`] instead of panicking
+    /// inside a store. Reducers that read no field (counts) keep the
+    /// `None` default.
+    fn input_field(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Accumulated summary statistics over a numeric field.
@@ -88,6 +98,9 @@ impl Reducer for Statistics {
     fn combine(&self, a: Stats, b: Stats) -> Stats {
         a.merge(b)
     }
+    fn input_field(&self) -> Option<usize> {
+        Some(self.field)
+    }
 }
 
 /// Sums a numeric field.
@@ -105,6 +118,9 @@ impl Reducer for SumReducer {
     }
     fn combine(&self, a: f64, b: f64) -> f64 {
         a + b
+    }
+    fn input_field(&self) -> Option<usize> {
+        Some(self.field)
     }
 }
 
@@ -144,6 +160,9 @@ impl Reducer for MinIntReducer {
             (x, None) | (None, x) => x,
         }
     }
+    fn input_field(&self) -> Option<usize> {
+        Some(self.field)
+    }
 }
 
 /// Maximum of an integer field.
@@ -165,6 +184,9 @@ impl Reducer for MaxIntReducer {
             (Some(a), Some(b)) => Some(a.max(b)),
             (x, None) | (None, x) => x,
         }
+    }
+    fn input_field(&self) -> Option<usize> {
+        Some(self.field)
     }
 }
 

@@ -10,6 +10,7 @@
 //! before the arrow functionally determine the ones after), and an `orderby`
 //! list that positions the table's tuples in the global causality ordering.
 
+use crate::error::JStarError;
 use crate::orderby::OrderComponent;
 use crate::value::{Value, ValueType};
 use std::fmt;
@@ -116,25 +117,42 @@ pub struct TableDefBuilder {
     pub(crate) columns: Vec<ColumnDef>,
     pub(crate) key_arity: Option<usize>,
     pub(crate) orderby: Vec<OrderComponent>,
+    /// First misuse (duplicate column) noticed while building. Deferred
+    /// rather than panicked on: [`crate::program::ProgramBuilder::build`]
+    /// reports it as a [`JStarError`], keeping the fluent API infallible
+    /// at each step while making misuse reportable, not a crash.
+    pub(crate) error: Option<JStarError>,
 }
 
 impl TableDefBuilder {
     /// Starts a standalone table definition (outside a
     /// [`crate::program::ProgramBuilder`]) — useful for constructing custom
-    /// stores and for tests. Finish with [`TableDefBuilder::build_def`].
+    /// stores and for tests. Finish with [`TableDefBuilder::build_def`] or
+    /// [`TableDefBuilder::try_build_def`].
     pub fn standalone(name: &str) -> Self {
         TableDefBuilder::new(name)
     }
 
-    /// Finishes a standalone definition with an explicit id.
-    pub fn build_def(self, id: TableId) -> TableDef {
-        TableDef {
+    /// Finishes a standalone definition with an explicit id, returning
+    /// any misuse recorded along the way (duplicate column names).
+    pub fn try_build_def(self, id: TableId) -> crate::error::Result<TableDef> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(TableDef {
             id,
             name: self.name,
             columns: self.columns,
             key_arity: self.key_arity,
             orderby: self.orderby,
-        }
+        })
+    }
+
+    /// Finishes a standalone definition with an explicit id. Panics on
+    /// recorded misuse — use [`TableDefBuilder::try_build_def`] where a
+    /// reportable error is wanted.
+    pub fn build_def(self, id: TableId) -> TableDef {
+        self.try_build_def(id).expect("table definition is valid")
     }
 
     pub(crate) fn new(name: &str) -> Self {
@@ -143,21 +161,33 @@ impl TableDefBuilder {
             columns: Vec::new(),
             key_arity: None,
             orderby: Vec::new(),
+            error: None,
         }
     }
 
     fn push_col(mut self, name: &str, ty: ValueType) -> Self {
-        assert!(
-            self.columns.iter().all(|c| c.name != name),
-            "duplicate column {name} in table {}",
-            self.name
-        );
+        if self.columns.iter().any(|c| c.name == name) {
+            if self.error.is_none() {
+                self.error = Some(JStarError::DuplicateColumn {
+                    table: self.name.clone(),
+                    column: name.to_string(),
+                });
+            }
+            return self;
+        }
         self.columns.push(ColumnDef {
             name: name.to_string(),
             ty,
             default: ty.default_value(),
         });
         self
+    }
+
+    /// Adds a column of an arbitrary [`ValueType`] — used by
+    /// [`crate::program::ProgramBuilder::relation`] to instantiate a
+    /// [`crate::relation::Relation`] schema.
+    pub fn col(self, name: &str, ty: ValueType) -> Self {
+        self.push_col(name, ty)
     }
 
     /// Adds an `int` column.
@@ -291,8 +321,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate column")]
-    fn duplicate_column_panics() {
-        let _ = TableDefBuilder::new("T").col_int("a").col_int("a");
+    fn duplicate_column_is_a_reported_error() {
+        let err = TableDefBuilder::new("T")
+            .col_int("a")
+            .col_int("a")
+            .try_build_def(TableId(0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            JStarError::DuplicateColumn {
+                table: "T".into(),
+                column: "a".into(),
+            }
+        );
+        assert!(err.to_string().contains("Duplicate column a in table T"));
+    }
+
+    #[test]
+    fn generic_col_matches_typed_shorthands() {
+        let def = TableDefBuilder::standalone("G")
+            .col("i", ValueType::Int)
+            .col("s", ValueType::Str)
+            .build_def(TableId(0));
+        assert_eq!(def.columns[0].ty, ValueType::Int);
+        assert_eq!(def.columns[1].ty, ValueType::Str);
     }
 }

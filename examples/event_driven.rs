@@ -8,28 +8,36 @@
 //! trigger a threshold rule that raises `Alert` tuples; an alert rule
 //! aggregates the readings of the offending sensor so far (an aggregate
 //! query over the strictly-earlier past, stratified by
-//! `order Reading < Alert`).
+//! `order Reading < Alert`). Tables are declared through the typed
+//! `jstar_table!` item form, so rule bodies receive `Reading` / `Alert`
+//! structs and queries use compile-checked field tokens.
 //!
 //! ```text
 //! cargo run --example event_driven
 //! ```
 
+use jstar::core::jstar_table;
 use jstar::core::prelude::*;
 use std::sync::Arc;
 
+jstar_table! {
+    /// One sensor measurement at tick `t`.
+    #[derive(Copy, Eq)]
+    pub Reading(int sensor, int t, int value)
+        orderby (Reading, seq t)
+}
+
+jstar_table! {
+    /// An alert raised one tick after a threshold crossing.
+    #[derive(Copy, Eq)]
+    pub Alert(int sensor, int t)
+        orderby (Alert, seq t)
+}
+
 fn main() -> Result<()> {
     let mut p = ProgramBuilder::new();
-    let reading = p.table("Reading", |b| {
-        b.col_int("sensor")
-            .col_int("t")
-            .col_int("value")
-            .orderby(&[strat("Reading"), seq("t")])
-    });
-    let alert = p.table("Alert", |b| {
-        b.col_int("sensor")
-            .col_int("t")
-            .orderby(&[strat("Alert"), seq("t")])
-    });
+    p.relation::<Reading>();
+    p.relation::<Alert>();
     p.order(&["Reading", "Alert"]);
 
     // Threshold rule: readings above 90 raise an alert one tick later.
@@ -47,12 +55,12 @@ fn main() -> Result<()> {
         }],
         queries: vec![],
     };
-    p.rule_with_model("threshold", reading, model, move |ctx, r| {
-        if r.int(2) > 90 {
-            ctx.put(Tuple::new(
-                ctx.table("Alert"),
-                vec![r.get(0).clone(), Value::Int(r.int(1) + 1)],
-            ));
+    p.rule_rel_with_model("threshold", model, move |ctx, r: Reading| {
+        if r.value > 90 {
+            ctx.put_rel(Alert {
+                sensor: r.sensor,
+                t: r.t + 1,
+            });
         }
     });
 
@@ -71,15 +79,17 @@ fn main() -> Result<()> {
             label: "sensor history".into(),
         }],
     };
-    p.rule_with_model("report", alert, model, move |ctx, a| {
-        let sensor = a.int(0);
-        let stats = ctx.reduce(
-            &Query::on(ctx.table("Reading")).eq(0, sensor),
-            &Statistics { field: 2 },
+    p.rule_rel_with_model("report", model, move |ctx, a: Alert| {
+        let stats = ctx.reduce_rel(
+            Reading::query().eq(Reading::sensor, a.sensor),
+            &Statistics {
+                field: Reading::value.index(),
+            },
         );
         ctx.println(format!(
-            "ALERT sensor {sensor} at t={}: {} readings so far, mean {:.1}, max {}",
-            a.int(1),
+            "ALERT sensor {} at t={}: {} readings so far, mean {:.1}, max {}",
+            a.sensor,
+            a.t,
             stats.count,
             stats.mean(),
             stats.max
@@ -101,10 +111,7 @@ fn main() -> Result<()> {
         (3, 2, 10),
     ];
     for (sensor, t, value) in feed {
-        engine.inject(Tuple::new(
-            reading,
-            vec![Value::Int(sensor), Value::Int(t), Value::Int(value)],
-        ));
+        engine.inject_rel(Reading { sensor, t, value });
     }
     let report = engine.run()?;
     let mut out = report.output;
