@@ -169,6 +169,13 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
             label: "aggregate month".into(),
         }],
     };
+    // The month aggregate differs only in the trigger's (year, month):
+    // prepare it once with bind slots, patched in place per invocation.
+    let pvwatts_h = p.relation::<PvWatts>();
+    let month_rows = PvWatts::query()
+        .bind_eq(PvWatts::year)
+        .bind_eq(PvWatts::month)
+        .prepare(pvwatts_h);
     p.rule_rel_with_model("summarise", sum_model, move |ctx, s: SumMonth| {
         let (year, month) = (s.year, s.month);
         let store = ctx.store(ctx.rel::<PvWatts>().id());
@@ -179,11 +186,9 @@ pub fn build_program(csv: Arc<Vec<u8>>, n_readers: usize) -> PvWattsApp {
                 ms.fold_powers(year, month, (0u64, 0i64), |(n, s), p| (n + 1, s + p));
             (count, sum as f64)
         } else {
-            let q = PvWatts::query()
-                .eq(PvWatts::year, year)
-                .eq(PvWatts::month, month);
-            let st = ctx.reduce_rel(
-                q,
+            let st = ctx.reduce_bound(
+                &month_rows,
+                &[Value::Int(year), Value::Int(month)],
                 &Statistics {
                     field: PvWatts::power.index(),
                 },

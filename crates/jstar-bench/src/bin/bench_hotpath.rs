@@ -1,0 +1,219 @@
+//! Machine-readable hot-path benchmark: `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p jstar-bench --bin bench_hotpath
+//! cargo run --release -p jstar-bench --bin bench_hotpath -- \
+//!     --out BENCH_hotpath.json --runs 5 --check-drain 0.5
+//! ```
+//!
+//! Measures the three scaling exhibits the hot-path work targets —
+//! fig8 (PvWatts, hash store), fig11 (MatrixMult) and fig12 (Dijkstra)
+//! — at 1/4/8 threads, **interleaved**: each timing round runs every
+//! (workload, threads) cell once before any cell repeats, so ambient
+//! machine noise lands on all cells evenly and cross-run medians are
+//! comparable. One instrumented Dijkstra run per thread count also
+//! records the coordinator's drain/partition/merge split.
+//!
+//! The JSON output is the repo's perf trajectory: CI uploads it as an
+//! artifact per commit, and `--check-drain <ceiling>` turns the run
+//! into a regression gate (non-zero exit when the fig12 drain fraction
+//! exceeds the ceiling — the coordinator has become the bottleneck
+//! again).
+
+use jstar_apps::matmul;
+use jstar_apps::pvwatts::{InputOrder, Variant};
+use jstar_apps::shortest_path;
+use jstar_bench::scale;
+use jstar_bench::workloads::*;
+use jstar_core::prelude::*;
+use jstar_pool::ThreadPool;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+const WORKLOADS: [&str; 3] = ["fig8_pvwatts", "fig11_matmul", "fig12_dijkstra"];
+
+struct Args {
+    out: String,
+    runs: usize,
+    check_drain: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_hotpath.json".into(),
+        runs: 5,
+        check_drain: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out <path>"),
+            "--runs" => args.runs = it.next().and_then(|v| v.parse().ok()).expect("--runs <n>"),
+            "--check-drain" => {
+                args.check_drain = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--check-drain <frac>"),
+                )
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args.runs = args.runs.max(5); // the trajectory promises ≥5-run medians
+    args
+}
+
+fn median(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    sorted[sorted.len() / 2]
+}
+
+fn json_f(v: f64) -> String {
+    // JSON has no NaN/Inf; clamp degenerate timer output to 0.
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let runs = args.runs;
+
+    // Shared inputs, generated once.
+    let csv = pvwatts_csv(InputOrder::Chronological);
+    let n = matmul_n();
+    let a = Arc::new(matmul::gen_matrix(n, 11));
+    let b = Arc::new(matmul::gen_matrix(n, 22));
+    let spec = dijkstra_spec();
+    // One pool per thread count, reused across every run so pool
+    // spin-up never pollutes a sample.
+    let pools: Vec<Arc<ThreadPool>> = THREADS.iter().map(|&t| pool_of(t)).collect();
+    let config = |ti: usize| {
+        let mut c = EngineConfig::parallel(THREADS[ti]);
+        c.pool = Some(Arc::clone(&pools[ti]));
+        c
+    };
+
+    // Warm-up round (discarded): page the inputs in, warm allocators.
+    for (ti, &threads) in THREADS.iter().enumerate() {
+        run_pvwatts(&csv, threads.max(2), Variant::HashStore, config(ti));
+        run_matmul(n, &a, &b, config(ti));
+        run_dijkstra(spec, config(ti));
+    }
+
+    // Interleaved timing rounds: cells[workload][threads] collects one
+    // sample per round.
+    let mut cells: Vec<Vec<Vec<Duration>>> =
+        vec![vec![Vec::with_capacity(runs); THREADS.len()]; WORKLOADS.len()];
+    for _round in 0..runs {
+        for ti in 0..THREADS.len() {
+            cells[0][ti].push(run_pvwatts(
+                &csv,
+                THREADS[ti].max(2),
+                Variant::HashStore,
+                config(ti),
+            ));
+            cells[1][ti].push(run_matmul(n, &a, &b, config(ti)));
+            cells[2][ti].push(run_dijkstra(spec, config(ti)));
+        }
+    }
+
+    // Instrumented Dijkstra runs: the coordinator's drain split.
+    struct DrainRow {
+        threads: usize,
+        drain_fraction: f64,
+        partition_secs: f64,
+        merge_secs: f64,
+        execute_secs: f64,
+        steps: u64,
+    }
+    let drain_rows: Vec<DrainRow> = (0..THREADS.len())
+        .map(|ti| {
+            let (_, report) = shortest_path::run_jstar_report(spec, config(ti).record_steps())
+                .expect("dijkstra runs");
+            DrainRow {
+                threads: THREADS[ti],
+                drain_fraction: report.drain_fraction(),
+                partition_secs: report.partition_time.as_secs_f64(),
+                merge_secs: report.merge_time.as_secs_f64(),
+                execute_secs: report.execute_time.as_secs_f64(),
+                steps: report.steps,
+            }
+        })
+        .collect();
+
+    // Hand-rolled JSON (the workspace deliberately vendors no serde).
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"jstar-hotpath/v1\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", json_f(scale())));
+    out.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
+    ));
+    out.push_str(&format!("  \"runs_per_cell\": {runs},\n"));
+    out.push_str("  \"results\": [\n");
+    let mut first = true;
+    for (wi, workload) in WORKLOADS.iter().enumerate() {
+        for (ti, &threads) in THREADS.iter().enumerate() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let samples = &cells[wi][ti];
+            let runs_json: Vec<String> = samples.iter().map(|d| json_f(d.as_secs_f64())).collect();
+            out.push_str(&format!(
+                "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \
+                 \"median_secs\": {}, \"runs_secs\": [{}]}}",
+                json_f(median(samples).as_secs_f64()),
+                runs_json.join(", ")
+            ));
+        }
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"dijkstra_drain\": [\n");
+    for (i, row) in drain_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"drain_fraction\": {}, \"partition_secs\": {}, \
+             \"merge_secs\": {}, \"execute_secs\": {}, \"steps\": {}}}{}\n",
+            row.threads,
+            json_f(row.drain_fraction),
+            json_f(row.partition_secs),
+            json_f(row.merge_secs),
+            json_f(row.execute_secs),
+            row.steps,
+            if i + 1 < drain_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &out).expect("write BENCH_hotpath.json");
+    println!(
+        "wrote {} ({} workloads x {} thread counts, {} runs each)",
+        args.out,
+        WORKLOADS.len(),
+        THREADS.len(),
+        runs
+    );
+
+    if let Some(ceiling) = args.check_drain {
+        let worst = drain_rows
+            .iter()
+            .map(|r| r.drain_fraction)
+            .fold(0.0f64, f64::max);
+        if worst > ceiling {
+            eprintln!(
+                "FAIL: fig12 drain fraction {worst:.3} exceeds the {ceiling:.3} ceiling \
+                 — the coordinator drain is the bottleneck again"
+            );
+            std::process::exit(1);
+        }
+        println!("drain check ok: worst fig12 drain fraction {worst:.3} <= {ceiling:.3}");
+    }
+}

@@ -74,6 +74,8 @@ fn main() {
 fn hotpath() {
     fn row(name: String, report: &jstar_core::engine::RunReport) -> Vec<String> {
         let (drain_step, exec_step) = report.per_step();
+        let steps = report.steps.max(1) as f64;
+        let per_step_us = |d: std::time::Duration| d.as_nanos() as f64 / steps / 1000.0;
         vec![
             name,
             report.steps.to_string(),
@@ -81,6 +83,8 @@ fn hotpath() {
             format!("{:.0}", report.tuples_per_sec()),
             format!("{:.1}%", 100.0 * report.drain_fraction()),
             format!("{:.1}", drain_step.as_nanos() as f64 / 1000.0),
+            format!("{:.1}", per_step_us(report.partition_time)),
+            format!("{:.1}", per_step_us(report.merge_time)),
             format!("{:.1}", exec_step.as_nanos() as f64 / 1000.0),
             format!("{}/{}", report.inline_classes, report.forked_classes),
         ]
@@ -121,6 +125,8 @@ fn hotpath() {
             "tuples/sec",
             "drain share",
             "drain µs/step",
+            "partition µs/step",
+            "merge µs/step",
             "execute µs/step",
             "inline/forked classes",
         ],

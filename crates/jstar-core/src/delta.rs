@@ -25,10 +25,19 @@
 //!   entirely — the predecessor of this design, a single shared MPMC
 //!   `SegQueue`, serialised every worker `put` on one queue head.)
 
+use crate::fxhash::{hash_seq, FxBuildHasher};
 use crate::orderby::{KeyPart, OrderKey};
 use crate::tuple::Tuple;
+use jstar_pool::ThreadPool;
 use parking_lot::Mutex;
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuple sets throughout the Delta structures use the crate's Fx hasher:
+/// dedup hashes every staged tuple, so SipHash setup cost per insert is
+/// pure hot-path overhead (candidates are verified by `Eq` regardless).
+type TupleSet = HashSet<Tuple, FxBuildHasher>;
 
 /// One node of the Delta tree: tuples whose keys end exactly here, plus
 /// children for longer keys.
@@ -38,7 +47,7 @@ struct DeltaNode {
     /// class). For most programs only leaves are populated, but tables with
     /// prefix-length keys (or `par` components, which truncate keys) also
     /// land in interior nodes.
-    here: HashSet<Tuple>,
+    here: TupleSet,
     /// Children, sorted by the next key component. `KeyPart`'s `Ord` gives
     /// named strat levels and `seq` levels their paper ordering.
     children: BTreeMap<KeyPart, DeltaNode>,
@@ -103,10 +112,135 @@ impl DeltaNode {
         }
     }
 
+    /// Structurally merges `other` into `self`, calling `on_dup(table
+    /// index)` for every tuple of `other` that was already present at the
+    /// same position. Subtrees that exist only in `other` are spliced in
+    /// wholesale (O(1) per subtree — no per-tuple work), which is what
+    /// makes grafting worker-built partition trees cheap: the coordinator
+    /// pays per *shared* node, not per tuple.
+    fn merge_from(&mut self, mut other: DeltaNode, on_dup: &mut dyn FnMut(usize)) {
+        if self.here.is_empty() && self.children.is_empty() {
+            *self = other;
+            return;
+        }
+        for t in other.here.drain() {
+            let ti = t.table().index();
+            if !self.here.insert(t) {
+                on_dup(ti);
+            }
+        }
+        for (part, child) in std::mem::take(&mut other.children) {
+            match self.children.entry(part) {
+                Entry::Vacant(e) => {
+                    e.insert(child);
+                }
+                Entry::Occupied(mut e) => e.get_mut().merge_from(child, on_dup),
+            }
+        }
+    }
+
     #[cfg(test)]
     fn count(&self) -> usize {
         self.here.len() + self.children.values().map(|c| c.count()).sum::<usize>()
     }
+}
+
+/// The pieces a Delta structure contributes to the shared
+/// [`merge_partitioned_impl`] scaffold: a sequential insert, an
+/// off-thread partial build, and a coordinator-side graft.
+trait PartitionMerge {
+    /// The structure a pool worker builds from one partition run.
+    type Partial: Send;
+
+    /// Sequential-fallback insert (identical to the public `insert`).
+    fn insert_one(&mut self, key: &OrderKey, t: Tuple) -> bool;
+
+    /// Builds a partial from a run, counting fresh inserts per table in
+    /// `per_table`; returns the partial and its fresh-insert total. Runs
+    /// on pool workers — no access to the main structure.
+    fn build_partial(
+        run: &mut Vec<(OrderKey, Tuple)>,
+        per_table: &mut [u64],
+    ) -> (Self::Partial, usize);
+
+    /// Merges a partial into the main structure, calling `on_dup(table
+    /// index)` for every tuple that was already present.
+    fn graft(&mut self, partial: Self::Partial, on_dup: &mut dyn FnMut(usize));
+
+    /// Adjusts the structure's cached length after a graft round (the
+    /// sequential path goes through `insert_one`, which already counts).
+    fn add_len(&mut self, n: usize);
+}
+
+/// Shared scaffold for the partitioned merges of [`DeltaTree`] and
+/// [`FlatDelta`]: decides sequential-vs-parallel, runs the per-partition
+/// partial builds on the pool (handing the emptied run buffers back so
+/// staging allocations survive the round trip — the next drain
+/// swap-steals them into the shard bins instead of re-growing every
+/// buffer from zero), and settles the per-table dedup accounting around
+/// the caller's graft.
+fn merge_partitioned_impl<M: PartitionMerge>(
+    m: &mut M,
+    partitions: &mut [Vec<(OrderKey, Tuple)>],
+    pool: Option<&ThreadPool>,
+    inserted_by_table: &mut [u64],
+    seq_threshold: usize,
+) -> usize {
+    let total: usize = partitions.iter().map(Vec::len).sum();
+    if total == 0 {
+        return 0;
+    }
+    let busy = partitions.iter().filter(|p| !p.is_empty()).count();
+    let pool = match pool {
+        Some(p) if total >= seq_threshold.max(1) && busy > 1 && p.num_threads() > 1 => p,
+        _ => {
+            let mut inserted = 0usize;
+            for part in partitions.iter_mut() {
+                for (key, t) in part.drain(..) {
+                    let ti = t.table().index();
+                    if m.insert_one(&key, t) {
+                        inserted_by_table[ti] += 1;
+                        inserted += 1;
+                    }
+                }
+            }
+            return inserted;
+        }
+    };
+
+    let n_tables = inserted_by_table.len();
+    let busy_idx: Vec<usize> = (0..partitions.len())
+        .filter(|&i| !partitions[i].is_empty())
+        .collect();
+    let mut tasks = Vec::with_capacity(busy_idx.len());
+    for &i in &busy_idx {
+        let mut run: Vec<(OrderKey, Tuple)> = std::mem::take(&mut partitions[i]);
+        tasks.push(move || {
+            let mut per_table = vec![0u64; n_tables];
+            let (partial, len) = M::build_partial(&mut run, &mut per_table);
+            (partial, len, per_table, run)
+        });
+    }
+    let partials = jstar_pool::parallel_tasks(pool, tasks);
+
+    let mut inserted = 0usize;
+    for (&i, (partial, len, per_table, run)) in busy_idx.iter().zip(partials) {
+        partitions[i] = run;
+        inserted += len;
+        for (ti, c) in per_table.iter().enumerate() {
+            inserted_by_table[ti] += c;
+        }
+        // Tuples the main structure already queues at the same position
+        // are duplicates after all: take their counts back.
+        let mut dropped = 0usize;
+        m.graft(partial, &mut |ti| {
+            inserted_by_table[ti] -= 1;
+            dropped += 1;
+        });
+        inserted -= dropped;
+    }
+    m.add_len(inserted);
+    inserted
 }
 
 /// The single-threaded Delta tree.
@@ -161,9 +295,73 @@ impl DeltaTree {
         self.len == 0
     }
 
+    /// Merges pre-partitioned staged runs into the tree, the per-tuple
+    /// work (key hashing, tree descent, set insertion) parallelised on
+    /// `pool` when the batch is large enough to pay for fork/join.
+    ///
+    /// Each partition holds complete key-prefix groups (the
+    /// [`ShardedInbox`] bins by prefix at push time, so two entries with
+    /// the same order key can never sit in different partitions). Pool
+    /// workers build one independent subtree per partition; the
+    /// coordinator then grafts them with the structural node merge, which
+    /// splices disjoint subtrees wholesale and only walks nodes the main
+    /// tree already has. Below `seq_threshold` staged tuples (or without
+    /// a pool, or with a single busy partition) the sequential insert
+    /// loop runs instead.
+    ///
+    /// The resulting tree contents — and therefore the
+    /// [`DeltaTree::pop_min_class`] sequence — are identical to inserting
+    /// every `(key, tuple)` pair sequentially: the tree is a canonical
+    /// set keyed by position, so the merge order cannot be observed.
+    ///
+    /// `inserted_by_table[ti]` is incremented once per tuple of table
+    /// `ti` actually inserted (duplicates dropped, exactly as
+    /// [`DeltaTree::insert`] reports them); returns the total inserted.
+    pub fn merge_partitioned(
+        &mut self,
+        partitions: &mut [Vec<(OrderKey, Tuple)>],
+        pool: Option<&ThreadPool>,
+        inserted_by_table: &mut [u64],
+        seq_threshold: usize,
+    ) -> usize {
+        merge_partitioned_impl(self, partitions, pool, inserted_by_table, seq_threshold)
+    }
+
     #[cfg(test)]
     fn deep_count(&self) -> usize {
         self.root.count()
+    }
+}
+
+impl PartitionMerge for DeltaTree {
+    type Partial = DeltaNode;
+
+    fn insert_one(&mut self, key: &OrderKey, t: Tuple) -> bool {
+        self.insert(key, t)
+    }
+
+    fn build_partial(
+        run: &mut Vec<(OrderKey, Tuple)>,
+        per_table: &mut [u64],
+    ) -> (DeltaNode, usize) {
+        let mut node = DeltaNode::default();
+        let mut len = 0usize;
+        for (key, t) in run.drain(..) {
+            let ti = t.table().index();
+            if node.insert(&key.0, t) {
+                per_table[ti] += 1;
+                len += 1;
+            }
+        }
+        (node, len)
+    }
+
+    fn graft(&mut self, partial: DeltaNode, on_dup: &mut dyn FnMut(usize)) {
+        self.root.merge_from(partial, on_dup);
+    }
+
+    fn add_len(&mut self, n: usize) {
+        self.len += n;
     }
 }
 
@@ -179,7 +377,7 @@ impl DeltaTree {
 /// configuration time (another "late commitment" knob).
 #[derive(Debug, Default)]
 pub struct FlatDelta {
-    map: BTreeMap<OrderKey, HashSet<Tuple>>,
+    map: BTreeMap<OrderKey, TupleSet>,
     len: usize,
 }
 
@@ -223,6 +421,71 @@ impl FlatDelta {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Flat-map twin of [`DeltaTree::merge_partitioned`]: workers build
+    /// one ordered sub-map per partition, the coordinator merges them
+    /// key-wise (whole tuple sets move when the key is new). Same
+    /// contract: contents identical to sequential insertion, counts
+    /// reported through `inserted_by_table`, total returned.
+    pub fn merge_partitioned(
+        &mut self,
+        partitions: &mut [Vec<(OrderKey, Tuple)>],
+        pool: Option<&ThreadPool>,
+        inserted_by_table: &mut [u64],
+        seq_threshold: usize,
+    ) -> usize {
+        merge_partitioned_impl(self, partitions, pool, inserted_by_table, seq_threshold)
+    }
+}
+
+impl PartitionMerge for FlatDelta {
+    type Partial = BTreeMap<OrderKey, TupleSet>;
+
+    fn insert_one(&mut self, key: &OrderKey, t: Tuple) -> bool {
+        self.insert(key, t)
+    }
+
+    fn build_partial(
+        run: &mut Vec<(OrderKey, Tuple)>,
+        per_table: &mut [u64],
+    ) -> (Self::Partial, usize) {
+        let mut map: BTreeMap<OrderKey, TupleSet> = BTreeMap::new();
+        let mut len = 0usize;
+        for (key, t) in run.drain(..) {
+            let ti = t.table().index();
+            let fresh = match map.get_mut(&key) {
+                Some(set) => set.insert(t),
+                None => map.entry(key).or_default().insert(t),
+            };
+            if fresh {
+                per_table[ti] += 1;
+                len += 1;
+            }
+        }
+        (map, len)
+    }
+
+    fn graft(&mut self, partial: Self::Partial, on_dup: &mut dyn FnMut(usize)) {
+        for (key, set) in partial {
+            match self.map.entry(key) {
+                Entry::Vacant(e) => {
+                    e.insert(set);
+                }
+                Entry::Occupied(mut e) => {
+                    for t in set {
+                        let ti = t.table().index();
+                        if !e.get_mut().insert(t) {
+                            on_dup(ti);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_len(&mut self, n: usize) {
+        self.len += n;
+    }
 }
 
 /// Which Delta structure the engine should use (ablation knob).
@@ -264,6 +527,25 @@ impl DeltaQueue {
         }
     }
 
+    /// Dispatches to the structure's partitioned merge (see
+    /// [`DeltaTree::merge_partitioned`]).
+    pub fn merge_partitioned(
+        &mut self,
+        partitions: &mut [Vec<(OrderKey, Tuple)>],
+        pool: Option<&ThreadPool>,
+        inserted_by_table: &mut [u64],
+        seq_threshold: usize,
+    ) -> usize {
+        match self {
+            DeltaQueue::Tree(t) => {
+                t.merge_partitioned(partitions, pool, inserted_by_table, seq_threshold)
+            }
+            DeltaQueue::Flat(f) => {
+                f.merge_partitioned(partitions, pool, inserted_by_table, seq_threshold)
+            }
+        }
+    }
+
     pub fn len(&self) -> usize {
         match self {
             DeltaQueue::Tree(t) => t.len(),
@@ -277,11 +559,27 @@ impl DeltaQueue {
 }
 
 /// One staging shard. Padded to its own cache lines so two workers
-/// appending to neighbouring shards never false-share.
-#[derive(Debug, Default)]
+/// appending to neighbouring shards never false-share. Each shard holds
+/// one buffer per key-prefix partition, so binning happens at push time
+/// on the owning worker instead of in a coordinator pass.
+#[derive(Debug)]
 #[repr(align(128))]
 struct Shard {
-    buf: Mutex<Vec<(OrderKey, Tuple)>>,
+    bins: Mutex<Vec<Vec<(OrderKey, Tuple)>>>,
+    /// This shard's staged-tuple count. Kept per shard — inside the
+    /// cache-padded struct — so a worker's push bumps only memory it
+    /// already owns; a single inbox-wide counter would put one shared
+    /// cache line back on every worker's put path.
+    len: AtomicUsize,
+}
+
+impl Shard {
+    fn new(partitions: usize) -> Self {
+        Shard {
+            bins: Mutex::new((0..partitions).map(|_| Vec::new()).collect()),
+            len: AtomicUsize::new(0),
+        }
+    }
 }
 
 /// Per-worker staging area for tuples produced during a parallel step.
@@ -293,18 +591,48 @@ struct Shard {
 /// worker's push is therefore an uncontended mutex acquire — the lock
 /// exists only to order the worker's appends against the coordinator's
 /// bulk swap at the step boundary, never against other workers.
+///
+/// **Partition-aware staging**: each shard keeps one bin per key-prefix
+/// partition and [`ShardedInbox::push`] routes by a hash of the leading
+/// `prefix_len` components of the order key (derived by the engine from
+/// the program's orderby schema — deep enough to reach the first
+/// tuple-dependent `seq` level, so workloads like Dijkstra whose tuples
+/// all share one stratum still spread across partitions by distance).
+/// Two entries with equal keys always share a partition, which is what
+/// lets [`DeltaTree::merge_partitioned`] hand the partitions to pool
+/// workers as disjoint merge units. With `partitions == 1` (the
+/// sequential engine) binning is a no-op.
 #[derive(Debug)]
 pub struct ShardedInbox {
     shards: Vec<Shard>,
+    /// Partition-count mask (`partitions - 1`, partitions a power of two).
+    mask: usize,
+    /// Number of leading key components hashed into the partition index.
+    prefix_len: usize,
 }
 
 impl ShardedInbox {
     /// Creates an inbox with one shard per pool worker plus one overflow
-    /// shard for non-worker threads.
+    /// shard for non-worker threads, and a single partition (no binning).
     pub fn new(workers: usize) -> Self {
+        ShardedInbox::with_partitioning(workers, 1, 0)
+    }
+
+    /// Creates an inbox whose shards bin by a hash of the first
+    /// `prefix_len` key components into `partitions` (rounded up to a
+    /// power of two) bins.
+    pub fn with_partitioning(workers: usize, partitions: usize, prefix_len: usize) -> Self {
+        let parts = partitions.max(1).next_power_of_two();
         ShardedInbox {
-            shards: (0..workers + 1).map(|_| Shard::default()).collect(),
+            shards: (0..workers + 1).map(|_| Shard::new(parts)).collect(),
+            mask: parts - 1,
+            prefix_len,
         }
+    }
+
+    /// Number of key-prefix partitions.
+    pub fn partitions(&self) -> usize {
+        self.mask + 1
     }
 
     /// The shard index for threads that are not pool workers.
@@ -312,27 +640,66 @@ impl ShardedInbox {
         self.shards.len() - 1
     }
 
-    /// Stages a tuple produced during the current step. `shard` must be
-    /// the caller's stable worker index, or [`Self::external_shard`].
-    /// Deliberately touches *only* the caller's shard — no shared counter,
-    /// no cross-core cache-line traffic per tuple.
-    pub fn push(&self, shard: usize, key: OrderKey, tuple: Tuple) {
-        self.shards[shard].buf.lock().push((key, tuple));
+    /// The partition a key belongs to: a hash of its leading components.
+    #[inline]
+    fn partition_of(&self, key: &OrderKey) -> usize {
+        if self.mask == 0 {
+            return 0;
+        }
+        (hash_seq(key.0.iter().take(self.prefix_len)) as usize) & self.mask
     }
 
-    /// Swaps every shard's buffer out into `out` (appending), leaving the
-    /// inbox empty. One mutex acquire per shard per step (shards =
-    /// workers + 1) — the per-tuple queue traffic of the old single-queue
-    /// design is gone.
+    /// Stages a tuple produced during the current step. `shard` must be
+    /// the caller's stable worker index, or [`Self::external_shard`].
+    /// Touches *only* the caller's shard (buffer and counter alike) — no
+    /// shared cache line, no coordinator pass to bin later.
+    pub fn push(&self, shard: usize, key: OrderKey, tuple: Tuple) {
+        let p = self.partition_of(&key);
+        let sh = &self.shards[shard];
+        sh.bins.lock()[p].push((key, tuple));
+        sh.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Swaps every shard's buffers out into `out` (appending, partitions
+    /// flattened), leaving the inbox empty. One mutex acquire per shard
+    /// per step (shards = workers + 1) — the per-tuple queue traffic of
+    /// the old single-queue design is gone.
     pub fn drain_batch(&self, out: &mut Vec<(OrderKey, Tuple)>) {
         for shard in &self.shards {
-            let mut buf = shard.buf.lock();
-            if out.is_empty() && buf.len() > out.capacity() {
-                // Steal the biggest allocation wholesale instead of copying.
-                std::mem::swap(&mut *buf, out);
-            } else {
-                out.append(&mut buf);
+            let mut bins = shard.bins.lock();
+            let mut drained = 0usize;
+            for buf in bins.iter_mut() {
+                drained += buf.len();
+                if out.is_empty() && buf.len() > out.capacity() {
+                    // Steal the biggest allocation wholesale instead of
+                    // copying.
+                    std::mem::swap(buf, out);
+                } else {
+                    out.append(buf);
+                }
             }
+            shard.len.fetch_sub(drained, Ordering::Relaxed);
+        }
+    }
+
+    /// Swaps every shard's buffers out into the per-partition runs of
+    /// `out` (appending; `out` must have at least [`Self::partitions`]
+    /// entries), leaving the inbox empty. This is the coordinator's
+    /// partitioned drain: per-partition runs feed
+    /// [`DeltaTree::merge_partitioned`] directly, no re-binning pass.
+    pub fn drain_partitions(&self, out: &mut [Vec<(OrderKey, Tuple)>]) {
+        for shard in &self.shards {
+            let mut bins = shard.bins.lock();
+            let mut drained = 0usize;
+            for (buf, run) in bins.iter_mut().zip(out.iter_mut()) {
+                drained += buf.len();
+                if run.is_empty() && buf.len() > run.capacity() {
+                    std::mem::swap(buf, run);
+                } else {
+                    run.append(buf);
+                }
+            }
+            shard.len.fetch_sub(drained, Ordering::Relaxed);
         }
     }
 
@@ -350,10 +717,22 @@ impl ShardedInbox {
         inserted
     }
 
-    /// True when nothing is staged (sweeps the shards; intended for
-    /// assertions and tests, not the hot path).
+    /// Number of staged tuples (relaxed sum of the per-shard counters).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// True when nothing is staged. One relaxed load per shard (shards =
+    /// workers + 1) — the previous implementation locked every shard per
+    /// poll. Exact at step boundaries: the fork/join scope join orders
+    /// every worker push before the coordinator's read.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.buf.lock().is_empty())
+        self.shards
+            .iter()
+            .all(|s| s.len.load(Ordering::Relaxed) == 0)
     }
 }
 
@@ -560,6 +939,165 @@ mod tests {
         // Second drain is a no-op.
         inbox.drain_batch(&mut out);
         assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn inbox_len_counter_tracks_push_and_drain() {
+        let inbox = ShardedInbox::with_partitioning(2, 4, 2);
+        assert!(inbox.is_empty());
+        for i in 0..10 {
+            inbox.push(0, skey(0, i), tup(0, i));
+        }
+        assert_eq!(inbox.len(), 10);
+        assert!(!inbox.is_empty());
+        let mut out = Vec::new();
+        inbox.drain_batch(&mut out);
+        assert_eq!(out.len(), 10);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn drain_partitions_keeps_equal_keys_together() {
+        let inbox = ShardedInbox::with_partitioning(2, 8, 2);
+        for shard in 0..3 {
+            for i in 0..40 {
+                inbox.push(shard, skey(0, i % 10), tup(0, shard as i64 * 1000 + i));
+            }
+        }
+        let mut parts: Vec<Vec<(OrderKey, Tuple)>> =
+            (0..inbox.partitions()).map(|_| Vec::new()).collect();
+        inbox.drain_partitions(&mut parts);
+        assert!(inbox.is_empty());
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 120);
+        // Every distinct key lands in exactly one partition.
+        let mut seen: std::collections::HashMap<OrderKey, usize> = std::collections::HashMap::new();
+        for (p, run) in parts.iter().enumerate() {
+            for (k, _) in run {
+                let prev = seen.insert(k.clone(), p);
+                assert!(
+                    prev.is_none_or(|q| q == p),
+                    "key {k} split across partitions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_partitioned_matches_sequential_inserts() {
+        let pool = jstar_pool::ThreadPool::new(4);
+        // Build the same batch both ways: partitioned-parallel and plain.
+        let entries: Vec<(OrderKey, Tuple)> = (0..2000)
+            .map(|i| (skey((i % 3) as u32, i % 40), tup(0, i % 200)))
+            .collect();
+
+        let mut seq_tree = DeltaTree::new();
+        for (k, t) in &entries {
+            seq_tree.insert(k, t.clone());
+        }
+
+        let inbox = ShardedInbox::with_partitioning(4, 8, 2);
+        for (i, (k, t)) in entries.iter().enumerate() {
+            inbox.push(i % 5, k.clone(), t.clone());
+        }
+        let mut parts: Vec<Vec<(OrderKey, Tuple)>> =
+            (0..inbox.partitions()).map(|_| Vec::new()).collect();
+        inbox.drain_partitions(&mut parts);
+        let mut par_tree = DeltaTree::new();
+        let mut by_table = vec![0u64; 2];
+        let inserted = par_tree.merge_partitioned(&mut parts, Some(&pool), &mut by_table, 1);
+        assert_eq!(inserted, seq_tree.len());
+        assert_eq!(by_table.iter().sum::<u64>() as usize, inserted);
+        assert_eq!(par_tree.len(), seq_tree.len());
+
+        // Identical pop sequence: same keys, same class contents.
+        loop {
+            match (seq_tree.pop_min_class(), par_tree.pop_min_class()) {
+                (None, None) => break,
+                (Some((ks, mut cs)), Some((kp, mut cp))) => {
+                    assert_eq!(ks, kp);
+                    cs.sort();
+                    cp.sort();
+                    assert_eq!(cs, cp);
+                }
+                other => panic!("trees disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_partitioned_dedups_against_existing_tree_content() {
+        let pool = jstar_pool::ThreadPool::new(2);
+        let mut tree = DeltaTree::new();
+        // Pre-existing content at the same positions as half the batch.
+        for i in 0..50 {
+            tree.insert(&skey(0, i), tup(0, i));
+        }
+        let mut parts: Vec<Vec<(OrderKey, Tuple)>> = (0..4).map(|_| Vec::new()).collect();
+        let probe = ShardedInbox::with_partitioning(0, 4, 2);
+        for i in 0..100 {
+            let k = skey(0, i % 50);
+            let p = probe.partition_of(&k);
+            parts[p].push((k, tup(0, i % 50)));
+        }
+        let mut by_table = vec![0u64; 1];
+        let inserted = tree.merge_partitioned(&mut parts, Some(&pool), &mut by_table, 1);
+        assert_eq!(inserted, 0, "everything was already queued");
+        assert_eq!(by_table[0], 0);
+        assert_eq!(tree.len(), 50);
+    }
+
+    #[test]
+    fn merge_partitioned_sequential_fallback_below_threshold() {
+        let pool = jstar_pool::ThreadPool::new(2);
+        for seq_threshold in [usize::MAX, 1] {
+            let mut parts: Vec<Vec<(OrderKey, Tuple)>> = (0..4).map(|_| Vec::new()).collect();
+            for i in 0..20 {
+                parts[(i % 4) as usize].push((skey(0, i), tup(0, i)));
+            }
+            let mut by_table = vec![0u64; 1];
+            let mut tree = DeltaTree::new();
+            let inserted =
+                tree.merge_partitioned(&mut parts, Some(&pool), &mut by_table, seq_threshold);
+            assert_eq!(inserted, 20);
+            assert_eq!(tree.len(), 20);
+            assert!(parts.iter().all(Vec::is_empty), "runs are consumed");
+        }
+    }
+
+    #[test]
+    fn flat_merge_partitioned_matches_tree_merge() {
+        let pool = jstar_pool::ThreadPool::new(3);
+        let entries: Vec<(OrderKey, Tuple)> = (0..1500)
+            .map(|i| (skey((i % 2) as u32, i % 30), tup(1, i % 100)))
+            .collect();
+        let mut parts_t: Vec<Vec<(OrderKey, Tuple)>> = (0..8).map(|_| Vec::new()).collect();
+        let mut parts_f: Vec<Vec<(OrderKey, Tuple)>> = (0..8).map(|_| Vec::new()).collect();
+        let probe = ShardedInbox::with_partitioning(0, 8, 2);
+        for (k, t) in entries {
+            let p = probe.partition_of(&k);
+            parts_t[p].push((k.clone(), t.clone()));
+            parts_f[p].push((k, t));
+        }
+        let mut tree = DeltaTree::new();
+        let mut flat = FlatDelta::new();
+        let mut bt = vec![0u64; 2];
+        let mut bf = vec![0u64; 2];
+        let it = tree.merge_partitioned(&mut parts_t, Some(&pool), &mut bt, 1);
+        let if_ = flat.merge_partitioned(&mut parts_f, Some(&pool), &mut bf, 1);
+        assert_eq!(it, if_);
+        assert_eq!(bt, bf);
+        loop {
+            match (tree.pop_min_class(), flat.pop_min_class()) {
+                (None, None) => break,
+                (Some((kt, mut ct)), Some((kf, mut cf))) => {
+                    assert_eq!(kt, kf);
+                    ct.sort();
+                    cf.sort();
+                    assert_eq!(ct, cf);
+                }
+                other => panic!("structures disagree: {other:?}"),
+            }
+        }
     }
 
     #[test]

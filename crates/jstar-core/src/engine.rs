@@ -20,29 +20,56 @@
 //! ## Hot-path architecture
 //!
 //! The put→Delta→Gamma pipeline is built to add **zero coordinator-side
-//! contention** per tuple:
+//! contention** per tuple, and to keep the coordinator itself off the
+//! critical path for everything but the final graft:
 //!
-//! 1. **Sharded staging** — a worker `put` appends `(OrderKey, Tuple)` to
-//!    its own [`crate::delta::ShardedInbox`] shard, routed by the pool's
-//!    stable [`jstar_pool::ThreadPool::current_worker_index`]. No worker
-//!    ever touches another worker's shard; the old design funnelled every
-//!    put through one shared MPMC queue head.
-//! 2. **Bulk drain** — between steps the coordinator swaps all shard
-//!    buffers out in one pass ([`crate::delta::ShardedInbox::drain_batch`])
-//!    and inserts the whole batch into the [`DeltaQueue`], accumulating
-//!    per-table statistics in a local scratch array and publishing them
-//!    with **one** atomic update per table instead of one per tuple.
-//! 3. **Borrowed trigger keys** — `process_tuple` and [`RuleCtx`] borrow
+//! 1. **Partition-aware sharded staging** — a worker `put` appends
+//!    `(OrderKey, Tuple)` to its own [`crate::delta::ShardedInbox`]
+//!    shard, routed by the pool's stable
+//!    [`jstar_pool::ThreadPool::current_worker_index`]. The shard bins
+//!    the entry by a hash of the key's leading components as it arrives
+//!    (the prefix depth is derived from the program's orderby schema at
+//!    engine construction — deep enough to reach the first
+//!    tuple-dependent `seq` level), so the coordinator never runs a
+//!    binning pass. No worker ever touches another worker's shard; the
+//!    original design funnelled every put through one shared MPMC queue
+//!    head. The inbox's per-step empty poll is one relaxed atomic load.
+//! 2. **Partitioned parallel drain** — between steps the coordinator
+//!    swaps all shard bins out as per-partition runs
+//!    ([`crate::delta::ShardedInbox::drain_partitions`], the *partition*
+//!    phase) and merges them with
+//!    [`crate::delta::DeltaTree::merge_partitioned`] (the *merge*
+//!    phase): pool workers build one independent subtree per key-prefix
+//!    partition in parallel, and the coordinator grafts them — splicing
+//!    disjoint subtrees wholesale — so its serial share shrinks from
+//!    per-tuple tree inserts to per-shared-node merges. Batches under
+//!    [`EngineConfig::parallel_merge_threshold`] (and every sequential
+//!    run) take the plain insert loop instead; either way the resulting
+//!    tree, and therefore the `pop_min_class` schedule, is identical to
+//!    sequential insertion. Per-table statistics accumulate in a local
+//!    scratch array and publish with **one** atomic update per table.
+//! 3. **Reservation-based Gamma inserts** — the parallel store defaults
+//!    ([`crate::gamma::ConcurrentOrderedStore`],
+//!    [`crate::gamma::HashStore`]) publish tuples via CAS slot
+//!    reservation (claim an empty slot, write, release-publish) instead
+//!    of per-shard writer locks, removing the last lock on the tuple
+//!    hot path; readers never observe partial state.
+//! 4. **Borrowed trigger keys** — `process_tuple` and [`RuleCtx`] borrow
 //!    the equivalence class's `OrderKey`; triggering a rule no longer
 //!    clones the key (the old code cloned it per triggered rule). Tables
 //!    whose orderby yields a constant key (pure-stratum orderings like
 //!    PvWatts') get that key interned once in their [`QueryPlan`].
-//! 4. **Per-table query plans** — each table's resolved orderby extractor
-//!    and its store's index-selection decision (`covers_fields` over the
-//!    hash store's index fields) are cached in a [`QueryPlan`] computed
-//!    once at engine construction, instead of being re-derived inside
-//!    every `ctx.query`.
-//! 5. **Adaptive all-minimums scheduling** — classes at or below
+//! 5. **Per-table query plans and bind-slot prepared queries** — each
+//!    table's resolved orderby extractor and its store's index-selection
+//!    decision (`covers_fields` over the hash store's index fields) are
+//!    cached in a [`QueryPlan`] computed once at engine construction,
+//!    instead of being re-derived inside every `ctx.query`; rules whose
+//!    queries differ only in trigger-derived values intern them once
+//!    with placeholder slots ([`crate::relation::TypedQuery::bind_eq`])
+//!    and patch the slots in place per invocation
+//!    ([`RuleCtx::for_each_bound`] and friends) — no per-call constraint
+//!    vectors, no per-call allocation.
+//! 6. **Adaptive all-minimums scheduling** — classes at or below
 //!    [`EngineConfig::inline_class_threshold`] execute inline on the
 //!    coordinator (fork/join overhead exceeds the work), wider classes are
 //!    chunked by measured class width and submitted as one batch
@@ -115,6 +142,12 @@ pub struct EngineConfig {
     /// the fork/join round trip costs more than the work. Ignored in
     /// sequential mode (everything is inline there).
     pub inline_class_threshold: usize,
+    /// Staged batches of at least this many tuples are merged into the
+    /// Delta queue by pool workers (one subtree per key-prefix
+    /// partition, grafted by the coordinator); smaller batches take the
+    /// sequential insert loop, whose per-tuple cost is below the
+    /// fork/join round trip at that size. Ignored in sequential mode.
+    pub parallel_merge_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +169,7 @@ impl Default for EngineConfig {
             lifetime_hints: Vec::new(),
             hint_interval: 0,
             inline_class_threshold: 4,
+            parallel_merge_threshold: 1024,
         }
     }
 }
@@ -199,6 +233,15 @@ impl EngineConfig {
     /// 0 forks every multi-tuple class (the pre-adaptive behaviour).
     pub fn inline_classes_up_to(mut self, width: usize) -> Self {
         self.inline_class_threshold = width;
+        self
+    }
+
+    /// Sets the staged-batch size at which the coordinator hands the
+    /// Delta merge to pool workers. `usize::MAX` forces the sequential
+    /// insert loop (the pre-partitioned behaviour); `0`/`1` parallelises
+    /// every multi-partition batch.
+    pub fn parallel_merge_from(mut self, batch: usize) -> Self {
+        self.parallel_merge_threshold = batch;
         self
     }
 
@@ -635,7 +678,14 @@ impl<'a> RuleCtx<'a> {
 
     /// Collects and decodes the matches of a [`PreparedQuery`] — the
     /// reuse point for constraint vectors interned once per rule.
+    /// Panics on a query with bind slots (its placeholders would
+    /// silently match nothing real — use [`RuleCtx::query_bound`]).
     pub fn query_prepared<R: Relation>(&self, q: &PreparedQuery<R>) -> Vec<R> {
+        assert_eq!(
+            q.slot_count(),
+            0,
+            "a prepared query with bind slots must be invoked through the *_bound entry points"
+        );
         let mut out = Vec::new();
         self.query_for_each(q.as_query(), |t| {
             out.push(R::from_tuple(t));
@@ -645,12 +695,92 @@ impl<'a> RuleCtx<'a> {
     }
 
     /// Aggregates over a [`PreparedQuery`] without decoding rows.
+    /// Panics on a query with bind slots (use [`RuleCtx::reduce_bound`]).
     pub fn reduce_prepared<R: Relation, Red: Reducer>(
         &self,
         q: &PreparedQuery<R>,
         reducer: &Red,
     ) -> Red::Acc {
+        assert_eq!(
+            q.slot_count(),
+            0,
+            "a prepared query with bind slots must be invoked through the *_bound entry points"
+        );
         self.reduce(q.as_query(), reducer)
+    }
+
+    // ── Bind-slot entry points ──────────────────────────────────────
+    //
+    // Invocations of a [`PreparedQuery`] built with `bind_*` slots:
+    // `values` (in bind order) are patched into a per-thread cached
+    // copy of the query — the rule's inner loop stops rebuilding its
+    // eq/range vectors and stops allocating per call. See
+    // [`crate::relation::TypedQuery::bind_eq`].
+
+    /// Bound [`RuleCtx::query_prepared`]: collects and decodes matches.
+    pub fn query_bound<R: Relation>(
+        &self,
+        q: &PreparedQuery<R>,
+        values: &[crate::value::Value],
+    ) -> Vec<R> {
+        q.with_bound(values, |q| {
+            let mut out = Vec::new();
+            self.query_for_each(q, |t| {
+                out.push(R::from_tuple(t));
+                true
+            });
+            out
+        })
+    }
+
+    /// Bound streaming query; return `false` to stop early.
+    pub fn for_each_bound<R: Relation>(
+        &self,
+        q: &PreparedQuery<R>,
+        values: &[crate::value::Value],
+        mut f: impl FnMut(R) -> bool,
+    ) {
+        q.with_bound(values, |q| {
+            self.query_for_each(q, |t| f(R::from_tuple(t)));
+        })
+    }
+
+    /// Bound positive existence test.
+    pub fn exists_bound<R: Relation>(
+        &self,
+        q: &PreparedQuery<R>,
+        values: &[crate::value::Value],
+    ) -> bool {
+        q.with_bound(values, |q| self.exists(q))
+    }
+
+    /// Bound negative query — the `get uniq? R(trigger.v) == null`
+    /// pattern of the Dijkstra inner loop.
+    pub fn none_bound<R: Relation>(
+        &self,
+        q: &PreparedQuery<R>,
+        values: &[crate::value::Value],
+    ) -> bool {
+        !self.exists_bound(q, values)
+    }
+
+    /// Bound [`RuleCtx::get_uniq`].
+    pub fn get_uniq_bound<R: Relation>(
+        &self,
+        q: &PreparedQuery<R>,
+        values: &[crate::value::Value],
+    ) -> Option<R> {
+        q.with_bound(values, |q| self.get_uniq(q).map(|t| R::from_tuple(&t)))
+    }
+
+    /// Bound aggregate without decoding rows.
+    pub fn reduce_bound<R: Relation, Red: Reducer>(
+        &self,
+        q: &PreparedQuery<R>,
+        values: &[crate::value::Value],
+        reducer: &Red,
+    ) -> Red::Acc {
+        q.with_bound(values, |q| self.reduce(q, reducer))
     }
 }
 
@@ -809,10 +939,20 @@ pub struct RunReport {
     pub tuples_processed: u64,
     /// Wall time of the run.
     pub elapsed: Duration,
-    /// Coordinator time spent draining staged tuples into the Delta queue.
-    /// Zero unless [`EngineConfig::record_steps`] is set — the per-step
-    /// timers are profiling instrumentation, not free.
+    /// Coordinator time spent draining staged tuples into the Delta queue
+    /// (the sum of `partition_time` and `merge_time`). Zero unless
+    /// [`EngineConfig::record_steps`] is set — the per-step timers are
+    /// profiling instrumentation, not free.
     pub drain_time: Duration,
+    /// Drain phase 1: swapping the per-worker staging bins out into
+    /// per-partition runs. Zero unless [`EngineConfig::record_steps`] is
+    /// set.
+    pub partition_time: Duration,
+    /// Drain phase 2: merging the partition runs into the Delta queue
+    /// (parallel subtree builds + the coordinator's graft, or the
+    /// sequential fallback). Zero unless [`EngineConfig::record_steps`]
+    /// is set.
+    pub merge_time: Duration,
     /// Time spent executing equivalence classes (Gamma inserts + rules).
     /// Zero unless [`EngineConfig::record_steps`] is set.
     pub execute_time: Duration,
@@ -902,10 +1042,34 @@ impl Engine {
             .map(|i| QueryPlan::new(&program.orderbys()[i], &**gamma.store(TableId(i as u32))))
             .collect();
         let workers = pool.as_ref().map(|p| p.num_threads()).unwrap_or(0);
+        // Partition function for the staged-tuple bins, derived from the
+        // program's orderby schema: hash enough leading key components to
+        // reach the first tuple-dependent (`seq`) level of any
+        // Delta-eligible table. Workloads whose tables share one stratum
+        // (Dijkstra's Estimates) then still spread across partitions by
+        // the seq value instead of collapsing into one bin.
+        let prefix_len = (0..n)
+            .filter(|i| !no_delta[*i])
+            .map(|i| {
+                let comps = &program.orderbys()[i].components;
+                comps
+                    .iter()
+                    .position(|c| matches!(c, crate::orderby::ResolvedComponent::Seq { .. }))
+                    .map(|p| p + 1)
+                    .unwrap_or(comps.len())
+            })
+            .max()
+            .unwrap_or(1)
+            .clamp(1, 4);
+        let partitions = if workers > 1 {
+            (workers * 2).next_power_of_two()
+        } else {
+            1
+        };
         let state = Arc::new(RunState {
             program: Arc::clone(&program),
             gamma,
-            inbox: ShardedInbox::new(workers),
+            inbox: ShardedInbox::with_partitioning(workers, partitions, prefix_len),
             plans,
             no_delta,
             no_gamma,
@@ -954,12 +1118,14 @@ impl Engine {
 
         let mut tree = DeltaQueue::new(self.config.delta);
         let mut steps: u64 = 0;
-        // Reusable drain buffer and per-table insert counters: the batch
-        // drain publishes one stats update per touched table per step,
-        // not one per tuple.
-        let mut staged: Vec<(OrderKey, Tuple)> = Vec::new();
+        // Reusable per-partition drain runs and per-table insert counters:
+        // the batch drain publishes one stats update per touched table per
+        // step, not one per tuple.
+        let mut staged_runs: Vec<Vec<(OrderKey, Tuple)>> =
+            (0..state.inbox.partitions()).map(|_| Vec::new()).collect();
         let mut inserted_by_table: Vec<u64> = vec![0; state.program.defs().len()];
         let inline_threshold = self.config.inline_class_threshold.max(1);
+        let merge_threshold = self.config.parallel_merge_threshold;
         // The per-step drain/execute timers share the record_steps gate:
         // profiling runs get the split, production runs pay zero clock
         // reads in the coordinator loop.
@@ -968,17 +1134,26 @@ impl Engine {
             if state.has_errors() {
                 break;
             }
-            // Absorb everything staged by the previous step's workers: one
-            // bulk swap across the shards, then batched tree inserts.
-            let drain_start = timing.then(Instant::now);
-            state.inbox.drain_batch(&mut staged);
-            if !staged.is_empty() {
-                for (key, t) in staged.drain(..) {
-                    let ti = t.table().index();
-                    if tree.insert(&key, t) {
-                        inserted_by_table[ti] += 1;
-                    }
-                }
+            // Absorb everything staged by the previous step's workers.
+            // Phase 1 (partition): one bulk swap across the shards, runs
+            // already binned by key prefix. Phase 2 (merge): pool workers
+            // build one subtree per partition and the coordinator grafts
+            // them (sequential insert loop below the threshold). The
+            // staged-length poll is a single relaxed atomic read.
+            if !state.inbox.is_empty() {
+                let partition_start = timing.then(Instant::now);
+                state.inbox.drain_partitions(&mut staged_runs);
+                let partition_elapsed = partition_start.map(|t0| t0.elapsed());
+
+                let merge_start = timing.then(Instant::now);
+                tree.merge_partitioned(
+                    &mut staged_runs,
+                    self.pool.as_deref(),
+                    &mut inserted_by_table,
+                    merge_threshold,
+                );
+                let merge_elapsed = merge_start.map(|t0| t0.elapsed());
+
                 for (ti, count) in inserted_by_table.iter_mut().enumerate() {
                     if *count > 0 {
                         state.stats.tables[ti]
@@ -987,12 +1162,20 @@ impl Engine {
                         *count = 0;
                     }
                 }
-            }
-            if let Some(t0) = drain_start {
-                state
-                    .stats
-                    .drain_nanos
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if let (Some(p), Some(m)) = (partition_elapsed, merge_elapsed) {
+                    state
+                        .stats
+                        .partition_nanos
+                        .fetch_add(p.as_nanos() as u64, Ordering::Relaxed);
+                    state
+                        .stats
+                        .merge_nanos
+                        .fetch_add(m.as_nanos() as u64, Ordering::Relaxed);
+                    state
+                        .stats
+                        .drain_nanos
+                        .fetch_add((p + m).as_nanos() as u64, Ordering::Relaxed);
+                }
             }
 
             let Some((key, mut class)) = tree.pop_min_class() else {
@@ -1079,6 +1262,10 @@ impl Engine {
             tuples_processed: state.stats.tuples_processed.load(Ordering::Relaxed),
             elapsed: start.elapsed(),
             drain_time: Duration::from_nanos(state.stats.drain_nanos.load(Ordering::Relaxed)),
+            partition_time: Duration::from_nanos(
+                state.stats.partition_nanos.load(Ordering::Relaxed),
+            ),
+            merge_time: Duration::from_nanos(state.stats.merge_nanos.load(Ordering::Relaxed)),
             execute_time: Duration::from_nanos(state.stats.execute_nanos.load(Ordering::Relaxed)),
             inline_classes: state.stats.inline_classes.load(Ordering::Relaxed),
             forked_classes: state.stats.forked_classes.load(Ordering::Relaxed),

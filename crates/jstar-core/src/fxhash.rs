@@ -1,0 +1,61 @@
+//! An Fx-style multiply hasher for the tuple hot path.
+//!
+//! The runtime hashes on **every** tuple movement — Delta-set dedup,
+//! staging-bin routing, Gamma probe placement (twice per insert when a
+//! secondary index exists) — so the std SipHash's per-call setup/finish
+//! cost, fine for an occasional `HashMap` lookup, is ruinous at these
+//! rates. This hasher does one multiply-xor per written word instead.
+//! Distribution is adequate for power-of-two masked tables, and no
+//! correctness anywhere relies on it: hash candidates are always
+//! verified by full value comparison.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The hasher state. Construct via [`Default`] (through
+/// [`FxBuildHasher`]) or [`hash_values`].
+#[derive(Default)]
+pub(crate) struct FxHasher(u64);
+
+/// `BuildHasher` for Fx-hashed collections
+/// (`HashSet<T, FxBuildHasher>`).
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn finish(&self) -> u64 {
+        // One final avalanche so the low bits (the probe start / bin
+        // index under a power-of-two mask) depend on every input word.
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// Hashes any sequence of hashable values.
+pub(crate) fn hash_seq<'a, T: Hash + 'a>(values: impl IntoIterator<Item = &'a T>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}

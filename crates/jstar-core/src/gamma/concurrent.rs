@@ -1,129 +1,111 @@
-//! Concurrent ordered store — the paper's `ConcurrentSkipListSet` default
-//! for parallel code, realised as sharded reader-writer-locked BTrees.
+//! Concurrent store — the paper's `ConcurrentSkipListSet` default for
+//! parallel code, realised as a lock-free reservation table.
 
-use super::{insert_locked, InsertOutcome, TableStore};
+use super::reservation::{hash_values, ReservationTable};
+use super::{InsertOutcome, TableStore};
 use crate::query::Query;
 use crate::schema::TableDef;
 use crate::tuple::Tuple;
-use parking_lot::RwLock;
 use std::any::Any;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeSet;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// A sharded ordered tuple store for parallel execution.
+/// The default Gamma store for parallel execution.
 ///
-/// Tuples are distributed across shards by a hash of their **key fields**
-/// (primary key if declared, else all fields), so duplicate and key-conflict
-/// detection stay within one shard while inserts from different workers
-/// mostly touch different locks. Ordered queries visit every shard; as in
-/// the paper, the concurrent structure trades some sequential efficiency
-/// for insert scalability ("the sequential Java data structures are
-/// significantly faster than the equivalent concurrent data structures").
+/// Earlier revisions sharded reader-writer-locked BTrees; every insert
+/// still paid one writer-lock acquisition, the last lock on the tuple
+/// hot path. Storage is now a reservation table: an insert claims a
+/// slot with a single CAS and publishes the tuple afterwards, so
+/// workers inserting the same wide equivalence class never serialise on
+/// a lock, and readers never observe a partially written tuple.
+///
+/// Tuples probe by their **key fields** (primary key if declared, else
+/// all fields), so duplicate and key-conflict detection happen on the
+/// insert's own probe walk. Queries narrow two ways: a query that
+/// equality-binds the whole primary key walks the key's probe path
+/// (point lookup), and a query that binds the first column walks that
+/// column value's chain index — the replacement for the old per-shard
+/// ordered range scan. Anything else scans. As in the paper, the
+/// concurrent structure trades some sequential efficiency for insert
+/// scalability ("the sequential Java data structures are significantly
+/// faster than the equivalent concurrent data structures") — ordered
+/// traversal is the [`super::BTreeStore`]'s job.
 pub struct ConcurrentOrderedStore {
     def: Arc<TableDef>,
-    shards: Vec<RwLock<BTreeSet<Tuple>>>,
-    mask: usize,
+    table: ReservationTable,
 }
 
 impl ConcurrentOrderedStore {
-    /// Creates a store with `shards` rounded up to a power of two.
-    pub fn new(def: Arc<TableDef>, shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
+    /// Creates a store; `capacity` hints the initial slot-table size
+    /// (the table grows by doubling segments).
+    pub fn new(def: Arc<TableDef>, capacity: usize) -> Self {
         ConcurrentOrderedStore {
+            table: ReservationTable::new(capacity * 256, def.arity() > 0),
             def,
-            shards: (0..n).map(|_| RwLock::new(BTreeSet::new())).collect(),
-            mask: n - 1,
         }
     }
 
-    fn shard_of(&self, t: &Tuple) -> usize {
-        let mut h = DefaultHasher::new();
-        t.key_fields(&self.def).hash(&mut h);
-        (h.finish() as usize) & self.mask
+    fn primary_hash(&self, t: &Tuple) -> u64 {
+        hash_values(t.key_fields(&self.def))
+    }
+
+    fn secondary_hash(&self, t: &Tuple) -> u64 {
+        if self.def.arity() > 0 {
+            hash_values([t.get(0)])
+        } else {
+            0
+        }
     }
 }
 
 impl TableStore for ConcurrentOrderedStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
-        let shard = &self.shards[self.shard_of(&t)];
-        insert_locked(&self.def, &mut shard.write(), t)
-    }
-
-    fn insert_batch(&self, tuples: &[Tuple], outcomes: &mut Vec<InsertOutcome>) {
-        // Group the batch by shard so each shard lock is taken once per
-        // run instead of once per tuple. Order of outcomes still matches
-        // the input order.
-        let base = outcomes.len();
-        outcomes.resize(base + tuples.len(), InsertOutcome::Duplicate);
-        let mut by_shard: Vec<(usize, usize)> = tuples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (self.shard_of(t), i))
-            .collect();
-        by_shard.sort_unstable();
-        let mut i = 0;
-        while i < by_shard.len() {
-            let shard_idx = by_shard[i].0;
-            let mut set = self.shards[shard_idx].write();
-            while i < by_shard.len() && by_shard[i].0 == shard_idx {
-                let tuple_idx = by_shard[i].1;
-                outcomes[base + tuple_idx] =
-                    insert_locked(&self.def, &mut set, tuples[tuple_idx].clone());
-                i += 1;
-            }
-        }
+        let primary = self.primary_hash(&t);
+        let secondary = self.secondary_hash(&t);
+        self.table.insert(&self.def, primary, secondary, t)
     }
 
     fn contains(&self, t: &Tuple) -> bool {
-        self.shards[self.shard_of(t)].read().contains(t)
+        self.table.contains(self.primary_hash(t), t)
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.table.len()
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Tuple) -> bool) {
-        for shard in &self.shards {
-            for t in shard.read().iter() {
-                if !f(t) {
-                    return;
-                }
-            }
-        }
+        self.table.for_each(f);
     }
 
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
-        // Each shard narrows on a first-column equality like BTreeStore.
-        if let Some(v) = q.eq_value(0) {
-            for shard in &self.shards {
-                let set = shard.read();
-                let probe = Tuple::new(q.table, vec![v.clone()]);
-                for t in set.range(probe..) {
-                    if t.get(0) != v {
-                        break;
-                    }
-                    if q.matches(t) && !f(t) {
-                        return;
-                    }
-                }
-            }
-            return;
-        }
-        for shard in &self.shards {
-            for t in shard.read().iter() {
-                if q.matches(t) && !f(t) {
-                    return;
-                }
+        // Point lookup: the whole primary key is equality-bound, so the
+        // matches live on one probe walk.
+        if let Some(k) = self.def.key_arity {
+            if k > 0 && (0..k).all(|i| q.eq_value(i).is_some()) {
+                let hash = hash_values((0..k).map(|i| q.eq_value(i).expect("bound")));
+                self.table
+                    .probe_primary(hash, &mut |t| if q.matches(t) { f(t) } else { true });
+                return;
             }
         }
+        // First-column narrowing (the successor of the per-shard range
+        // scan): walk the column value's chain.
+        if self.def.arity() > 0 {
+            if let Some(v) = q.eq_value(0) {
+                self.table.scan_index(hash_values([v]), &mut |t| {
+                    if q.matches(t) {
+                        f(t)
+                    } else {
+                        true
+                    }
+                });
+                return;
+            }
+        }
+        self.for_each(&mut |t| if q.matches(t) { f(t) } else { true });
     }
 
     fn retain(&self, keep: &dyn Fn(&Tuple) -> bool) {
-        for shard in &self.shards {
-            shard.write().retain(|t| keep(t));
-        }
+        self.table.retain(keep);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -144,7 +126,7 @@ mod tests {
     }
 
     #[test]
-    fn single_shard_also_works() {
+    fn minimal_capacity_also_works() {
         let store = ConcurrentOrderedStore::new(keyed_def(), 1);
         exercise_store_contract(&store);
     }
@@ -174,7 +156,7 @@ mod tests {
     }
 
     #[test]
-    fn queries_span_shards() {
+    fn first_column_queries_narrow_via_the_chain_index() {
         let store = ConcurrentOrderedStore::new(keyed_def(), 4);
         for a in 0..200 {
             store.insert(kt(a, a % 7, "v"));
@@ -186,5 +168,36 @@ mod tests {
             true
         });
         assert_eq!(count, (0..200).filter(|a| a % 7 == 3).count());
+
+        // Key-bound point query takes the probe-walk path.
+        let q = Query::on(TableId(0)).eq(0, 42i64);
+        let mut got = Vec::new();
+        store.query(&q, &mut |t| {
+            got.push(t.clone());
+            true
+        });
+        assert_eq!(got, vec![kt(42, 0, "v")]);
+    }
+
+    #[test]
+    fn keyless_tables_narrow_on_first_column() {
+        let def = crate::gamma::testutil::set_def();
+        let store = ConcurrentOrderedStore::new(def, 4);
+        for i in 0..300i64 {
+            store.insert(Tuple::new(
+                TableId(0),
+                vec![
+                    crate::value::Value::Int(i % 10),
+                    crate::value::Value::Int(i),
+                ],
+            ));
+        }
+        let q = Query::on(TableId(0)).eq(0, 4i64);
+        let mut count = 0;
+        store.query(&q, &mut |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 30);
     }
 }

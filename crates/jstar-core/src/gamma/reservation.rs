@@ -1,0 +1,699 @@
+//! Lock-free reservation-based tuple storage — the shared engine under
+//! the concurrent Gamma stores.
+//!
+//! The paper's parallel defaults (`ConcurrentSkipListSet`,
+//! `ConcurrentHashMap`) let every worker insert without a table-wide
+//! lock. The previous Rust realisation approximated that with sharded
+//! reader-writer locks, which left one writer lock acquisition on every
+//! tuple of the put→Delta→Gamma hot path. [`ReservationTable`] removes
+//! it with a **claim-slots-then-publish** scheme:
+//!
+//! 1. **Probe** — a deterministic linear-probe walk over a chain of
+//!    geometrically growing segments, positioned by the tuple's
+//!    *primary hash* (key fields for keyed tables, the whole tuple
+//!    otherwise). Equal tuples — and, for keyed tables, key-conflicting
+//!    tuples — always walk the same slot sequence, so duplicate and
+//!    `->` violations are found on the walk itself. Each slot's state
+//!    and hash are packed into one **tag word** in a contiguous array,
+//!    so a probe step is a single cache-friendly atomic load; the slot
+//!    payload (the tuple) is only touched on a tag match.
+//! 2. **Claim** — the first `EMPTY` slot on the walk is reserved with a
+//!    single CAS (`EMPTY → hash|RESERVED`). Losing the race just means
+//!    re-examining what the winner put there.
+//! 3. **Publish** — the tuple is written into the claimed slot's
+//!    payload, then the tag is flipped to `hash|PUBLISHED` with a
+//!    release store. Readers only dereference payloads whose tag they
+//!    observed as `PUBLISHED` (acquire), so **no reader ever sees
+//!    partial state**; a concurrent inserter that must know what a
+//!    matching `RESERVED` slot holds spins for the handful of
+//!    instructions between claim and publish.
+//!
+//! An optional **secondary chain index** (one atomic head per hash
+//! bucket, entries linked after publication) gives the stores their
+//! query narrowing — the hash store's index-key buckets and the
+//! concurrent store's first-column narrowing — without reintroducing a
+//! lock: a chain push is one CAS, and a chain link always points at a
+//! fully published slot.
+//!
+//! Slots are never reused: `retain` flips rejected slots to `TOMBSTONE`
+//! (readers skip them; probes walk past them) and the tuple memory is
+//! reclaimed when the table drops. That keeps the claim invariant — the
+//! set of `EMPTY` slots only shrinks, so "first empty on the walk" is a
+//! stable meeting point for racing equal inserts — at the cost of
+//! leaving discarded tuples physically allocated until the store goes
+//! away, which is the right trade for lifetime hints that run a handful
+//! of times per run.
+
+use super::{pk_conflict, InsertOutcome};
+use crate::schema::TableDef;
+use crate::tuple::Tuple;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Tag states, packed into the low 2 bits of the tag word; the high 62
+/// bits hold the primary hash. Transitions: `EMPTY → RESERVED →
+/// PUBLISHED → TOMBSTONE`; nothing ever moves backwards, and only the
+/// claimant writes the payload. `EMPTY` is the all-zero tag.
+const EMPTY_TAG: u64 = 0;
+const RESERVED: u64 = 1;
+const PUBLISHED: u64 = 2;
+const TOMBSTONE: u64 = 3;
+const STATE_MASK: u64 = 0b11;
+const HASH_MASK: u64 = !STATE_MASK;
+
+/// Probes attempted per segment before the walk moves to the next
+/// (larger) segment. Two pressures set it: a *full* early segment costs
+/// a whole window of (contiguous) tag loads on every later probe, so it
+/// must stay small; but a window that gives up too easily spills into a
+/// sparse next segment long before the current one is usefully full —
+/// and a 4×-larger, barely-used segment is pure scan overhead for
+/// teardown and `for_each`. 64 keeps a segment usable to ~85 % load
+/// while a full-window miss still reads only eight cache lines.
+const PROBE_LIMIT: usize = 64;
+
+/// Maximum number of ×4-growth segments; far beyond addressable memory.
+const MAX_SEGMENTS: usize = 16;
+
+/// Sentinel for "no next entry" in a secondary chain. Zero — so chain
+/// heads and slot payloads are valid in their all-zero state and
+/// segments can be allocated with `alloc_zeroed`, which hands back
+/// untouched (virtually zero) pages instead of memsetting megabytes per
+/// store at engine construction. Real chain ids are offset by one
+/// segment (see [`encode`]).
+const NIL: u64 = 0;
+
+/// Per-slot payload, parallel to the tag array. Written only by the
+/// slot's claimant between claim and publish.
+struct Payload {
+    /// Secondary (index) hash.
+    secondary: UnsafeCell<u64>,
+    /// Next slot id in the secondary chain (encoded segment/offset).
+    next: AtomicU64,
+    /// The tuple; initialised iff the tag is `PUBLISHED` or `TOMBSTONE`.
+    tuple: UnsafeCell<MaybeUninit<Tuple>>,
+}
+
+struct Segment {
+    /// state|hash tag per slot — the only memory a probe step touches.
+    tags: Box<[AtomicU64]>,
+    payload: Box<[Payload]>,
+    /// Claim journal: `slot offset + 1` per claimed slot, appended at
+    /// publish time. Full scans (`for_each`, `retain`, drop) walk the
+    /// journal's `cursor` prefix instead of the whole slot array — a
+    /// generously-sized segment holding a handful of tuples is iterated
+    /// in O(live), not O(capacity). Entry 0 means "append in flight":
+    /// readers skip it (the insert has not returned yet).
+    journal: Box<[AtomicU64]>,
+    cursor: AtomicUsize,
+    mask: usize,
+}
+
+/// A zeroed `AtomicU64` slice via the calloc fast path: the kernel's
+/// zero pages back the allocation until a slot is actually claimed, so
+/// a generously-sized empty segment costs virtual address space, not
+/// resident memory or a memset.
+fn zeroed_atomics(n: usize) -> Box<[AtomicU64]> {
+    let plain: Box<[u64]> = vec![0u64; n].into_boxed_slice();
+    // SAFETY: AtomicU64 is documented to have the same in-memory
+    // representation as u64.
+    unsafe { Box::from_raw(Box::into_raw(plain) as *mut [AtomicU64]) }
+}
+
+fn zeroed_payload(n: usize) -> Box<[Payload]> {
+    let layout = std::alloc::Layout::array::<Payload>(n).expect("payload layout");
+    // SAFETY: the all-zero bit pattern is a valid Payload (secondary 0,
+    // next NIL, tuple uninitialised — only read once the tag says
+    // PUBLISHED), and alloc_zeroed returns zeroed memory of exactly
+    // this layout.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout) as *mut Payload;
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, n))
+    }
+}
+
+impl Segment {
+    fn new(capacity: usize) -> Segment {
+        Segment {
+            tags: zeroed_atomics(capacity),
+            payload: zeroed_payload(capacity),
+            journal: zeroed_atomics(capacity),
+            cursor: AtomicUsize::new(0),
+            mask: capacity - 1,
+        }
+    }
+
+    /// Records a freshly published slot in the claim journal.
+    fn journal_push(&self, idx: usize) {
+        let j = self.cursor.fetch_add(1, Ordering::Relaxed);
+        // Every claim takes a distinct slot, so at most `capacity`
+        // entries are ever appended.
+        self.journal[j].store(idx as u64 + 1, Ordering::Release);
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        // Walk the claim journal, not the slot array: the journal holds
+        // exactly the occupied slots (so a sparse segment costs O(live))
+        // *in claim order*, which tracks tuple allocation order — and
+        // freeing 100k heap objects in allocation order is several times
+        // cheaper than freeing them in (randomised) hash order.
+        //
+        // SAFETY: a journal entry is only written after publication and
+        // tombstoning never touches the payload, so every journaled slot
+        // holds an initialised tuple; drop has exclusive access.
+        let n = (*self.cursor.get_mut()).min(self.journal.len());
+        for j in 0..n {
+            let entry = *self.journal[j].get_mut();
+            if entry == 0 {
+                continue;
+            }
+            let idx = (entry - 1) as usize;
+            unsafe { self.payload[idx].tuple.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// The lock-free claim-then-publish tuple table shared by
+/// [`super::HashStore`] and [`super::ConcurrentOrderedStore`].
+pub(crate) struct ReservationTable {
+    /// Lazily allocated segments; segment `k` has `initial << (2k)`
+    /// slots (×4 growth keeps the chain short, since every probe walks
+    /// the full paths of the filled earlier segments).
+    segments: [AtomicPtr<Segment>; MAX_SEGMENTS],
+    /// Capacity of segment 0 (a power of two).
+    initial: usize,
+    /// Published minus tombstoned tuples.
+    len: AtomicUsize,
+    /// Secondary chain heads (`None` when the owner never scans by
+    /// secondary hash).
+    index_heads: Option<Box<[AtomicU64]>>,
+    index_mask: usize,
+}
+
+// SAFETY: all shared mutation goes through the atomics; the UnsafeCells
+// are written only by the slot's unique claimant (guaranteed by the
+// EMPTY→RESERVED tag CAS) and read only after an acquire load observes
+// a PUBLISHED tag, which the claimant's release store ordered after the
+// writes. Tuple itself is Send + Sync.
+unsafe impl Send for ReservationTable {}
+unsafe impl Sync for ReservationTable {}
+
+/// Hashes a sequence of values for probe placement and index chains.
+pub(crate) fn hash_values<'a>(values: impl IntoIterator<Item = &'a crate::value::Value>) -> u64 {
+    crate::fxhash::hash_seq(values)
+}
+
+impl ReservationTable {
+    /// Creates a table with `capacity_hint` rounded up to a power of two
+    /// (minimum 2^17 slots) as the first segment size. The floor is
+    /// deliberately generous: every probe through a *grown* table pays a
+    /// full-path walk in each filled earlier segment, so staying in one
+    /// segment is worth the ~5 MB of lazily-mapped (`alloc_zeroed`, so
+    /// untouched pages stay virtual) address space per table that
+    /// actually stores tuples. `with_index` allocates the secondary
+    /// chain heads.
+    pub fn new(capacity_hint: usize, with_index: bool) -> ReservationTable {
+        let initial = capacity_hint.clamp(1 << 17, 1 << 22).next_power_of_two();
+        // Chain heads only spread chains across buckets; they need not
+        // scale with the slot table (chain *length* is set by how many
+        // tuples share an index key, not by head count).
+        let index_cap = initial.min(1 << 14);
+        ReservationTable {
+            segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            initial,
+            len: AtomicUsize::new(0),
+            index_heads: with_index.then(|| zeroed_atomics(index_cap)),
+            index_mask: index_cap - 1,
+        }
+    }
+
+    fn capacity_of(&self, k: usize) -> usize {
+        self.initial << (2 * k).min(48)
+    }
+
+    fn segment(&self, k: usize) -> Option<&Segment> {
+        let ptr = self.segments[k].load(Ordering::Acquire);
+        // SAFETY: segments are only ever installed (never freed before
+        // the table drops), so a non-null pointer stays valid for &self.
+        unsafe { ptr.as_ref() }
+    }
+
+    /// Returns segment `k`, allocating (and racing to install) it if
+    /// missing.
+    fn segment_or_alloc(&self, k: usize) -> &Segment {
+        if let Some(seg) = self.segment(k) {
+            return seg;
+        }
+        let fresh = Box::into_raw(Box::new(Segment::new(self.capacity_of(k))));
+        match self.segments[k].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: we just installed it; never freed while the table
+            // lives.
+            Ok(_) => unsafe { &*fresh },
+            Err(winner) => {
+                // SAFETY: `fresh` was never shared.
+                drop(unsafe { Box::from_raw(fresh) });
+                // SAFETY: as in `segment`.
+                unsafe { &*winner }
+            }
+        }
+    }
+
+    /// Reads the tuple of a slot whose tag was observed `PUBLISHED` (or
+    /// `TOMBSTONE`).
+    ///
+    /// SAFETY (caller): an acquire load of the slot's tag must have
+    /// shown state `PUBLISHED` or `TOMBSTONE`.
+    unsafe fn tuple_of(payload: &Payload) -> &Tuple {
+        unsafe { (*payload.tuple.get()).assume_init_ref() }
+    }
+
+    /// Waits out the claim→publish window of a reserved slot, returning
+    /// the tag it settled into.
+    fn await_published(tag: &AtomicU64) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let t = tag.load(Ordering::Acquire);
+            if t & STATE_MASK != RESERVED {
+                return t;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                // The claimant was preempted mid-publish; yield rather
+                // than burn the core.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Inserts `t`, detecting duplicates (and, for keyed tables, `->`
+    /// conflicts) along the primary probe walk. `primary` must be the
+    /// hash of `t`'s key fields under `def` ([`hash_values`] over
+    /// [`Tuple::key_fields`]); `secondary` is the owner's index hash
+    /// (ignored unless the table was built `with_index`).
+    pub fn insert(&self, def: &TableDef, primary: u64, secondary: u64, t: Tuple) -> InsertOutcome {
+        let keyed = def.key_arity.is_some();
+        let my_hash = primary & HASH_MASK;
+        for k in 0..MAX_SEGMENTS {
+            let seg = self.segment_or_alloc(k);
+            let start = primary as usize;
+            for i in 0..PROBE_LIMIT.min(seg.tags.len()) {
+                let idx = (start + i) & seg.mask;
+                let tag = &seg.tags[idx];
+                let mut current = tag.load(Ordering::Acquire);
+                loop {
+                    if current == EMPTY_TAG {
+                        match tag.compare_exchange(
+                            EMPTY_TAG,
+                            my_hash | RESERVED,
+                            Ordering::Acquire,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                // Claimed: publish. SAFETY: the CAS makes
+                                // this thread the unique writer of the
+                                // payload; no reader dereferences it
+                                // until the release store below.
+                                let payload = &seg.payload[idx];
+                                unsafe {
+                                    *payload.secondary.get() = secondary;
+                                    (*payload.tuple.get()).write(t);
+                                }
+                                tag.store(my_hash | PUBLISHED, Ordering::Release);
+                                self.len.fetch_add(1, Ordering::Relaxed);
+                                seg.journal_push(idx);
+                                if self.index_heads.is_some() {
+                                    self.link_index(secondary, encode(k, idx));
+                                }
+                                return InsertOutcome::Fresh;
+                            }
+                            Err(actual) => {
+                                // Lost the claim race: re-examine what
+                                // the winner is publishing.
+                                current = actual;
+                                continue;
+                            }
+                        }
+                    }
+                    // Occupied. Only tuples whose tag hash matches ours
+                    // can be duplicates or key conflicts — anything else
+                    // is just a slot to walk past.
+                    if current & HASH_MASK != my_hash {
+                        break;
+                    }
+                    match current & STATE_MASK {
+                        RESERVED => {
+                            // A matching tuple is mid-publish: must know
+                            // what lands here before deciding.
+                            current = Self::await_published(tag);
+                            continue;
+                        }
+                        TOMBSTONE => break,
+                        _ => {
+                            // PUBLISHED with a matching hash. SAFETY:
+                            // acquire-observed published tag.
+                            let existing = unsafe { Self::tuple_of(&seg.payload[idx]) };
+                            if *existing == t {
+                                return InsertOutcome::Duplicate;
+                            }
+                            if keyed && pk_conflict(def, existing, &t) {
+                                return InsertOutcome::KeyConflict;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        unreachable!("reservation table exhausted {MAX_SEGMENTS} segments");
+    }
+
+    /// Links a published slot into its secondary chain. The link CAS is
+    /// a release, so a reader that acquires the head sees the slot fully
+    /// published.
+    fn link_index(&self, secondary: u64, id: u64) {
+        let heads = self.index_heads.as_ref().expect("index allocated");
+        let head = &heads[(secondary as usize) & self.index_mask];
+        let (k, idx) = decode(id);
+        let payload = &self.segment(k).expect("own segment").payload[idx];
+        let mut current = head.load(Ordering::Acquire);
+        loop {
+            payload.next.store(current, Ordering::Relaxed);
+            match head.compare_exchange_weak(current, id, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// True if an identical tuple is published. `primary` as in
+    /// [`ReservationTable::insert`].
+    pub fn contains(&self, primary: u64, t: &Tuple) -> bool {
+        let mut found = false;
+        self.probe_primary(primary, &mut |existing| {
+            if existing == t {
+                found = true;
+                return false;
+            }
+            true
+        });
+        found
+    }
+
+    /// Visits every published tuple on `primary`'s probe walk whose tag
+    /// hash matches; stop early by returning `false`.
+    ///
+    /// Because inserts claim the first empty slot of the same walk, all
+    /// matching tuples lie before the walk's first currently-empty slot
+    /// — so this terminates at the first `EMPTY` without missing
+    /// anything, exactly like the insert-side scan.
+    pub fn probe_primary(&self, primary: u64, f: &mut dyn FnMut(&Tuple) -> bool) {
+        let my_hash = primary & HASH_MASK;
+        for k in 0..MAX_SEGMENTS {
+            let Some(seg) = self.segment(k) else { return };
+            let start = primary as usize;
+            for i in 0..PROBE_LIMIT.min(seg.tags.len()) {
+                let idx = (start + i) & seg.mask;
+                let tag = seg.tags[idx].load(Ordering::Acquire);
+                if tag == EMPTY_TAG {
+                    return;
+                }
+                // Reserved-but-matching ⇒ not yet published ⇒ not yet
+                // visible; tombstoned ⇒ no longer visible.
+                if tag & HASH_MASK == my_hash && tag & STATE_MASK == PUBLISHED {
+                    // SAFETY: acquire-observed published tag.
+                    if !f(unsafe { Self::tuple_of(&seg.payload[idx]) }) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks the secondary chain of `secondary`, visiting published
+    /// tuples whose stored secondary hash matches; stop early by
+    /// returning `false`. Panics if the table was built without an
+    /// index.
+    pub fn scan_index(&self, secondary: u64, f: &mut dyn FnMut(&Tuple) -> bool) {
+        let heads = self.index_heads.as_ref().expect("index allocated");
+        let mut id = heads[(secondary as usize) & self.index_mask].load(Ordering::Acquire);
+        while id != NIL {
+            let (k, idx) = decode(id);
+            let seg = self.segment(k).expect("linked slot's segment exists");
+            // Linked ⇒ published (links happen after publication); the
+            // tag read only distinguishes live from tombstoned.
+            let tag = seg.tags[idx].load(Ordering::Acquire);
+            let payload = &seg.payload[idx];
+            if tag & STATE_MASK == PUBLISHED
+                // SAFETY: acquire-observed published tag.
+                && unsafe { *payload.secondary.get() } == secondary
+                && !f(unsafe { Self::tuple_of(payload) })
+            {
+                return;
+            }
+            id = payload.next.load(Ordering::Acquire);
+        }
+    }
+
+    /// Number of live (published, not tombstoned) tuples.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Visits every live tuple (in claim order within each segment);
+    /// stop early by returning `false`. Walks the claim journal, so the
+    /// cost scales with tuples ever published, not slot capacity.
+    pub fn for_each(&self, f: &mut dyn FnMut(&Tuple) -> bool) {
+        for k in 0..MAX_SEGMENTS {
+            let Some(seg) = self.segment(k) else { return };
+            let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
+            for j in 0..n {
+                let entry = seg.journal[j].load(Ordering::Acquire);
+                if entry == 0 {
+                    continue; // append in flight — not yet visible
+                }
+                let idx = (entry - 1) as usize;
+                if seg.tags[idx].load(Ordering::Acquire) & STATE_MASK == PUBLISHED {
+                    // SAFETY: acquire-observed published tag.
+                    if !f(unsafe { Self::tuple_of(&seg.payload[idx]) }) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tombstones every live tuple `keep` rejects. Rejected tuples stay
+    /// allocated (slots are never reused) but disappear from all reads.
+    pub fn retain(&self, keep: &dyn Fn(&Tuple) -> bool) {
+        for k in 0..MAX_SEGMENTS {
+            let Some(seg) = self.segment(k) else { return };
+            let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
+            for j in 0..n {
+                let entry = seg.journal[j].load(Ordering::Acquire);
+                if entry == 0 {
+                    continue;
+                }
+                let idx = (entry - 1) as usize;
+                let tag = &seg.tags[idx];
+                let current = tag.load(Ordering::Acquire);
+                if current & STATE_MASK == PUBLISHED {
+                    // SAFETY: acquire-observed published tag; tombstoning
+                    // never touches the payload, so concurrent readers'
+                    // references stay valid.
+                    let t = unsafe { Self::tuple_of(&seg.payload[idx]) };
+                    if !keep(t)
+                        && tag
+                            .compare_exchange(
+                                current,
+                                (current & HASH_MASK) | TOMBSTONE,
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    {
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ReservationTable {
+    fn drop(&mut self) {
+        for seg in &mut self.segments {
+            let ptr = *seg.get_mut();
+            if !ptr.is_null() {
+                // SAFETY: installed via Box::into_raw, dropped exactly
+                // once here.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+/// Encodes a (segment, offset) pair as a chain id. Segments are offset
+/// by one so that id 0 stays the [`NIL`] sentinel.
+fn encode(segment: usize, offset: usize) -> u64 {
+    ((segment as u64 + 1) << 56) | offset as u64
+}
+
+fn decode(id: u64) -> (usize, usize) {
+    ((id >> 56) as usize - 1, (id & ((1 << 56) - 1)) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::testutil::{keyed_def, kt, set_def};
+    use crate::schema::TableId;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn primary_of(def: &TableDef, t: &Tuple) -> u64 {
+        hash_values(t.key_fields(def))
+    }
+
+    #[test]
+    fn claim_publish_roundtrip() {
+        let def = keyed_def();
+        let table = ReservationTable::new(16, false);
+        let t = kt(1, 10, "x");
+        let p = primary_of(&def, &t);
+        assert_eq!(table.insert(&def, p, 0, t.clone()), InsertOutcome::Fresh);
+        assert_eq!(
+            table.insert(&def, p, 0, t.clone()),
+            InsertOutcome::Duplicate
+        );
+        assert!(table.contains(p, &t));
+        assert_eq!(table.len(), 1);
+        let conflict = kt(1, 11, "x");
+        assert_eq!(
+            table.insert(&def, primary_of(&def, &conflict), 0, conflict),
+            InsertOutcome::KeyConflict
+        );
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_the_first_segment() {
+        let def = set_def();
+        let table = ReservationTable::new(1, false);
+        // Far more tuples than the floor-sized first segment (2^17
+        // slots) holds, so the walk crosses segment boundaries.
+        let n = 200_000i64;
+        for i in 0..n {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+            let p = primary_of(&def, &t);
+            assert_eq!(table.insert(&def, p, 0, t), InsertOutcome::Fresh);
+        }
+        assert_eq!(table.len(), n as usize);
+        let mut seen = 0;
+        table.for_each(&mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, n);
+        // Every tuple still findable (dedup across segments).
+        for i in (0..n).step_by(971) {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+            assert_eq!(
+                table.insert(&def, primary_of(&def, &t), 0, t),
+                InsertOutcome::Duplicate
+            );
+        }
+    }
+
+    #[test]
+    fn secondary_chain_narrows_scans() {
+        let def = set_def();
+        let table = ReservationTable::new(64, true);
+        for i in 0..500i64 {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i % 5), Value::Int(i)]);
+            let p = primary_of(&def, &t);
+            let s = hash_values([t.get(0)]);
+            table.insert(&def, p, s, t);
+        }
+        let want = hash_values([&Value::Int(3)]);
+        let mut got = 0;
+        table.scan_index(want, &mut |t| {
+            if t.get(0) == &Value::Int(3) {
+                got += 1;
+            }
+            true
+        });
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn retain_tombstones_are_invisible_everywhere() {
+        let def = set_def();
+        let table = ReservationTable::new(64, true);
+        for i in 0..100i64 {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+            let p = primary_of(&def, &t);
+            table.insert(&def, p, hash_values([t.get(0)]), t);
+        }
+        table.retain(&|t| t.int(0) < 10);
+        assert_eq!(table.len(), 10);
+        let mut seen = 0;
+        table.for_each(&mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 10);
+        let gone = Tuple::new(TableId(0), vec![Value::Int(50), Value::Int(50)]);
+        assert!(!table.contains(primary_of(&def, &gone), &gone));
+        let mut chain_hits = 0;
+        table.scan_index(hash_values([gone.get(0)]), &mut |_| {
+            chain_hits += 1;
+            true
+        });
+        assert_eq!(chain_hits, 0);
+    }
+
+    #[test]
+    fn racing_equal_inserts_yield_one_fresh() {
+        let def = Arc::new(keyed_def());
+        let table = Arc::new(ReservationTable::new(64, false));
+        let pool = jstar_pool::ThreadPool::new(4);
+        let fresh = std::sync::atomic::AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let table = Arc::clone(&table);
+                let def = Arc::clone(&def);
+                let fresh = &fresh;
+                s.spawn(move |_| {
+                    for a in 0..500 {
+                        let t = kt(a, a, "v");
+                        let p = primary_of(&def, &t);
+                        if table.insert(&def, p, 0, t) == InsertOutcome::Fresh {
+                            fresh.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(fresh.load(std::sync::atomic::Ordering::Relaxed), 500);
+        assert_eq!(table.len(), 500);
+    }
+
+    #[test]
+    fn id_encoding_roundtrips() {
+        for (k, off) in [(0usize, 0usize), (3, 17), (15, (1 << 30) - 1)] {
+            assert_eq!(decode(encode(k, off)), (k, off));
+        }
+    }
+}

@@ -75,6 +75,7 @@ pub mod delta;
 pub mod dsl;
 pub mod engine;
 pub mod error;
+pub(crate) mod fxhash;
 pub mod gamma;
 pub mod orderby;
 pub mod program;

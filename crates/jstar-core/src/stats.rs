@@ -76,8 +76,16 @@ pub struct EngineStats {
     pub tuples_processed: AtomicU64,
     pub max_class: AtomicU64,
     /// Coordinator time spent absorbing staged tuples into the Delta queue
-    /// (nanoseconds, summed over all steps).
+    /// (nanoseconds, summed over all steps; the sum of the partition and
+    /// merge phases).
     pub drain_nanos: AtomicU64,
+    /// Drain phase 1: swapping the per-worker staging bins out into
+    /// per-partition runs (nanoseconds, summed over all steps).
+    pub partition_nanos: AtomicU64,
+    /// Drain phase 2: merging the partition runs into the Delta queue —
+    /// parallel on the pool for large batches, sequential below the
+    /// threshold (nanoseconds, summed over all steps).
+    pub merge_nanos: AtomicU64,
     /// Time spent executing equivalence classes — Gamma inserts plus rule
     /// bodies (nanoseconds, summed over all steps; wall time of the step's
     /// execution phase, not CPU time across workers).
@@ -100,6 +108,8 @@ impl EngineStats {
             tuples_processed: AtomicU64::new(0),
             max_class: AtomicU64::new(0),
             drain_nanos: AtomicU64::new(0),
+            partition_nanos: AtomicU64::new(0),
+            merge_nanos: AtomicU64::new(0),
             execute_nanos: AtomicU64::new(0),
             inline_classes: AtomicU64::new(0),
             forked_classes: AtomicU64::new(0),

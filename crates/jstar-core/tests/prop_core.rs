@@ -1,7 +1,7 @@
 //! Property-based tests for the core runtime data structures.
 
 use jstar_core::causality::linear::{satisfiable, Constraint, LinExpr, Rational};
-use jstar_core::delta::DeltaTree;
+use jstar_core::delta::{DeltaTree, FlatDelta, ShardedInbox};
 use jstar_core::gamma::{BTreeStore, ConcurrentOrderedStore, HashStore, InsertOutcome, TableStore};
 use jstar_core::orderby::{KeyPart, OrderKey};
 use jstar_core::schema::{TableDefBuilder, TableId};
@@ -12,6 +12,14 @@ use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// One shared pool for the partitioned-merge properties: spinning
+/// threads per proptest case would dominate the run time.
+fn merge_pool() -> &'static jstar_pool::ThreadPool {
+    static POOL: OnceLock<jstar_pool::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| jstar_pool::ThreadPool::new(4))
+}
 
 fn arb_key() -> impl Strategy<Value = OrderKey> {
     prop::collection::vec(
@@ -64,6 +72,99 @@ proptest! {
             prop_assert_eq!(got, set);
         }
         prop_assert!(tree.pop_min_class().is_none());
+    }
+
+    /// `merge_partitioned` + `pop_min_class` yields the exact sequence of
+    /// the sequential insert path for arbitrary key/tuple batches — same
+    /// keys in the same order, same class contents, same dedup counts —
+    /// whatever the partition count, the merge threshold (parallel or
+    /// sequential fallback), or which staging shard each entry arrived
+    /// through. This is the order-identity obligation of the partitioned
+    /// coordinator drain.
+    #[test]
+    fn merge_partitioned_pops_identically_to_sequential(
+        inserts in prop::collection::vec(
+            (0u32..3, -10i64..10, 0u32..2, -30i64..30),
+            0..300,
+        ),
+        partitions_pow in 0u32..5,
+        threshold_pick in 0u32..3,
+    ) {
+        let partitions = 1usize << partitions_pow;
+        let threshold = [1usize, 64, usize::MAX][threshold_pick as usize];
+        let entries: Vec<(OrderKey, Tuple)> = inserts
+            .iter()
+            .map(|&(s, q, table, v)| {
+                (
+                    OrderKey(vec![KeyPart::Strat(s), KeyPart::Seq(Value::Int(q))]),
+                    Tuple::new(TableId(table), vec![Value::Int(v)]),
+                )
+            })
+            .collect();
+
+        // Reference: plain sequential inserts in arrival order.
+        let mut seq_tree = DeltaTree::new();
+        let mut seq_flat = FlatDelta::new();
+        let mut seq_inserted = 0u64;
+        for (k, t) in &entries {
+            if seq_tree.insert(k, t.clone()) {
+                seq_inserted += 1;
+            }
+            seq_flat.insert(k, t.clone());
+        }
+
+        // Partitioned path: stage through the inbox (binning at push
+        // time), drain per partition, merge on the pool.
+        let inbox = ShardedInbox::with_partitioning(3, partitions, 2);
+        for (i, (k, t)) in entries.iter().enumerate() {
+            inbox.push(i % 4, k.clone(), t.clone());
+        }
+        let mut runs: Vec<Vec<(OrderKey, Tuple)>> =
+            (0..inbox.partitions()).map(|_| Vec::new()).collect();
+        inbox.drain_partitions(&mut runs);
+        let mut runs_flat = runs.clone();
+
+        let mut by_table = vec![0u64; 2];
+        let mut par_tree = DeltaTree::new();
+        let inserted =
+            par_tree.merge_partitioned(&mut runs, Some(merge_pool()), &mut by_table, threshold);
+        prop_assert_eq!(inserted as u64, seq_inserted);
+        prop_assert_eq!(by_table.iter().sum::<u64>(), seq_inserted);
+        prop_assert_eq!(par_tree.len(), seq_tree.len());
+
+        let mut by_table_flat = vec![0u64; 2];
+        let mut par_flat = FlatDelta::new();
+        par_flat.merge_partitioned(
+            &mut runs_flat,
+            Some(merge_pool()),
+            &mut by_table_flat,
+            threshold,
+        );
+
+        // Identical extraction sequence across all four structures.
+        loop {
+            match (
+                seq_tree.pop_min_class(),
+                par_tree.pop_min_class(),
+                seq_flat.pop_min_class(),
+                par_flat.pop_min_class(),
+            ) {
+                (None, None, None, None) => break,
+                (Some((k0, mut c0)), Some((k1, mut c1)), Some((k2, mut c2)), Some((k3, mut c3))) => {
+                    prop_assert_eq!(&k0, &k1);
+                    prop_assert_eq!(&k0, &k2);
+                    prop_assert_eq!(&k0, &k3);
+                    c0.sort();
+                    c1.sort();
+                    c2.sort();
+                    c3.sort();
+                    prop_assert_eq!(&c0, &c1);
+                    prop_assert_eq!(&c0, &c2);
+                    prop_assert_eq!(&c0, &c3);
+                }
+                other => prop_assert!(false, "structures disagree on emptiness: {other:?}"),
+            }
+        }
     }
 
     /// All three generic stores agree with a reference set under random

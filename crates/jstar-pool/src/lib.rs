@@ -37,7 +37,8 @@ mod scope;
 
 pub use latch::CountLatch;
 pub use parfor::{
-    adaptive_chunk, parallel_chunks, parallel_for, parallel_for_each, parallel_map, parallel_reduce,
+    adaptive_chunk, parallel_chunks, parallel_for, parallel_for_each, parallel_map,
+    parallel_reduce, parallel_tasks,
 };
 pub use pool::{global, ThreadPool};
 pub use scope::Scope;

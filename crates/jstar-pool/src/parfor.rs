@@ -153,6 +153,46 @@ where
         .collect()
 }
 
+/// Runs a set of heterogeneous tasks on the pool and collects their
+/// results in submission order.
+///
+/// The whole task set is submitted through [`crate::Scope::spawn_batch`]
+/// — one queue submission, one worker wakeup — which is the shape the
+/// engine's partitioned Delta drain needs: all per-partition merge tasks
+/// are known up front, and a notify-per-task storm would eat the win of
+/// parallelising the merge in the first place. The calling thread helps
+/// execute queued work while it waits, so this is safe to call from a
+/// worker thread.
+pub fn parallel_tasks<R, F>(pool: &ThreadPool, tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    if tasks.len() == 1 || pool.num_threads() == 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+    pool.scope(|s| {
+        s.spawn_batch(
+            tasks
+                .into_iter()
+                .zip(results.iter_mut())
+                .map(|(task, slot)| {
+                    move |_: &crate::Scope<'_>| {
+                        *slot = Some(task());
+                    }
+                }),
+        );
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all tasks completed by scope exit"))
+        .collect()
+}
+
 /// Parallel tree reduction: maps each chunk to a partial value with `map`,
 /// then folds the partials with the associative `combine`.
 ///
@@ -261,6 +301,22 @@ mod tests {
             |a, b| a.min(b),
         );
         assert_eq!(par_min, data.iter().copied().min().unwrap());
+    }
+
+    #[test]
+    fn parallel_tasks_collects_in_submission_order() {
+        let p = pool();
+        let tasks: Vec<_> = (0..37).map(|i| move || i * 3).collect();
+        let out = parallel_tasks(&p, tasks);
+        assert_eq!(out, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_tasks_empty_and_single() {
+        let p = pool();
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(parallel_tasks(&p, none).is_empty());
+        assert_eq!(parallel_tasks(&p, vec![|| 9u32]), vec![9]);
     }
 
     #[test]
