@@ -16,9 +16,14 @@
 //!
 //! The JSON output is the repo's perf trajectory: CI uploads it as an
 //! artifact per commit, and `--check-drain <ceiling>` turns the run
-//! into a regression gate (non-zero exit when the fig12 drain fraction
-//! exceeds the ceiling — the coordinator has become the bottleneck
-//! again).
+//! into a regression gate: non-zero exit when the fig12 drain fraction
+//! exceeds the ceiling (the coordinator has become the bottleneck
+//! again) **or** when the pipelined coordinator (`pipeline_depth = 1`)
+//! regresses the single-thread fig12 median beyond a noise allowance
+//! vs. the alternating loop (`pipeline_depth = 0`) — the overlap
+//! machinery must be ≥ parity where there is nothing to overlap with.
+//! The instrumented rows also report `overlap_fraction`: the share of
+//! drain work hidden behind class execution by the pipeline.
 
 use jstar_apps::matmul;
 use jstar_apps::pvwatts::{InputOrder, Variant};
@@ -122,12 +127,15 @@ fn main() {
         }
     }
 
-    // Instrumented Dijkstra runs: the coordinator's drain split.
+    // Instrumented Dijkstra runs: the coordinator's drain split and the
+    // pipeline's overlap share.
     struct DrainRow {
         threads: usize,
         drain_fraction: f64,
+        overlap_fraction: f64,
         partition_secs: f64,
         merge_secs: f64,
+        overlap_secs: f64,
         execute_secs: f64,
         steps: u64,
     }
@@ -138,13 +146,39 @@ fn main() {
             DrainRow {
                 threads: THREADS[ti],
                 drain_fraction: report.drain_fraction(),
+                overlap_fraction: report.overlap_fraction(),
                 partition_secs: report.partition_time.as_secs_f64(),
                 merge_secs: report.merge_time.as_secs_f64(),
+                overlap_secs: report.overlap_time.as_secs_f64(),
                 execute_secs: report.execute_time.as_secs_f64(),
                 steps: report.steps,
             }
         })
         .collect();
+
+    // Pipeline A/B: fig12 at 1 thread, alternating loop vs pipelined
+    // coordinator, interleaved so noise lands on both arms evenly. At
+    // one thread there is nothing to overlap with, so depth 1 must be
+    // ≥ parity — this is the gate that catches the pipeline machinery
+    // itself becoming overhead.
+    let ab_config = |depth: usize| {
+        let mut c = EngineConfig::parallel(1).pipeline_depth(depth);
+        c.pool = Some(Arc::clone(&pools[0]));
+        c
+    };
+    let (mut ab_depth0, mut ab_depth1) = (Vec::with_capacity(runs), Vec::with_capacity(runs));
+    run_dijkstra(spec, ab_config(0)); // warm-up, discarded
+    run_dijkstra(spec, ab_config(1));
+    for _round in 0..runs {
+        ab_depth0.push(run_dijkstra(spec, ab_config(0)));
+        ab_depth1.push(run_dijkstra(spec, ab_config(1)));
+    }
+    let (ab0_median, ab1_median) = (median(&ab_depth0), median(&ab_depth1));
+    let ab_ratio = if ab0_median.as_secs_f64() > 0.0 {
+        ab1_median.as_secs_f64() / ab0_median.as_secs_f64()
+    } else {
+        1.0
+    };
 
     // Hand-rolled JSON (the workspace deliberately vendors no serde).
     let mut out = String::new();
@@ -180,18 +214,29 @@ fn main() {
     out.push_str("  \"dijkstra_drain\": [\n");
     for (i, row) in drain_rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"drain_fraction\": {}, \"partition_secs\": {}, \
-             \"merge_secs\": {}, \"execute_secs\": {}, \"steps\": {}}}{}\n",
+            "    {{\"threads\": {}, \"drain_fraction\": {}, \"overlap_fraction\": {}, \
+             \"partition_secs\": {}, \"merge_secs\": {}, \"overlap_secs\": {}, \
+             \"execute_secs\": {}, \"steps\": {}}}{}\n",
             row.threads,
             json_f(row.drain_fraction),
+            json_f(row.overlap_fraction),
             json_f(row.partition_secs),
             json_f(row.merge_secs),
+            json_f(row.overlap_secs),
             json_f(row.execute_secs),
             row.steps,
             if i + 1 < drain_rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"pipeline_ab\": {{\"workload\": \"fig12_dijkstra\", \"threads\": 1, \
+         \"depth0_median_secs\": {}, \"depth1_median_secs\": {}, \"ratio\": {}}}\n",
+        json_f(ab0_median.as_secs_f64()),
+        json_f(ab1_median.as_secs_f64()),
+        json_f(ab_ratio)
+    ));
+    out.push_str("}\n");
 
     std::fs::write(&args.out, &out).expect("write BENCH_hotpath.json");
     println!(
@@ -215,5 +260,27 @@ fn main() {
             std::process::exit(1);
         }
         println!("drain check ok: worst fig12 drain fraction {worst:.3} <= {ceiling:.3}");
+
+        // Pipeline parity gate: at 1 thread the pipelined coordinator
+        // has no idle workers to exploit, so anything beyond a noise
+        // allowance over the alternating loop is pure pipeline
+        // overhead — fail before it ships.
+        const AB_TOLERANCE: f64 = 1.30;
+        if ab_ratio > AB_TOLERANCE {
+            eprintln!(
+                "FAIL: pipelined fig12 single-thread median {:.4}s is {ab_ratio:.2}x the \
+                 alternating loop's {:.4}s (tolerance {AB_TOLERANCE:.2}x) — pipeline_depth=1 \
+                 regressed the no-overlap case",
+                ab1_median.as_secs_f64(),
+                ab0_median.as_secs_f64(),
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "pipeline A/B ok: fig12 1-thread depth1/depth0 median ratio {ab_ratio:.3} \
+             (depth0 {:.4}s, depth1 {:.4}s)",
+            ab0_median.as_secs_f64(),
+            ab1_median.as_secs_f64()
+        );
     }
 }

@@ -82,9 +82,11 @@ fn hotpath() {
             report.tuples_processed.to_string(),
             format!("{:.0}", report.tuples_per_sec()),
             format!("{:.1}%", 100.0 * report.drain_fraction()),
+            format!("{:.1}%", 100.0 * report.overlap_fraction()),
             format!("{:.1}", drain_step.as_nanos() as f64 / 1000.0),
             format!("{:.1}", per_step_us(report.partition_time)),
             format!("{:.1}", per_step_us(report.merge_time)),
+            format!("{:.1}", per_step_us(report.overlap_time)),
             format!("{:.1}", exec_step.as_nanos() as f64 / 1000.0),
             format!("{}/{}", report.inline_classes, report.forked_classes),
         ]
@@ -117,16 +119,19 @@ fn hotpath() {
         rows.push(row(format!("dijkstra parallel({threads})"), &report));
     }
     print_table(
-        "Hot path — Delta throughput and coordinator drain/execute split (PvWatts hash store; Dijkstra)",
+        "Hot path — Delta throughput, coordinator drain/execute split and pipeline overlap \
+         (PvWatts hash store; Dijkstra)",
         &[
             "engine",
             "steps",
             "tuples",
             "tuples/sec",
             "drain share",
+            "overlap share",
             "drain µs/step",
             "partition µs/step",
             "merge µs/step",
+            "overlap µs/step",
             "execute µs/step",
             "inline/forked classes",
         ],

@@ -185,6 +185,7 @@ fn merge_partitioned_impl<M: PartitionMerge>(
     pool: Option<&ThreadPool>,
     inserted_by_table: &mut [u64],
     seq_threshold: usize,
+    background: bool,
 ) -> usize {
     let total: usize = partitions.iter().map(Vec::len).sum();
     if total == 0 {
@@ -221,7 +222,15 @@ fn merge_partitioned_impl<M: PartitionMerge>(
             (partial, len, per_table, run)
         });
     }
-    let partials = jstar_pool::parallel_tasks(pool, tasks);
+    // The per-partition builds are the "pre-built subtree runs" of the
+    // pipelined engine: on the background lane they only occupy workers
+    // that have no execute-phase chunk to run, so an overlapped merge
+    // never delays the step's critical path.
+    let partials = if background {
+        jstar_pool::parallel_tasks_background(pool, tasks)
+    } else {
+        jstar_pool::parallel_tasks(pool, tasks)
+    };
 
     let mut inserted = 0usize;
     for (&i, (partial, len, per_table, run)) in busy_idx.iter().zip(partials) {
@@ -324,7 +333,14 @@ impl DeltaTree {
         inserted_by_table: &mut [u64],
         seq_threshold: usize,
     ) -> usize {
-        merge_partitioned_impl(self, partitions, pool, inserted_by_table, seq_threshold)
+        merge_partitioned_impl(
+            self,
+            partitions,
+            pool,
+            inserted_by_table,
+            seq_threshold,
+            false,
+        )
     }
 
     #[cfg(test)]
@@ -434,7 +450,14 @@ impl FlatDelta {
         inserted_by_table: &mut [u64],
         seq_threshold: usize,
     ) -> usize {
-        merge_partitioned_impl(self, partitions, pool, inserted_by_table, seq_threshold)
+        merge_partitioned_impl(
+            self,
+            partitions,
+            pool,
+            inserted_by_table,
+            seq_threshold,
+            false,
+        )
     }
 }
 
@@ -542,6 +565,30 @@ impl DeltaQueue {
             }
             DeltaQueue::Flat(f) => {
                 f.merge_partitioned(partitions, pool, inserted_by_table, seq_threshold)
+            }
+        }
+    }
+
+    /// [`DeltaQueue::merge_partitioned`] with the per-partition builds
+    /// submitted on the pool's **background lane** — same contract and
+    /// identical resulting queue, but workers only pick the builds up
+    /// when they have no foreground job. This is the overlapped-merge
+    /// entry point of the pipelined engine: called by the coordinator
+    /// *while* a step's class chunks are still executing, it soaks up
+    /// idle workers without delaying the class.
+    pub fn merge_partitioned_overlapped(
+        &mut self,
+        partitions: &mut [Vec<(OrderKey, Tuple)>],
+        pool: Option<&ThreadPool>,
+        inserted_by_table: &mut [u64],
+        seq_threshold: usize,
+    ) -> usize {
+        match self {
+            DeltaQueue::Tree(t) => {
+                merge_partitioned_impl(t, partitions, pool, inserted_by_table, seq_threshold, true)
+            }
+            DeltaQueue::Flat(f) => {
+                merge_partitioned_impl(f, partitions, pool, inserted_by_table, seq_threshold, true)
             }
         }
     }
@@ -656,7 +703,13 @@ impl ShardedInbox {
     pub fn push(&self, shard: usize, key: OrderKey, tuple: Tuple) {
         let p = self.partition_of(&key);
         let sh = &self.shards[shard];
-        sh.bins.lock()[p].push((key, tuple));
+        let mut bins = sh.bins.lock();
+        bins[p].push((key, tuple));
+        // Counted while still holding the shard lock: the pipelined
+        // coordinator's mid-step [`ShardedInbox::swap_epoch`] subtracts
+        // what it drains under the same lock, so an entry can never be
+        // drained before its increment lands (an unlocked add here
+        // could be overtaken by the subtract and wrap the counter).
         sh.len.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -688,19 +741,42 @@ impl ShardedInbox {
     /// partitioned drain: per-partition runs feed
     /// [`DeltaTree::merge_partitioned`] directly, no re-binning pass.
     pub fn drain_partitions(&self, out: &mut [Vec<(OrderKey, Tuple)>]) {
+        self.swap_epoch(out);
+    }
+
+    /// Closes the current staging **epoch**: swaps every shard's bins
+    /// out into the per-partition runs of `out` (appending; `out` must
+    /// have at least [`Self::partitions`] entries) and leaves fresh
+    /// (or recycled) bins behind for the next epoch. Returns the number
+    /// of entries taken.
+    ///
+    /// Unlike the step-boundary drain, this is safe to call **while
+    /// workers are still pushing**: each shard's swap happens under
+    /// that shard's own mutex, so an entry is either wholly in the
+    /// closed epoch or wholly in the next one, and key groups stay
+    /// intact because the partition of a key never changes. This is
+    /// the double-buffering that lets the pipelined coordinator absorb
+    /// step N+1's tuples while step N executes; entries staged after
+    /// the swap simply wait for the next epoch.
+    pub fn swap_epoch(&self, out: &mut [Vec<(OrderKey, Tuple)>]) -> usize {
+        let mut total = 0usize;
         for shard in &self.shards {
             let mut bins = shard.bins.lock();
             let mut drained = 0usize;
             for (buf, run) in bins.iter_mut().zip(out.iter_mut()) {
                 drained += buf.len();
                 if run.is_empty() && buf.len() > run.capacity() {
+                    // Steal the filled allocation wholesale; the empty
+                    // (previous-epoch) buffer becomes the new bin.
                     std::mem::swap(buf, run);
                 } else {
                     run.append(buf);
                 }
             }
             shard.len.fetch_sub(drained, Ordering::Relaxed);
+            total += drained;
         }
+        total
     }
 
     /// Drains everything staged so far into the tree. Returns the number
@@ -1098,6 +1174,83 @@ mod tests {
                 other => panic!("structures disagree: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn overlapped_merge_matches_foreground_merge() {
+        let pool = jstar_pool::ThreadPool::new(4);
+        let entries: Vec<(OrderKey, Tuple)> = (0..3000)
+            .map(|i| (skey((i % 4) as u32, i % 60), tup(0, i % 300)))
+            .collect();
+        let probe = ShardedInbox::with_partitioning(0, 8, 2);
+        let mut parts_fg: Vec<Vec<(OrderKey, Tuple)>> = (0..8).map(|_| Vec::new()).collect();
+        let mut parts_bg: Vec<Vec<(OrderKey, Tuple)>> = (0..8).map(|_| Vec::new()).collect();
+        for (k, t) in entries {
+            let p = probe.partition_of(&k);
+            parts_fg[p].push((k.clone(), t.clone()));
+            parts_bg[p].push((k, t));
+        }
+        let mut fg = DeltaTree::new();
+        let mut bg = DeltaQueue::new(DeltaKind::Tree);
+        let mut cf = vec![0u64; 1];
+        let mut cb = vec![0u64; 1];
+        let nf = fg.merge_partitioned(&mut parts_fg, Some(&pool), &mut cf, 1);
+        let nb = bg.merge_partitioned_overlapped(&mut parts_bg, Some(&pool), &mut cb, 1);
+        assert_eq!(nf, nb);
+        assert_eq!(cf, cb);
+        loop {
+            match (fg.pop_min_class(), bg.pop_min_class()) {
+                (None, None) => break,
+                (Some((kf, mut cf)), Some((kb, mut cb))) => {
+                    assert_eq!(kf, kb);
+                    cf.sort();
+                    cb.sort();
+                    assert_eq!(cf, cb);
+                }
+                other => panic!("lanes disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn swap_epoch_under_concurrent_pushes_loses_nothing() {
+        // Pushers race a swapper: every entry must land in exactly one
+        // epoch, and each epoch's runs must keep key groups intact.
+        let inbox = std::sync::Arc::new(ShardedInbox::with_partitioning(4, 8, 2));
+        let pool = jstar_pool::ThreadPool::new(4);
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        pool.scope(|s| {
+            for thread in 0..4i64 {
+                let inbox = std::sync::Arc::clone(&inbox);
+                let pool = &pool;
+                s.spawn(move |_| {
+                    let shard = pool
+                        .current_worker_index()
+                        .unwrap_or_else(|| inbox.external_shard());
+                    for i in 0..2000 {
+                        inbox.push(shard, skey(0, i % 97), tup(0, thread * 10_000 + i));
+                    }
+                });
+            }
+            // The scope owner swaps epochs while pushes are in flight.
+            let mut runs: Vec<Vec<(OrderKey, Tuple)>> =
+                (0..inbox.partitions()).map(|_| Vec::new()).collect();
+            for _ in 0..50 {
+                let n = inbox.swap_epoch(&mut runs);
+                total.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                for run in runs.iter_mut() {
+                    run.clear();
+                }
+                std::thread::yield_now();
+            }
+        });
+        // Final epoch: whatever was staged after the last mid-flight swap.
+        let mut runs: Vec<Vec<(OrderKey, Tuple)>> =
+            (0..inbox.partitions()).map(|_| Vec::new()).collect();
+        let n = inbox.swap_epoch(&mut runs);
+        total.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 8000);
+        assert!(inbox.is_empty());
     }
 
     #[test]

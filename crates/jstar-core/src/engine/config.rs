@@ -1,0 +1,204 @@
+//! Engine configuration — the paper's compiler flags and runtime
+//! options, kept *outside* the program source (workflow stages 3–4).
+
+use crate::delta::DeltaKind;
+use crate::gamma::StoreKind;
+use crate::schema::TableId;
+use crate::tuple::Tuple;
+use jstar_pool::ThreadPool;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A tuple-lifetime predicate (§5 step 4): returns true to keep a tuple.
+pub type LifetimeHint = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
+
+/// Engine configuration — the paper's compiler flags and runtime options,
+/// kept *outside* the program source (workflow stages 3–4).
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// `-sequential`: single-threaded execution with sequential stores.
+    pub sequential: bool,
+    /// `--threads=N`: fork/join pool size for parallel execution.
+    pub threads: usize,
+    /// `-noDelta T` tables: bypass the Delta tree.
+    pub no_delta: Vec<TableId>,
+    /// `-noGamma T` tables: never stored in Gamma.
+    pub no_gamma: Vec<TableId>,
+    /// Per-table store overrides (the paper's data-structure hints).
+    pub stores: HashMap<TableId, StoreKind>,
+    /// Check field types on every put (cheap; on by default).
+    pub type_check: bool,
+    /// Check the Law of Causality on every put (on by default; §4).
+    pub enforce_causality: bool,
+    /// Record a per-step log for parallelism profiling.
+    pub record_steps: bool,
+    /// Abort after this many steps — a guard for accidentally non-causal
+    /// infinite programs like §3's unconditional Ship rule.
+    pub max_steps: Option<u64>,
+    /// Share an existing pool instead of creating one per engine.
+    pub pool: Option<Arc<ThreadPool>>,
+    /// Which Delta structure to use (the tree of the paper, or the flat
+    /// ordered map kept as an ablation).
+    pub delta: DeltaKind,
+    /// Tuple-lifetime hints (§5 step 4): after every `hint_interval` steps
+    /// the engine drops tuples the hook rejects from the table's Gamma
+    /// store. "We simply retain all tuples, or use manual lifetime hints
+    /// from the user to determine when tuples can be discarded."
+    pub lifetime_hints: Vec<(TableId, LifetimeHint)>,
+    /// How often (in steps) lifetime hints run; 0 disables them.
+    pub hint_interval: u64,
+    /// Classes of at most this many tuples execute inline on the
+    /// coordinator instead of being forked to the pool: below this width
+    /// the fork/join round trip costs more than the work. Ignored in
+    /// sequential mode (everything is inline there).
+    pub inline_class_threshold: usize,
+    /// Staged batches of at least this many tuples are merged into the
+    /// Delta queue by pool workers (one subtree per key-prefix
+    /// partition, grafted by the coordinator); smaller batches take the
+    /// sequential insert loop, whose per-tuple cost is below the
+    /// fork/join round trip at that size. Ignored in sequential mode.
+    pub parallel_merge_threshold: usize,
+    /// Drain/execute pipelining depth. `0` restores the strictly
+    /// alternating step loop (absorb, then execute, workers idle during
+    /// each other's phase); `1` (the default) lets the coordinator close
+    /// staging epochs and merge their Delta subtrees *while* a forked
+    /// class executes, with the subtree builds on the pool's background
+    /// lane so execute chunks always preempt them. Values above 1 are
+    /// accepted and currently behave like 1 (one epoch in flight).
+    /// Results are bit-identical at every depth; ignored in sequential
+    /// mode.
+    pub pipeline_depth: usize,
+    /// Quiescent-point store compaction threshold: at the coordinator's
+    /// maintain phase (right after lifetime hints run), a hinted table
+    /// whose store reports more than this fraction of tombstoned slots
+    /// is rebuilt, physically reclaiming the memory that `retain` only
+    /// logically discarded. Values ≥ 1.0 disable compaction.
+    pub compact_tombstones_above: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sequential: false,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            no_delta: Vec::new(),
+            no_gamma: Vec::new(),
+            stores: HashMap::new(),
+            type_check: true,
+            enforce_causality: true,
+            record_steps: false,
+            max_steps: None,
+            pool: None,
+            delta: DeltaKind::Tree,
+            lifetime_hints: Vec::new(),
+            hint_interval: 0,
+            inline_class_threshold: 4,
+            parallel_merge_threshold: 1024,
+            pipeline_depth: 1,
+            compact_tombstones_above: 0.5,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sequential configuration (the `-sequential` flag).
+    pub fn sequential() -> Self {
+        EngineConfig {
+            sequential: true,
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Parallel configuration with `n` fork/join threads.
+    pub fn parallel(n: usize) -> Self {
+        EngineConfig {
+            sequential: false,
+            threads: n.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a `-noDelta` table.
+    pub fn no_delta(mut self, t: TableId) -> Self {
+        self.no_delta.push(t);
+        self
+    }
+
+    /// Adds a `-noGamma` table.
+    pub fn no_gamma(mut self, t: TableId) -> Self {
+        self.no_gamma.push(t);
+        self
+    }
+
+    /// Overrides the Gamma store for one table.
+    pub fn store(mut self, t: TableId, kind: StoreKind) -> Self {
+        self.stores.insert(t, kind);
+        self
+    }
+
+    /// Enables the per-step parallelism log.
+    pub fn record_steps(mut self) -> Self {
+        self.record_steps = true;
+        self
+    }
+
+    /// Sets the runaway-program step guard.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Selects the Delta structure (ablation knob).
+    pub fn delta_kind(mut self, kind: DeltaKind) -> Self {
+        self.delta = kind;
+        self
+    }
+
+    /// Sets the maximum class width executed inline on the coordinator.
+    /// 0 forks every multi-tuple class (the pre-adaptive behaviour).
+    pub fn inline_classes_up_to(mut self, width: usize) -> Self {
+        self.inline_class_threshold = width;
+        self
+    }
+
+    /// Sets the staged-batch size at which the coordinator hands the
+    /// Delta merge to pool workers. `usize::MAX` forces the sequential
+    /// insert loop (the pre-partitioned behaviour); `0`/`1` parallelises
+    /// every multi-partition batch.
+    pub fn parallel_merge_from(mut self, batch: usize) -> Self {
+        self.parallel_merge_threshold = batch;
+        self
+    }
+
+    /// Sets the drain/execute pipelining depth: `0` for the strictly
+    /// alternating loop, `1` (default) to overlap the Delta merge with
+    /// class execution. See [`EngineConfig::pipeline_depth`].
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the tombstone fraction above which hinted tables are
+    /// compacted at the maintain phase; pass a value ≥ 1.0 to disable.
+    pub fn compact_tombstones_above(mut self, fraction: f64) -> Self {
+        self.compact_tombstones_above = fraction;
+        self
+    }
+
+    /// Registers a tuple-lifetime hint for `table`: every `interval` steps,
+    /// tuples the hook rejects are discarded from Gamma (§5 step 4 — the
+    /// manual garbage-collection hints).
+    pub fn lifetime_hint(
+        mut self,
+        table: TableId,
+        interval: u64,
+        keep: impl Fn(&Tuple) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.lifetime_hints.push((table, Arc::new(keep)));
+        self.hint_interval = interval.max(1);
+        self
+    }
+}

@@ -1,0 +1,333 @@
+//! The coordinator: a configured engine instance and its step loop,
+//! written as the explicit phase state machine described in the
+//! [module docs](super) — absorb → extract → execute (∥ absorb when
+//! pipelined) → maintain.
+
+use crate::delta::{DeltaQueue, ShardedInbox};
+use crate::error::Result;
+use crate::gamma::{Gamma, StoreKind};
+use crate::orderby::OrderKey;
+use crate::program::Program;
+use crate::relation::{Relation, TableHandle, TypedQuery};
+use crate::schema::TableId;
+use crate::stats::{EngineStats, StepRecord};
+use crate::tuple::Tuple;
+use jstar_pool::ThreadPool;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::config::EngineConfig;
+use super::pipeline::Pipeline;
+use super::report::RunReport;
+use super::runtime::{process_class_chunk, process_tuple, put_tuple, QueryPlan, RunState};
+use super::schedule::{ClassPlan, Scheduler};
+use crate::error::JStarError;
+
+/// A configured instance of a JStar program, ready to run.
+pub struct Engine {
+    state: Arc<RunState>,
+    config: EngineConfig,
+    pool: Option<Arc<ThreadPool>>,
+    injected: Vec<Tuple>,
+}
+
+impl Engine {
+    /// Builds an engine for `program` under `config`.
+    ///
+    /// Gamma stores default to the mode-appropriate structure (§5: `TreeSet`
+    /// sequentially, concurrent ordered store in parallel) unless overridden
+    /// per table via [`EngineConfig::store`].
+    pub fn new(program: Arc<Program>, config: EngineConfig) -> Engine {
+        let n = program.defs().len();
+        let kinds: Vec<StoreKind> = (0..n)
+            .map(|i| {
+                config
+                    .stores
+                    .get(&TableId(i as u32))
+                    .cloned()
+                    .unwrap_or_else(|| StoreKind::default_for(!config.sequential))
+            })
+            .collect();
+        let gamma = Gamma::new(program.defs(), &kinds);
+        let pool = if config.sequential {
+            None
+        } else {
+            Some(
+                config
+                    .pool
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(ThreadPool::new(config.threads))),
+            )
+        };
+        let mut no_delta = vec![false; n];
+        for t in &config.no_delta {
+            no_delta[t.index()] = true;
+        }
+        let mut no_gamma = vec![false; n];
+        for t in &config.no_gamma {
+            no_gamma[t.index()] = true;
+        }
+        let plans: Vec<QueryPlan> = (0..n)
+            .map(|i| QueryPlan::new(&program.orderbys()[i], &**gamma.store(TableId(i as u32))))
+            .collect();
+        let workers = pool.as_ref().map(|p| p.num_threads()).unwrap_or(0);
+        // Partition function for the staged-tuple bins, derived from the
+        // program's orderby schema: hash enough leading key components to
+        // reach the first tuple-dependent (`seq`) level of any
+        // Delta-eligible table. Workloads whose tables share one stratum
+        // (Dijkstra's Estimates) then still spread across partitions by
+        // the seq value instead of collapsing into one bin.
+        let prefix_len = (0..n)
+            .filter(|i| !no_delta[*i])
+            .map(|i| {
+                let comps = &program.orderbys()[i].components;
+                comps
+                    .iter()
+                    .position(|c| matches!(c, crate::orderby::ResolvedComponent::Seq { .. }))
+                    .map(|p| p + 1)
+                    .unwrap_or(comps.len())
+            })
+            .max()
+            .unwrap_or(1)
+            .clamp(1, 4);
+        let partitions = if workers > 1 {
+            (workers * 2).next_power_of_two()
+        } else {
+            1
+        };
+        let state = Arc::new(RunState {
+            program: Arc::clone(&program),
+            gamma,
+            inbox: ShardedInbox::with_partitioning(workers, partitions, prefix_len),
+            plans,
+            no_delta,
+            no_gamma,
+            type_check: config.type_check,
+            enforce_causality: config.enforce_causality,
+            output: Mutex::new(Vec::new()),
+            errors: Mutex::new(Vec::new()),
+            stats: EngineStats::new(n),
+            pool: pool.clone(),
+        });
+        Engine {
+            state,
+            config,
+            pool,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Queues an external event tuple (§3: "the input tuples are added to
+    /// the Delta Set, and can then trigger various rules"). Must be called
+    /// before [`Engine::run`].
+    pub fn inject(&mut self, t: Tuple) {
+        self.injected.push(t);
+    }
+
+    /// Typed [`Engine::inject`]: queues an external event relation.
+    pub fn inject_rel<R: Relation>(&mut self, row: R) {
+        let id = self.state.program.handle::<R>().id();
+        self.injected.push(Tuple::new(id, row.into_values()));
+    }
+
+    /// Runs the program to quiescence (empty Delta set).
+    ///
+    /// The step loop is the four-phase machine of the
+    /// [module docs](super): each iteration **absorbs** staged tuples
+    /// into the Delta queue, **extracts** the minimal equivalence
+    /// class, **executes** it (overlapping the next absorb when
+    /// [`EngineConfig::pipeline_depth`] ≥ 1), then **maintains** the
+    /// stores at the quiescent point.
+    pub fn run(&mut self) -> Result<RunReport> {
+        let start = Instant::now();
+        let state = &*self.state;
+
+        // Initial puts (from program source) and injected events enter at
+        // the minimal key, so they may target any table.
+        let min = OrderKey::minimum();
+        for t in state.program.initial() {
+            put_tuple(state, &min, "<init>", t.clone());
+        }
+        for t in self.injected.drain(..) {
+            put_tuple(state, &min, "<inject>", t);
+        }
+
+        let mut tree = DeltaQueue::new(self.config.delta);
+        let mut pipeline = Pipeline::new(state, &self.config);
+        let scheduler = Scheduler::new(self.config.inline_class_threshold);
+        let mut steps: u64 = 0;
+        // The per-step phase timers share the record_steps gate:
+        // profiling runs get the split, production runs pay zero clock
+        // reads in the coordinator loop.
+        let timing = self.config.record_steps;
+        loop {
+            if state.has_errors() {
+                break;
+            }
+
+            // ── Phase 1: absorb ─────────────────────────────────────
+            // Everything staged by earlier steps must be queued before
+            // the next pop — a staged key may order before the current
+            // tree minimum. Under pipelining most of this already
+            // happened during the previous execute phase; this is the
+            // remainder.
+            pipeline.absorb(state, &mut tree, self.pool.as_deref());
+
+            // ── Phase 2: extract ────────────────────────────────────
+            let Some((key, mut class)) = tree.pop_min_class() else {
+                break;
+            };
+            steps += 1;
+            if let Some(max) = self.config.max_steps {
+                if steps > max {
+                    state.record_error(JStarError::Other(format!(
+                        "step limit {max} exceeded — is a rule putting tuples unconditionally?"
+                    )));
+                    break;
+                }
+            }
+            let class_size = class.len();
+            state.stats.record_step(class_size);
+            let exec_start = timing.then(Instant::now);
+
+            // ── Phase 3: execute (∥ absorb when pipelined) ──────────
+            match scheduler.plan(self.pool.as_deref(), class_size) {
+                ClassPlan::Forked { chunk } => {
+                    state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
+                    let pool = self.pool.as_ref().expect("forked plan implies a pool");
+                    let key = &key;
+                    let pipeline = &mut pipeline;
+                    let tree = &mut tree;
+                    pool.scope(|s| {
+                        // All chunks submitted as one batch: a single
+                        // wakeup, no per-task notify storm.
+                        s.spawn_batch(class.chunks(chunk).map(|piece| {
+                            move |_: &jstar_pool::Scope<'_>| {
+                                process_class_chunk(state, key, piece);
+                            }
+                        }));
+                        if pipeline.pipelined() {
+                            // The coordinator joins the class from inside
+                            // the scope, interleaving epoch absorption
+                            // with helping — the drain/execute overlap.
+                            pipeline.overlap(s, state, tree, pool);
+                        }
+                    });
+                }
+                ClassPlan::Inline { sort } => {
+                    // Narrow class or sequential engine: fork/join
+                    // overhead exceeds the work, execute on the
+                    // coordinator. The sequential engine additionally
+                    // sorts for a deterministic intra-class order.
+                    state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
+                    if sort {
+                        class.sort();
+                    }
+                    for t in class {
+                        process_tuple(state, &key, t);
+                    }
+                }
+            }
+
+            if let Some(t0) = exec_start {
+                let exec_elapsed = t0.elapsed();
+                state
+                    .stats
+                    .execute_nanos
+                    .fetch_add(exec_elapsed.as_nanos() as u64, Ordering::Relaxed);
+                state.stats.log_step(StepRecord {
+                    key: key.to_string(),
+                    class_size,
+                    micros: exec_elapsed.as_micros(),
+                });
+            }
+
+            // ── Phase 4: maintain ───────────────────────────────────
+            // The coordinator's quiescent point: workers have joined,
+            // so single-threaded store surgery is safe. §5 step 4's
+            // manual tuple-lifetime hints run here, followed by
+            // tombstone compaction for stores the hints have hollowed
+            // out.
+            if self.config.hint_interval > 0 && steps.is_multiple_of(self.config.hint_interval) {
+                for (table, keep) in &self.config.lifetime_hints {
+                    let store = state.gamma.store(*table);
+                    store.retain(&**keep);
+                    if store.maybe_compact(self.config.compact_tombstones_above) {
+                        state.stats.tables[table.index()]
+                            .compactions
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        let errors = state.errors.lock();
+        if let Some(first) = errors.first() {
+            return Err(first.clone());
+        }
+        drop(errors);
+
+        Ok(RunReport {
+            steps,
+            tuples_processed: state.stats.tuples_processed.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            drain_time: Duration::from_nanos(state.stats.drain_nanos.load(Ordering::Relaxed)),
+            partition_time: Duration::from_nanos(
+                state.stats.partition_nanos.load(Ordering::Relaxed),
+            ),
+            merge_time: Duration::from_nanos(state.stats.merge_nanos.load(Ordering::Relaxed)),
+            overlap_time: Duration::from_nanos(state.stats.overlap_nanos.load(Ordering::Relaxed)),
+            execute_time: Duration::from_nanos(state.stats.execute_nanos.load(Ordering::Relaxed)),
+            inline_classes: state.stats.inline_classes.load(Ordering::Relaxed),
+            forked_classes: state.stats.forked_classes.load(Ordering::Relaxed),
+            output: state.output.lock().clone(),
+        })
+    }
+
+    /// The Gamma database (inspect results after a run).
+    pub fn gamma(&self) -> &Gamma {
+        &self.state.gamma
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.state.stats
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.state.program
+    }
+
+    /// The typed handle for relation `R` (panics if unregistered).
+    pub fn handle<R: Relation>(&self) -> TableHandle<R> {
+        self.state.program.handle::<R>()
+    }
+
+    /// Collects and decodes every Gamma row matching a typed query —
+    /// the typed read path for inspecting results after a run:
+    /// `engine.collect_rel(Ship::query())`.
+    pub fn collect_rel<R: Relation>(&self, q: TypedQuery<R>) -> Vec<R> {
+        let q = q.lower(self.handle::<R>());
+        let mut out = Vec::new();
+        self.state.gamma.query(&q, &mut |t| {
+            out.push(R::from_tuple(t));
+            true
+        });
+        out
+    }
+
+    /// Streams decoded Gamma rows matching a typed query; return
+    /// `false` from the callback to stop early.
+    pub fn for_each_rel_gamma<R: Relation>(&self, q: TypedQuery<R>, mut f: impl FnMut(R) -> bool) {
+        let q = q.lower(self.handle::<R>());
+        self.state.gamma.query(&q, &mut |t| f(R::from_tuple(t)));
+    }
+
+    /// Collected output lines so far.
+    pub fn output(&self) -> Vec<String> {
+        self.state.output.lock().clone()
+    }
+}

@@ -1,0 +1,135 @@
+//! The execution engine — JStar's improved incremental pseudo-naive
+//! bottom-up evaluator (§3, §5), structured as an explicit **phase
+//! pipeline**.
+//!
+//! The tuple lifecycle (Fig. 3): a rule `put`s a tuple → it waits in the
+//! Delta set → it is taken out "in an order that respects the causality
+//! ordering", inserted into Gamma, and triggers applicable rules → later
+//! rules may query it → (optionally) it is discarded via lifetime hints.
+//!
+//! Two modes mirror the paper's compiler flags:
+//!
+//! * **sequential** (`-sequential`): one thread, ordered stores;
+//! * **parallel** (default): the *all-minimums strategy* — every tuple of
+//!   the minimal Delta equivalence class is executed as a fork/join task on
+//!   a [`jstar_pool::ThreadPool`] sized by `--threads=N`.
+//!
+//! Per-table optimisation flags are faithful to §5.1: `-noDelta T` sends
+//! `T`'s tuples straight to Gamma and fires their rules immediately;
+//! `-noGamma T` skips storing `T`'s tuples (they act as pure triggers).
+//!
+//! ## The phase pipeline
+//!
+//! The step loop (the `coordinator` module) is a four-phase state
+//! machine; with [`EngineConfig::pipeline_depth`] ≥ 1 (the default) the
+//! absorb phase additionally runs *inside* the execute phase, so the
+//! Delta merge overlaps rule execution instead of alternating with it:
+//!
+//! ```text
+//!            workers: put → ShardedInbox (epoch E+1, binned by key prefix)
+//!                                │
+//!   ┌──── ABSORB ────┐   ┌── EXTRACT ──┐   ┌─────────── EXECUTE ───────────┐
+//!   │ swap epoch,    │ → │ pop_min     │ → │ class chunks on the pool      │
+//!   │ merge runs     │   │ class       │   │   ∥ overlap: coordinator      │
+//!   │ (serial rest)  │   └─────────────┘   │     swaps epochs + merges     │
+//!   └────────────────┘                     │     subtrees (background lane)│
+//!            ▲                             └───────────────────────────────┘
+//!            │                ┌── MAINTAIN ──┐                 │
+//!            └────────────────│ hints,       │◀────────────────┘
+//!                             │ compaction   │
+//!                             └──────────────┘
+//! ```
+//!
+//! * **Absorb** (`pipeline::Pipeline::absorb`) — the coordinator swaps
+//!   the staging epoch out of the [`crate::delta::ShardedInbox`] and
+//!   merges the per-partition runs into the Delta queue
+//!   ([`crate::delta::DeltaTree::merge_partitioned`]). With pipelining
+//!   on, most of this already happened during the previous execute
+//!   phase and only a small remainder is left here.
+//! * **Extract** — `pop_min_class` removes the minimal equivalence
+//!   class: the unit of parallelism of the all-minimums strategy. The
+//!   pop must see *every* tuple staged by earlier steps (a staged key
+//!   may order before the current tree minimum), which is why absorb
+//!   always completes before extract — the pipeline overlaps the merge
+//!   with the *previous* step's execution, never with the pop itself.
+//! * **Execute** (`schedule::Scheduler` decides the shape) — classes
+//!   at or below [`EngineConfig::inline_class_threshold`] run inline on
+//!   the coordinator; wider classes are chunked by measured width and
+//!   pool occupancy and submitted as one batch
+//!   ([`jstar_pool::Scope::spawn_batch`], a single wakeup). While a
+//!   forked class runs, the pipelined coordinator loops
+//!   (`pipeline::Pipeline::overlap`): it closes staging epochs early
+//!   ([`crate::delta::ShardedInbox::swap_epoch`]) and merges them with
+//!   the per-partition subtree builds on the pool's **background lane**
+//!   ([`jstar_pool::Scope::spawn_background_batch`]) so only
+//!   otherwise-idle workers build subtrees — class chunks always
+//!   preempt them. Since the Delta structures are canonical sets keyed
+//!   by position, early-merged epochs graft in exactly the state the
+//!   step-boundary drain would have produced: the pop sequence — and
+//!   therefore the run — is bit-identical to `pipeline_depth = 0`
+//!   (property-tested in `tests/prop_engine.rs`).
+//! * **Maintain** — the coordinator's single-threaded quiescent point:
+//!   tuple-lifetime hints run (§5 step 4), and stores whose tombstone
+//!   fraction exceeds [`EngineConfig::compact_tombstones_above`] are
+//!   compacted ([`crate::gamma::TableStore::maybe_compact`]).
+//!
+//! Time spent on overlapped drain work is accounted separately
+//! ([`RunReport::overlap_time`], [`RunReport::overlap_fraction`]): it is
+//! hidden under the execute phase's wall clock instead of stalling the
+//! coordinator, so a rising overlap fraction means the pipeline is
+//! doing its job.
+//!
+//! ## Hot-path architecture
+//!
+//! The put→Delta→Gamma pipeline adds **zero coordinator-side contention**
+//! per tuple:
+//!
+//! 1. **Partition-aware sharded staging** — a worker `put` appends
+//!    `(OrderKey, Tuple)` to its own [`crate::delta::ShardedInbox`]
+//!    shard (routed by the pool's stable
+//!    [`jstar_pool::ThreadPool::current_worker_index`]), binned by a
+//!    hash of the key's leading components at push time.
+//! 2. **Partitioned, overlapped parallel drain** — pool workers build
+//!    one independent subtree per key-prefix partition; the coordinator
+//!    grafts them, splicing disjoint subtrees wholesale. Under
+//!    pipelining the builds run on the background lane during the
+//!    previous class's execution.
+//! 3. **Reservation-based Gamma inserts** — the parallel store defaults
+//!    ([`crate::gamma::ConcurrentOrderedStore`],
+//!    [`crate::gamma::HashStore`]) publish tuples via CAS slot
+//!    reservation; no lock remains on the tuple hot path, and readers
+//!    never observe partial state.
+//! 4. **Borrowed trigger keys** — `process_tuple` and [`RuleCtx`] borrow
+//!    the equivalence class's `OrderKey`; triggering a rule clones
+//!    nothing.
+//! 5. **Per-table query plans and bind-slot prepared queries** — orderby
+//!    extraction and index selection are cached once per table in a
+//!    [`QueryPlan`]; per-invocation constraint values patch interned
+//!    queries in place ([`RuleCtx::for_each_bound`] /
+//!    [`RuleCtx::for_each_with`]).
+//! 6. **Adaptive all-minimums scheduling** — see the `schedule` module.
+//!
+//! The module family: `config` (the paper's flags), `runtime` (the
+//! shared put/trigger core), `ctx` (the rule window onto the
+//! database), `schedule` (class execution planning), `pipeline`
+//! (epoch absorption), `report` (run results), and `coordinator`
+//! (the step loop itself). The public API — [`Engine`],
+//! [`EngineConfig`], [`RuleCtx`], [`RunReport`], [`QueryPlan`],
+//! [`LifetimeHint`] — is re-exported here unchanged from its
+//! single-file predecessor.
+
+mod config;
+mod coordinator;
+mod ctx;
+mod pipeline;
+mod report;
+mod runtime;
+mod schedule;
+#[cfg(test)]
+mod tests;
+
+pub use config::{EngineConfig, LifetimeHint};
+pub use coordinator::Engine;
+pub use ctx::RuleCtx;
+pub use report::RunReport;
+pub use runtime::QueryPlan;

@@ -1,0 +1,183 @@
+//! Double-buffered epoch absorption: moving staged tuples into the
+//! Delta queue, either serially at the step boundary or overlapped with
+//! class execution.
+//!
+//! Tuples a step's workers `put` are staged in the
+//! [`crate::delta::ShardedInbox`], binned by key prefix at push time.
+//! Absorbing them is two phases: **partition** (swap the staging epoch
+//! out of every shard — [`crate::delta::ShardedInbox::swap_epoch`]) and
+//! **merge** (build one Delta subtree per partition and graft them —
+//! [`crate::delta::DeltaTree::merge_partitioned`]).
+//!
+//! With [`super::EngineConfig::pipeline_depth`] ≥ 1 the coordinator runs
+//! [`Pipeline::overlap`] while a forked class executes: it repeatedly
+//! closes the staging epoch early and merges it with the subtree builds
+//! on the pool's **background lane**, so only workers with no class
+//! chunk left pick them up, and helps execute class chunks in between.
+//! The Law of Causality guarantees staged tuples never belong to the
+//! *current* step, and the Delta structures are canonical sets keyed by
+//! position — so absorbing an epoch early produces exactly the queue
+//! state the step-boundary drain would have, and the pop sequence is
+//! unchanged. Whatever remains staged when the class finishes is taken
+//! by the next serial [`Pipeline::absorb`].
+
+use crate::delta::DeltaQueue;
+use jstar_pool::{Scope, ThreadPool};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use super::config::EngineConfig;
+use super::runtime::RunState;
+use crate::orderby::OrderKey;
+use crate::tuple::Tuple;
+
+/// Reusable absorption state: the per-partition run buffers (recycled
+/// across epochs so staging allocations survive the round trip) and the
+/// per-table insert counters (flushed as **one** stats update per
+/// touched table per epoch).
+pub(super) struct Pipeline {
+    runs: Vec<Vec<(OrderKey, Tuple)>>,
+    inserted_by_table: Vec<u64>,
+    merge_threshold: usize,
+    /// Overlapped absorbs only trigger once at least this many tuples
+    /// are staged: swapping near-empty epochs would buy nothing and
+    /// cost a mutex round over every shard.
+    min_overlap_batch: usize,
+    depth: usize,
+    timing: bool,
+}
+
+impl Pipeline {
+    pub(super) fn new(state: &RunState, config: &EngineConfig) -> Pipeline {
+        let merge_threshold = config.parallel_merge_threshold;
+        Pipeline {
+            runs: (0..state.inbox.partitions()).map(|_| Vec::new()).collect(),
+            inserted_by_table: vec![0; state.program.defs().len()],
+            merge_threshold,
+            min_overlap_batch: (merge_threshold / 4).max(64),
+            depth: if config.sequential {
+                0
+            } else {
+                config.pipeline_depth
+            },
+            timing: config.record_steps,
+        }
+    }
+
+    /// True when the drain/execute overlap is active.
+    pub(super) fn pipelined(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Serial absorb at the step boundary (the **absorb** phase):
+    /// drains whatever is still staged — everything, when pipelining is
+    /// off; the sub-`min_overlap_batch` remainder otherwise — so the
+    /// following `pop_min_class` sees every tuple put by earlier steps.
+    pub(super) fn absorb(
+        &mut self,
+        state: &RunState,
+        tree: &mut DeltaQueue,
+        pool: Option<&ThreadPool>,
+    ) {
+        if state.inbox.is_empty() {
+            return;
+        }
+        let partition_start = self.timing.then(Instant::now);
+        state.inbox.swap_epoch(&mut self.runs);
+        let partition_elapsed = partition_start.map(|t0| t0.elapsed());
+
+        let merge_start = self.timing.then(Instant::now);
+        tree.merge_partitioned(
+            &mut self.runs,
+            pool,
+            &mut self.inserted_by_table,
+            self.merge_threshold,
+        );
+        let merge_elapsed = merge_start.map(|t0| t0.elapsed());
+
+        self.flush_counts(state);
+        if let (Some(p), Some(m)) = (partition_elapsed, merge_elapsed) {
+            state
+                .stats
+                .partition_nanos
+                .fetch_add(p.as_nanos() as u64, Ordering::Relaxed);
+            state
+                .stats
+                .merge_nanos
+                .fetch_add(m.as_nanos() as u64, Ordering::Relaxed);
+            state
+                .stats
+                .drain_nanos
+                .fetch_add((p + m).as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Overlapped absorb (the pipelined half of the **execute** phase):
+    /// runs on the coordinator inside the class's fork/join scope.
+    /// Alternates between (a) closing and merging staged epochs once
+    /// they reach `min_overlap_batch` — subtree builds on the
+    /// background lane, so class chunks preempt them — and (b) helping
+    /// execute queued pool work, until every spawned chunk of the class
+    /// has finished.
+    pub(super) fn overlap(
+        &mut self,
+        scope: &Scope<'_>,
+        state: &RunState,
+        tree: &mut DeltaQueue,
+        pool: &ThreadPool,
+    ) {
+        loop {
+            let mut absorbed = false;
+            if state.inbox.len() >= self.min_overlap_batch {
+                let t0 = self.timing.then(Instant::now);
+                if state.inbox.swap_epoch(&mut self.runs) > 0 {
+                    // Parallel subtree builds only when no class chunk is
+                    // still queued: with foreground work outstanding, the
+                    // merge's internal join would have the coordinator
+                    // executing chunks (delaying the graft and billing
+                    // execute work to the overlap timer), and a saturated
+                    // pool gains nothing from parallel builds anyway —
+                    // the sequential loop on the otherwise-waiting
+                    // coordinator *is* the overlap.
+                    let merge_pool = (pool.pending_jobs() == 0).then_some(pool);
+                    tree.merge_partitioned_overlapped(
+                        &mut self.runs,
+                        merge_pool,
+                        &mut self.inserted_by_table,
+                        self.merge_threshold,
+                    );
+                    self.flush_counts(state);
+                    absorbed = true;
+                }
+                if let Some(t0) = t0 {
+                    state
+                        .stats
+                        .overlap_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }
+            if scope.completed() {
+                break;
+            }
+            if !absorbed && !scope.help() {
+                // Nothing to absorb, nothing to help with: the chunks
+                // are all running on workers. Park briefly; a finishing
+                // chunk (or fresh staging) ends the wait.
+                scope.wait_timeout(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Publishes the epoch's per-table Delta-insert counts — one atomic
+    /// update per touched table, not one per tuple.
+    fn flush_counts(&mut self, state: &RunState) {
+        for (ti, count) in self.inserted_by_table.iter_mut().enumerate() {
+            if *count > 0 {
+                state.stats.tables[ti]
+                    .delta_inserts
+                    .fetch_add(*count, Ordering::Relaxed);
+                *count = 0;
+            }
+        }
+    }
+}

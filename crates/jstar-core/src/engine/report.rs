@@ -1,0 +1,93 @@
+//! The result of one engine run: counters, phase timers, and the
+//! derived pipeline metrics.
+
+use std::time::Duration;
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of Delta extraction steps.
+    pub steps: u64,
+    /// Tuples processed out of the Delta set.
+    pub tuples_processed: u64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Coordinator time spent draining staged tuples into the Delta queue
+    /// *serially* — i.e. while execution waited (the sum of
+    /// `partition_time` and `merge_time`). Drain work the pipelined
+    /// coordinator performed during class execution is counted in
+    /// [`RunReport::overlap_time`] instead. Zero unless
+    /// [`super::EngineConfig::record_steps`] is set — the per-step
+    /// timers are profiling instrumentation, not free.
+    pub drain_time: Duration,
+    /// Drain phase 1: swapping the per-worker staging bins out into
+    /// per-partition runs. Zero unless
+    /// [`super::EngineConfig::record_steps`] is set.
+    pub partition_time: Duration,
+    /// Drain phase 2: merging the partition runs into the Delta queue
+    /// (parallel subtree builds + the coordinator's graft, or the
+    /// sequential fallback). Zero unless
+    /// [`super::EngineConfig::record_steps`] is set.
+    pub merge_time: Duration,
+    /// Drain work (epoch swaps + background-lane merges) performed by
+    /// the pipelined coordinator **while a class was executing** — time
+    /// hidden under [`RunReport::execute_time`]'s wall clock instead of
+    /// stalling the step loop. Zero when
+    /// [`super::EngineConfig::pipeline_depth`] is 0, and zero unless
+    /// [`super::EngineConfig::record_steps`] is set.
+    pub overlap_time: Duration,
+    /// Time spent executing equivalence classes (Gamma inserts + rules).
+    /// Zero unless [`super::EngineConfig::record_steps`] is set.
+    pub execute_time: Duration,
+    /// Classes executed inline on the coordinator.
+    pub inline_classes: u64,
+    /// Classes fanned out to the fork/join pool.
+    pub forked_classes: u64,
+    /// Collected `println` output (order not significant).
+    pub output: Vec<String>,
+}
+
+impl RunReport {
+    /// Delta-set throughput: tuples processed per second of wall time.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.tuples_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of accounted step time the coordinator spent draining
+    /// serially (vs. executing). A high value means the drain, not the
+    /// hardware, sets the speed limit; the pipeline's job is to move
+    /// drain work out of this number and into
+    /// [`RunReport::overlap_fraction`].
+    pub fn drain_fraction(&self) -> f64 {
+        let total = self.drain_time.as_secs_f64() + self.execute_time.as_secs_f64();
+        if total > 0.0 {
+            self.drain_time.as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the run's total drain work that was overlapped with
+    /// class execution: `overlap / (overlap + serial drain)`. 0.0 with
+    /// pipelining off (or nothing drained); approaching 1.0 means the
+    /// merge is fully hidden behind execution.
+    pub fn overlap_fraction(&self) -> f64 {
+        let total = self.overlap_time.as_secs_f64() + self.drain_time.as_secs_f64();
+        if total > 0.0 {
+            self.overlap_time.as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean serial-drain and execute time per step.
+    pub fn per_step(&self) -> (Duration, Duration) {
+        let steps = self.steps.max(1) as u32;
+        (self.drain_time / steps, self.execute_time / steps)
+    }
+}

@@ -1,0 +1,264 @@
+//! The shared run-time core: per-table query plans, the state every
+//! worker thread sees, and the put → Delta / Gamma → trigger path that
+//! both the coordinator and the rule contexts drive.
+
+use crate::delta::ShardedInbox;
+use crate::error::JStarError;
+use crate::gamma::{Gamma, InsertOutcome};
+use crate::orderby::{OrderKey, ResolvedComponent, ResolvedOrderBy};
+use crate::program::Program;
+use crate::query::Query;
+use crate::stats::EngineStats;
+use crate::tuple::Tuple;
+use jstar_pool::ThreadPool;
+use parking_lot::Mutex;
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use super::ctx::RuleCtx;
+
+/// Per-table hot-path cache, computed once at engine construction.
+///
+/// Consolidates everything `put` and `query` would otherwise re-derive per
+/// call: the resolved orderby key extractor, the interned key for tables
+/// whose ordering is tuple-independent (pure-stratum orderbys — every
+/// tuple of the table shares one Delta equivalence class), and the store's
+/// index-selection data (`covers_fields` input).
+pub struct QueryPlan {
+    /// The table's resolved orderby list (the key extractor).
+    orderby: ResolvedOrderBy,
+    /// Interned order key when the orderby has no tuple-dependent
+    /// component; such tables form a single delta class per run.
+    const_key: Option<OrderKey>,
+    /// Fields the table's Gamma store is hash-indexed on, if any.
+    index_fields: Option<Box<[usize]>>,
+}
+
+impl QueryPlan {
+    pub(super) fn new(
+        orderby: &ResolvedOrderBy,
+        store: &dyn crate::gamma::TableStore,
+    ) -> QueryPlan {
+        let tuple_independent = orderby
+            .components
+            .iter()
+            .all(|c| !matches!(c, ResolvedComponent::Seq { .. }));
+        let const_key = tuple_independent.then(|| {
+            let mut parts = Vec::new();
+            for c in &orderby.components {
+                match c {
+                    ResolvedComponent::Strat { rank, .. } => {
+                        parts.push(crate::orderby::KeyPart::Strat(*rank))
+                    }
+                    ResolvedComponent::Seq { .. } => unreachable!("tuple-independent"),
+                    ResolvedComponent::Par { .. } => break,
+                }
+            }
+            OrderKey(parts)
+        });
+        QueryPlan {
+            orderby: orderby.clone(),
+            const_key,
+            index_fields: store.index_fields().map(|f| f.to_vec().into_boxed_slice()),
+        }
+    }
+
+    /// The order key of `t` — a clone of the interned key when the table's
+    /// ordering is tuple-independent, a fresh extraction otherwise.
+    #[inline]
+    pub fn key_for(&self, t: &Tuple) -> OrderKey {
+        match &self.const_key {
+            Some(k) => k.clone(),
+            None => self.orderby.key_of(t),
+        }
+    }
+
+    /// True when `q` binds every indexed field of the table's store with an
+    /// equality constraint — the cached index-selection decision.
+    #[inline]
+    pub fn query_uses_index(&self, q: &Query) -> bool {
+        match &self.index_fields {
+            Some(fields) => q.covers_fields(fields),
+            None => false,
+        }
+    }
+}
+
+/// Shared run-time state, accessible from worker threads.
+pub(crate) struct RunState {
+    pub(super) program: Arc<Program>,
+    pub(super) gamma: Gamma,
+    pub(super) inbox: ShardedInbox,
+    pub(super) plans: Vec<QueryPlan>,
+    pub(super) no_delta: Vec<bool>,
+    pub(super) no_gamma: Vec<bool>,
+    pub(super) type_check: bool,
+    pub(super) enforce_causality: bool,
+    pub(super) output: Mutex<Vec<String>>,
+    pub(super) errors: Mutex<Vec<JStarError>>,
+    pub(super) stats: EngineStats,
+    pub(super) pool: Option<Arc<ThreadPool>>,
+}
+
+impl RunState {
+    pub(super) fn record_error(&self, e: JStarError) {
+        self.errors.lock().push(e);
+    }
+
+    pub(super) fn has_errors(&self) -> bool {
+        !self.errors.lock().is_empty()
+    }
+
+    /// The staging shard for the calling thread: the worker's stable index
+    /// on pool threads, the external shard everywhere else.
+    #[inline]
+    pub(super) fn staging_shard(&self) -> usize {
+        self.pool
+            .as_ref()
+            .and_then(|p| p.current_worker_index())
+            .unwrap_or_else(|| self.inbox.external_shard())
+    }
+}
+
+/// Core put path, shared by `RuleCtx::put`, initial puts and injected
+/// event tuples. The trigger key is borrowed; the computed key for `t`
+/// moves into the staging shard without further copies.
+pub(super) fn put_tuple(state: &RunState, trigger_key: &OrderKey, rule: &str, t: Tuple) {
+    let table = t.table();
+    let ti = table.index();
+    state.stats.tables[ti].puts.fetch_add(1, Ordering::Relaxed);
+
+    if state.type_check {
+        if let Err(msg) = state.program.def(table).type_check(t.fields()) {
+            state.record_error(JStarError::Type(msg));
+            return;
+        }
+    }
+
+    let key = state.plans[ti].key_for(&t);
+    if state.enforce_causality && trigger_key.cmp(&key) == CmpOrdering::Greater {
+        state.record_error(JStarError::CausalityViolation {
+            rule: rule.to_string(),
+            trigger_key: trigger_key.clone(),
+            put_key: key,
+            tuple: t.to_string(),
+        });
+        return;
+    }
+
+    if state.no_delta[ti] {
+        // §5.1: put straight into Gamma and fire triggered rules
+        // immediately on this thread.
+        process_tuple(state, &key, t);
+    } else {
+        state.inbox.push(state.staging_shard(), key, t);
+    }
+}
+
+/// Moves one tuple out of the Delta set: inserts it into Gamma (unless
+/// `-noGamma`), and if it is fresh, fires every rule it triggers. `key`
+/// is borrowed from the executing class — rule contexts borrow it too,
+/// so triggering N rules performs zero key clones.
+pub(super) fn process_tuple(state: &RunState, key: &OrderKey, t: Tuple) {
+    let table = t.table();
+    let ti = table.index();
+    let fresh = if state.no_gamma[ti] {
+        true
+    } else {
+        match state.gamma.insert(t.clone()) {
+            InsertOutcome::Fresh => {
+                state.stats.tables[ti]
+                    .gamma_fresh
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            InsertOutcome::Duplicate => {
+                // Set-oriented semantics: duplicates neither re-trigger
+                // rules nor re-enter Gamma (§6.2's SumMonth dedup).
+                state.stats.tables[ti]
+                    .gamma_dups
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            InsertOutcome::KeyConflict => {
+                state.record_error(JStarError::KeyViolation {
+                    table: state.program.def(table).name.clone(),
+                    detail: format!("insert of {t} violates the -> key invariant"),
+                });
+                false
+            }
+        }
+    };
+    if !fresh {
+        return;
+    }
+    state.stats.tables[ti].triggers.fetch_add(
+        state.program.rules_by_trigger()[ti].len() as u64,
+        Ordering::Relaxed,
+    );
+    fire_rules(state, key, &t);
+}
+
+/// Fires every rule triggered by `t` (which must be fresh). Contexts
+/// borrow the class key — zero copies per trigger.
+pub(super) fn fire_rules(state: &RunState, key: &OrderKey, t: &Tuple) {
+    let ti = t.table().index();
+    for &ri in &state.program.rules_by_trigger()[ti] {
+        let rule = &state.program.rules()[ri];
+        let ctx = RuleCtx::new(state, key, &rule.name);
+        (rule.body)(&ctx, t);
+    }
+}
+
+/// Executes one chunk of an equivalence class on a worker.
+///
+/// Uniform-table chunks (the overwhelmingly common case — a class is one
+/// key, and most keys belong to one table) take the batch path: a single
+/// [`Gamma::insert_batch`] call amortises store locking, statistics are
+/// published once per chunk, and rules fire afterwards for the fresh
+/// tuples. Mixed-table chunks fall back to the per-tuple path.
+pub(super) fn process_class_chunk(state: &RunState, key: &OrderKey, chunk: &[Tuple]) {
+    let table = chunk[0].table();
+    let ti = table.index();
+    let uniform =
+        chunk.len() > 1 && !state.no_gamma[ti] && chunk.iter().all(|t| t.table() == table);
+    if !uniform {
+        for t in chunk {
+            process_tuple(state, key, t.clone());
+        }
+        return;
+    }
+
+    let mut outcomes = Vec::with_capacity(chunk.len());
+    state.gamma.insert_batch(table, chunk, &mut outcomes);
+    let (mut fresh, mut dups) = (0u64, 0u64);
+    for (t, outcome) in chunk.iter().zip(&outcomes) {
+        match outcome {
+            InsertOutcome::Fresh => fresh += 1,
+            InsertOutcome::Duplicate => dups += 1,
+            InsertOutcome::KeyConflict => {
+                state.record_error(JStarError::KeyViolation {
+                    table: state.program.def(table).name.clone(),
+                    detail: format!("insert of {t} violates the -> key invariant"),
+                });
+            }
+        }
+    }
+    let stats = &state.stats.tables[ti];
+    if fresh > 0 {
+        stats.gamma_fresh.fetch_add(fresh, Ordering::Relaxed);
+        stats.triggers.fetch_add(
+            fresh * state.program.rules_by_trigger()[ti].len() as u64,
+            Ordering::Relaxed,
+        );
+    }
+    if dups > 0 {
+        stats.gamma_dups.fetch_add(dups, Ordering::Relaxed);
+    }
+    for (t, outcome) in chunk.iter().zip(&outcomes) {
+        if matches!(outcome, InsertOutcome::Fresh) {
+            fire_rules(state, key, t);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Adaptive all-minimums scheduling: how one extracted equivalence
+//! class is executed.
+//!
+//! The paper's "simple all-minimums parallelisation strategy" makes
+//! every tuple of the minimal class a fork/join task. That is the right
+//! shape for wide classes and pure overhead for narrow ones, so the
+//! scheduler plans each class adaptively:
+//!
+//! * **sequential engine** — everything runs inline on the coordinator,
+//!   with the class sorted for a deterministic intra-class order
+//!   (parallel execution order is intentionally unspecified, so only
+//!   this arm pays for the sort);
+//! * **narrow class** (at or below
+//!   [`super::EngineConfig::inline_class_threshold`]) — inline on the
+//!   coordinator: the fork/join round trip costs more than the work;
+//! * **wide class** — chunked by measured class width and current pool
+//!   occupancy ([`jstar_pool::adaptive_chunk`]) and submitted as one
+//!   batch (single wakeup). A forked class is also the pipeline's
+//!   overlap window: while its chunks run, the coordinator absorbs
+//!   staged epochs (see [`super::pipeline`]).
+
+use jstar_pool::ThreadPool;
+
+/// How one equivalence class should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ClassPlan {
+    /// Run on the coordinator thread; `sort` requests the deterministic
+    /// intra-class order of the sequential engine.
+    Inline { sort: bool },
+    /// Chunk the class by `chunk` tuples and fan the chunks out to the
+    /// pool as one batch.
+    Forked { chunk: usize },
+}
+
+/// The per-run scheduling policy (all-minimums, made adaptive).
+pub(super) struct Scheduler {
+    /// Classes at or below this width run inline (see
+    /// [`super::EngineConfig::inline_class_threshold`]).
+    inline_threshold: usize,
+}
+
+impl Scheduler {
+    pub(super) fn new(inline_threshold: usize) -> Scheduler {
+        Scheduler {
+            inline_threshold: inline_threshold.max(1),
+        }
+    }
+
+    /// Plans the execution of a class of `class_size` tuples.
+    pub(super) fn plan(&self, pool: Option<&ThreadPool>, class_size: usize) -> ClassPlan {
+        match pool {
+            Some(pool) if class_size > self.inline_threshold => ClassPlan::Forked {
+                chunk: jstar_pool::adaptive_chunk(pool, class_size),
+            },
+            Some(_) => ClassPlan::Inline { sort: false },
+            None => ClassPlan::Inline { sort: true },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_engine_sorts_inline() {
+        let s = Scheduler::new(4);
+        assert_eq!(s.plan(None, 100), ClassPlan::Inline { sort: true });
+        assert_eq!(s.plan(None, 1), ClassPlan::Inline { sort: true });
+    }
+
+    #[test]
+    fn narrow_classes_run_inline_without_sorting() {
+        let pool = ThreadPool::new(2);
+        let s = Scheduler::new(4);
+        for width in 1..=4 {
+            assert_eq!(
+                s.plan(Some(&pool), width),
+                ClassPlan::Inline { sort: false }
+            );
+        }
+    }
+
+    #[test]
+    fn wide_classes_fork_with_adaptive_chunks() {
+        let pool = ThreadPool::new(2);
+        let s = Scheduler::new(4);
+        match s.plan(Some(&pool), 1000) {
+            ClassPlan::Forked { chunk } => assert!(chunk >= 1),
+            other => panic!("expected a forked plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_threshold_forks_every_multi_tuple_class() {
+        let pool = ThreadPool::new(2);
+        let s = Scheduler::new(0); // clamped to 1
+        assert_eq!(s.plan(Some(&pool), 1), ClassPlan::Inline { sort: false });
+        assert!(matches!(s.plan(Some(&pool), 2), ClassPlan::Forked { .. }));
+    }
+}

@@ -1,7 +1,7 @@
 //! Concurrent store — the paper's `ConcurrentSkipListSet` default for
 //! parallel code, realised as a lock-free reservation table.
 
-use super::reservation::{hash_values, ReservationTable};
+use super::reservation::{hash_values, ReservationTable, SwappableTable};
 use super::{InsertOutcome, TableStore};
 use crate::query::Query;
 use crate::schema::TableDef;
@@ -31,7 +31,7 @@ use std::sync::Arc;
 /// traversal is the [`super::BTreeStore`]'s job.
 pub struct ConcurrentOrderedStore {
     def: Arc<TableDef>,
-    table: ReservationTable,
+    table: SwappableTable,
 }
 
 impl ConcurrentOrderedStore {
@@ -39,7 +39,7 @@ impl ConcurrentOrderedStore {
     /// (the table grows by doubling segments).
     pub fn new(def: Arc<TableDef>, capacity: usize) -> Self {
         ConcurrentOrderedStore {
-            table: ReservationTable::new(capacity * 256, def.arity() > 0),
+            table: SwappableTable::new(ReservationTable::new(capacity * 256, def.arity() > 0)),
             def,
         }
     }
@@ -61,19 +61,19 @@ impl TableStore for ConcurrentOrderedStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
         let primary = self.primary_hash(&t);
         let secondary = self.secondary_hash(&t);
-        self.table.insert(&self.def, primary, secondary, t)
+        self.table.get().insert(&self.def, primary, secondary, t)
     }
 
     fn contains(&self, t: &Tuple) -> bool {
-        self.table.contains(self.primary_hash(t), t)
+        self.table.get().contains(self.primary_hash(t), t)
     }
 
     fn len(&self) -> usize {
-        self.table.len()
+        self.table.get().len()
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Tuple) -> bool) {
-        self.table.for_each(f);
+        self.table.get().for_each(f);
     }
 
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
@@ -82,8 +82,13 @@ impl TableStore for ConcurrentOrderedStore {
         if let Some(k) = self.def.key_arity {
             if k > 0 && (0..k).all(|i| q.eq_value(i).is_some()) {
                 let hash = hash_values((0..k).map(|i| q.eq_value(i).expect("bound")));
-                self.table
-                    .probe_primary(hash, &mut |t| if q.matches(t) { f(t) } else { true });
+                self.table.get().probe_primary(hash, &mut |t| {
+                    if q.matches(t) {
+                        f(t)
+                    } else {
+                        true
+                    }
+                });
                 return;
             }
         }
@@ -91,7 +96,7 @@ impl TableStore for ConcurrentOrderedStore {
         // scan): walk the column value's chain.
         if self.def.arity() > 0 {
             if let Some(v) = q.eq_value(0) {
-                self.table.scan_index(hash_values([v]), &mut |t| {
+                self.table.get().scan_index(hash_values([v]), &mut |t| {
                     if q.matches(t) {
                         f(t)
                     } else {
@@ -105,7 +110,16 @@ impl TableStore for ConcurrentOrderedStore {
     }
 
     fn retain(&self, keep: &dyn Fn(&Tuple) -> bool) {
-        self.table.retain(keep);
+        self.table.get().retain(keep);
+    }
+
+    fn maybe_compact(&self, max_tombstone_fraction: f64) -> bool {
+        self.table.compact_quiescent(
+            &self.def,
+            max_tombstone_fraction,
+            self.def.arity() > 0,
+            |t| (self.primary_hash(t), self.secondary_hash(t)),
+        )
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -177,6 +191,29 @@ mod tests {
             true
         });
         assert_eq!(got, vec![kt(42, 0, "v")]);
+    }
+
+    #[test]
+    fn compaction_rebuilds_keyed_store() {
+        let store = ConcurrentOrderedStore::new(keyed_def(), 4);
+        for a in 0..300 {
+            store.insert(kt(a, a, "v"));
+        }
+        store.retain(&|t| t.int(0) < 60);
+        assert!(store.maybe_compact(0.5));
+        assert_eq!(store.len(), 60);
+        // Point lookup, chain narrowing, dedup and key conflicts all
+        // survive the rebuild.
+        let q = Query::on(TableId(0)).eq(0, 42i64);
+        let mut got = Vec::new();
+        store.query(&q, &mut |t| {
+            got.push(t.clone());
+            true
+        });
+        assert_eq!(got, vec![kt(42, 42, "v")]);
+        assert_eq!(store.insert(kt(42, 42, "v")), InsertOutcome::Duplicate);
+        assert_eq!(store.insert(kt(42, 43, "v")), InsertOutcome::KeyConflict);
+        assert_eq!(store.insert(kt(1000, 1, "w")), InsertOutcome::Fresh);
     }
 
     #[test]

@@ -189,6 +189,10 @@ pub(crate) struct ReservationTable {
     initial: usize,
     /// Published minus tombstoned tuples.
     len: AtomicUsize,
+    /// Tombstoned slots — dead tuples still physically allocated
+    /// (slots are never reused). The stores' quiescent-point compaction
+    /// watches this against `len` to decide when a rebuild pays.
+    dead: AtomicUsize,
     /// Secondary chain heads (`None` when the owner never scans by
     /// secondary hash).
     index_heads: Option<Box<[AtomicU64]>>,
@@ -227,6 +231,7 @@ impl ReservationTable {
             segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
             initial,
             len: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
             index_heads: with_index.then(|| zeroed_atomics(index_cap)),
             index_mask: index_cap - 1,
         }
@@ -524,12 +529,118 @@ impl ReservationTable {
                             .is_ok()
                     {
                         self.len.fetch_sub(1, Ordering::Relaxed);
+                        self.dead.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
         }
     }
+
+    /// Number of tombstoned (dead but still allocated) slots.
+    pub fn tombstones(&self) -> usize {
+        self.dead.load(Ordering::Relaxed)
+    }
 }
+
+/// A [`ReservationTable`] slot that supports **quiescent replacement** —
+/// the stores' compaction hook.
+///
+/// Normal operation is one acquire load away from the plain table: every
+/// reader/writer goes through [`SwappableTable::get`]. Compaction
+/// ([`SwappableTable::replace_quiescent`]) swaps in a freshly rebuilt
+/// table and frees the old one immediately, which is only sound under
+/// the engine's quiescence contract (see
+/// [`crate::gamma::TableStore::maybe_compact`]): no other thread may be
+/// inside the store — or hold a reference obtained from it — for the
+/// duration of the call. The engine guarantees that by compacting only
+/// at the coordinator's maintain phase, after the step's fork/join
+/// scope has joined.
+pub(crate) struct SwappableTable {
+    ptr: AtomicPtr<ReservationTable>,
+}
+
+impl SwappableTable {
+    pub fn new(table: ReservationTable) -> SwappableTable {
+        SwappableTable {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(table))),
+        }
+    }
+
+    /// The current table.
+    #[inline]
+    pub fn get(&self) -> &ReservationTable {
+        // SAFETY: the pointer is always a live Box installed by `new` or
+        // `replace_quiescent`; replacement only happens when no reference
+        // is outstanding (the quiescence contract), so dereferencing for
+        // `&self`'s lifetime is sound.
+        unsafe { &*self.ptr.load(Ordering::Acquire) }
+    }
+
+    /// Replaces the table, dropping the old one. Quiescent-point only —
+    /// see the type docs.
+    pub fn replace_quiescent(&self, fresh: ReservationTable) {
+        let old = self
+            .ptr
+            .swap(Box::into_raw(Box::new(fresh)), Ordering::AcqRel);
+        // SAFETY: `old` was the installed Box; the quiescence contract
+        // says no reader holds a reference into it.
+        drop(unsafe { Box::from_raw(old) });
+    }
+
+    /// True when more than `max_fraction` of the ever-occupied slots are
+    /// tombstones (and at least one is).
+    pub fn needs_compaction(&self, max_fraction: f64) -> bool {
+        let t = self.get();
+        let dead = t.tombstones();
+        let live = t.len();
+        dead > 0 && (dead as f64) > max_fraction * ((dead + live) as f64)
+    }
+
+    /// The shared quiescent-rebuild protocol behind the stores'
+    /// [`crate::gamma::TableStore::maybe_compact`]: if the tombstone
+    /// fraction exceeds `max_fraction`, re-place every live tuple into
+    /// a fresh table sized for the live count and swap it in —
+    /// tombstoned slots, their probe shadows and their stale chain
+    /// links all vanish at once. Returns true when a rebuild ran.
+    ///
+    /// `hashes(t)` must return the `(primary, secondary)` pair the
+    /// owning store passes to [`ReservationTable::insert`] — the store
+    /// recomputes them because the table itself cannot (the tag words
+    /// only keep the high primary-hash bits). Quiescent-point only: see
+    /// the type docs for the exclusivity contract.
+    pub fn compact_quiescent(
+        &self,
+        def: &TableDef,
+        max_fraction: f64,
+        with_index: bool,
+        mut hashes: impl FnMut(&Tuple) -> (u64, u64),
+    ) -> bool {
+        if !self.needs_compaction(max_fraction) {
+            return false;
+        }
+        let old = self.get();
+        let fresh = ReservationTable::new(old.len().max(1), with_index);
+        old.for_each(&mut |t| {
+            let (primary, secondary) = hashes(t);
+            fresh.insert(def, primary, secondary, t.clone());
+            true
+        });
+        self.replace_quiescent(fresh);
+        true
+    }
+}
+
+impl Drop for SwappableTable {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer is the installed Box.
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+    }
+}
+
+// SAFETY: the inner table is Send + Sync; the pointer is only mutated
+// under the quiescence contract documented above.
+unsafe impl Send for SwappableTable {}
+unsafe impl Sync for SwappableTable {}
 
 impl Drop for ReservationTable {
     fn drop(&mut self) {
@@ -688,6 +799,51 @@ mod tests {
         });
         assert_eq!(fresh.load(std::sync::atomic::Ordering::Relaxed), 500);
         assert_eq!(table.len(), 500);
+    }
+
+    #[test]
+    fn retain_counts_tombstones() {
+        let def = set_def();
+        let table = ReservationTable::new(64, false);
+        for i in 0..100i64 {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+            let p = primary_of(&def, &t);
+            table.insert(&def, p, 0, t);
+        }
+        assert_eq!(table.tombstones(), 0);
+        table.retain(&|t| t.int(0) < 25);
+        assert_eq!(table.tombstones(), 75);
+        assert_eq!(table.len(), 25);
+        // Idempotent: already-dead slots are not re-counted.
+        table.retain(&|t| t.int(0) < 25);
+        assert_eq!(table.tombstones(), 75);
+    }
+
+    #[test]
+    fn swappable_table_replacement_drops_the_old_table() {
+        let def = set_def();
+        let swap = SwappableTable::new(ReservationTable::new(16, false));
+        for i in 0..50i64 {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+            let p = primary_of(&def, &t);
+            swap.get().insert(&def, p, 0, t);
+        }
+        swap.get().retain(&|t| t.int(0) < 10);
+        assert!(swap.needs_compaction(0.5));
+        assert!(!swap.needs_compaction(0.9));
+
+        // Rebuild by hand, as the stores do.
+        let fresh = ReservationTable::new(16, false);
+        swap.get().for_each(&mut |t| {
+            fresh.insert(&def, primary_of(&def, t), 0, t.clone());
+            true
+        });
+        swap.replace_quiescent(fresh);
+        assert_eq!(swap.get().len(), 10);
+        assert_eq!(swap.get().tombstones(), 0);
+        assert!(!swap.needs_compaction(0.0));
+        let t = Tuple::new(TableId(0), vec![Value::Int(3), Value::Int(3)]);
+        assert!(swap.get().contains(primary_of(&def, &t), &t));
     }
 
     #[test]

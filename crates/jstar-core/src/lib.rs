@@ -103,7 +103,7 @@ pub mod prelude {
         Stats, SumReducer,
     };
     pub use crate::relation::{
-        ColumnSpec, Field, FieldValue, PreparedQuery, Relation, TableHandle, TypedQuery,
+        Binder, ColumnSpec, Field, FieldValue, PreparedQuery, Relation, TableHandle, TypedQuery,
     };
     pub use crate::schema::{TableDef, TableId};
     pub use crate::tuple::Tuple;

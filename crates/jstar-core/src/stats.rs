@@ -29,6 +29,11 @@ pub struct TableStats {
     /// Queries that the table's [`crate::engine::QueryPlan`] routed through
     /// an index (all index fields equality-bound), vs. full scans.
     pub queries_indexed: AtomicU64,
+    /// Quiescent-point store compactions (tombstoned reservation slots
+    /// physically reclaimed after lifetime hints pushed the table's
+    /// tombstone fraction over
+    /// [`crate::engine::EngineConfig::compact_tombstones_above`]).
+    pub compactions: AtomicU64,
 }
 
 /// Plain snapshot of [`TableStats`].
@@ -41,6 +46,7 @@ pub struct TableStatsSnapshot {
     pub triggers: u64,
     pub queries: u64,
     pub queries_indexed: u64,
+    pub compactions: u64,
 }
 
 impl TableStats {
@@ -53,6 +59,7 @@ impl TableStats {
             triggers: self.triggers.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             queries_indexed: self.queries_indexed.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,6 +93,12 @@ pub struct EngineStats {
     /// parallel on the pool for large batches, sequential below the
     /// threshold (nanoseconds, summed over all steps).
     pub merge_nanos: AtomicU64,
+    /// Drain work performed **concurrently with class execution** by the
+    /// pipelined coordinator (epoch swaps plus background-lane merges,
+    /// nanoseconds). This time is hidden under `execute_nanos`' wall
+    /// clock rather than adding coordinator stall; `drain_nanos` keeps
+    /// counting only the serial (execution-blocking) drain.
+    pub overlap_nanos: AtomicU64,
     /// Time spent executing equivalence classes — Gamma inserts plus rule
     /// bodies (nanoseconds, summed over all steps; wall time of the step's
     /// execution phase, not CPU time across workers).
@@ -110,6 +123,7 @@ impl EngineStats {
             drain_nanos: AtomicU64::new(0),
             partition_nanos: AtomicU64::new(0),
             merge_nanos: AtomicU64::new(0),
+            overlap_nanos: AtomicU64::new(0),
             execute_nanos: AtomicU64::new(0),
             inline_classes: AtomicU64::new(0),
             forked_classes: AtomicU64::new(0),

@@ -79,6 +79,49 @@ fn build_program(
     Arc::new(p.build().unwrap())
 }
 
+/// A fig12 (Dijkstra)-shaped relaxation program on a deterministic
+/// pseudo-random graph: `Estimate(vertex, distance)` self-feeds through
+/// the Delta tree (which acts as the priority queue, ordered by
+/// distance) and finalises into keyed `Done(vertex -> distance)`
+/// tuples. Edges are a pure function of `(vertex, j)`, so every engine
+/// configuration explores the same graph.
+fn relaxation_program(n: i64, degree: i64, weight_mod: i64) -> Arc<Program> {
+    let mut p = ProgramBuilder::new();
+    let estimate = p.table("Estimate", |b| {
+        b.col_int("vertex").col_int("distance").orderby(&[
+            strat("Int"),
+            seq("distance"),
+            strat("Estimate"),
+        ])
+    });
+    let done = p.table("Done", |b| {
+        b.col_int("vertex").col_int("distance").key(1).orderby(&[
+            strat("Int"),
+            seq("distance"),
+            strat("Done"),
+        ])
+    });
+    p.order(&["Estimate", "Done"]);
+    p.rule("relax", estimate, move |ctx, tr| {
+        let (v, d) = (tr.int(0), tr.int(1));
+        if ctx.none(&Query::on(done).eq(0, v).le(1, d)) {
+            ctx.put(Tuple::new(done, vec![Value::Int(v), Value::Int(d)]));
+            for j in 0..degree {
+                let to = (v * 7919 + j * 104_729 + 13).rem_euclid(n);
+                let w = 1 + (v + j * 31).rem_euclid(weight_mod);
+                if ctx.none(&Query::on(done).eq(0, to)) {
+                    ctx.put(Tuple::new(
+                        estimate,
+                        vec![Value::Int(to), Value::Int(d + w)],
+                    ));
+                }
+            }
+        }
+    });
+    p.put(Tuple::new(estimate, vec![Value::Int(0), Value::Int(0)]));
+    Arc::new(p.build().unwrap())
+}
+
 /// Collects every Gamma tuple of every table, sorted — the canonical form
 /// compared across engine configurations.
 fn canonical_gamma(engine: &Engine) -> Vec<Tuple> {
@@ -126,6 +169,114 @@ proptest! {
             seq_report.tuples_processed,
             "tuple counts diverged"
         );
+    }
+
+    /// The pipelined coordinator (`pipeline_depth = 1`: epoch swaps and
+    /// background-lane merges overlapped with class execution) reaches
+    /// exactly the fixpoint of the alternating loop (`pipeline_depth =
+    /// 0`): identical Gamma contents, tuple counts and step counts, for
+    /// random fan-out programs (fig8's request→fan→summarise shape and
+    /// fig11's wide single-key classes both arise from the generator),
+    /// thread counts and scheduling knobs. The merge threshold is
+    /// dropped to 1 so even small epochs take the parallel subtree
+    /// path, and the inline threshold varies so wide classes actually
+    /// open the overlap window.
+    #[test]
+    fn pipelined_matches_alternating(
+        layers in 1usize..4,
+        fanout in 1i64..5,
+        mul in 1i64..7,
+        add in 0i64..5,
+        modp in 2i64..40,
+        dt in 0i64..3,
+        horizon in 0i64..12,
+        seeds in 1i64..6,
+        threads in 2usize..6,
+        inline_threshold in 0usize..4,
+    ) {
+        let prog = build_program(layers, fanout, mul, add, modp, dt, horizon, seeds);
+
+        let mut off = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::parallel(threads)
+                .pipeline_depth(0)
+                .inline_classes_up_to(inline_threshold),
+        );
+        let off_report = off.run().unwrap();
+        let want = canonical_gamma(&off);
+
+        let mut on = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::parallel(threads)
+                .pipeline_depth(1)
+                .inline_classes_up_to(inline_threshold)
+                .parallel_merge_from(1),
+        );
+        let on_report = on.run().unwrap();
+        let got = canonical_gamma(&on);
+
+        prop_assert_eq!(&got, &want, "gamma contents diverged across pipeline depths");
+        prop_assert_eq!(
+            on_report.tuples_processed,
+            off_report.tuples_processed,
+            "tuple counts diverged across pipeline depths"
+        );
+        prop_assert_eq!(
+            on_report.steps,
+            off_report.steps,
+            "pop schedules diverged across pipeline depths"
+        );
+    }
+
+    /// Pipeline determinism on the fig12 (Dijkstra) shape: a
+    /// self-feeding relaxation whose orderby makes the Delta tree the
+    /// priority queue, with `-noDelta`/hash-indexed Done and `-noGamma`
+    /// Estimate exactly like the real app. The final Done set must be
+    /// identical at both pipeline depths and equal to the sequential
+    /// run's.
+    #[test]
+    fn pipelined_dijkstra_shape_is_deterministic(
+        n in 20i64..120,
+        degree in 1i64..4,
+        weight_mod in 1i64..9,
+        threads in 2usize..6,
+    ) {
+        let prog = relaxation_program(n, degree, weight_mod);
+        let done = prog.table_id("Done").unwrap();
+        let estimate = prog.table_id("Estimate").unwrap();
+        let configure = |c: EngineConfig| {
+            c.no_delta(done).no_gamma(estimate).store(
+                done,
+                StoreKind::Hash {
+                    index_fields: vec!["vertex".into()],
+                    shards: 8,
+                },
+            )
+        };
+
+        let mut seq_eng = Engine::new(
+            Arc::clone(&prog),
+            configure(EngineConfig::sequential()),
+        );
+        seq_eng.run().unwrap();
+        let mut want = seq_eng.gamma().collect(&Query::on(done));
+        want.sort();
+
+        for depth in [0usize, 1] {
+            let mut eng = Engine::new(
+                Arc::clone(&prog),
+                configure(
+                    EngineConfig::parallel(threads)
+                        .pipeline_depth(depth)
+                        .inline_classes_up_to(0)
+                        .parallel_merge_from(1),
+                ),
+            );
+            eng.run().unwrap();
+            let mut got = eng.gamma().collect(&Query::on(done));
+            got.sort();
+            prop_assert_eq!(&got, &want, "Done set diverged at depth {}", depth);
+        }
     }
 
     /// Both Delta structures reach the same fixpoint under the batched

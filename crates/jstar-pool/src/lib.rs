@@ -38,7 +38,7 @@ mod scope;
 pub use latch::CountLatch;
 pub use parfor::{
     adaptive_chunk, parallel_chunks, parallel_for, parallel_for_each, parallel_map,
-    parallel_reduce, parallel_tasks,
+    parallel_reduce, parallel_tasks, parallel_tasks_background,
 };
 pub use pool::{global, ThreadPool};
 pub use scope::Scope;

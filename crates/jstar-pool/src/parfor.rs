@@ -168,6 +168,29 @@ where
     R: Send,
     F: FnOnce() -> R + Send,
 {
+    parallel_tasks_impl(pool, tasks, false)
+}
+
+/// [`parallel_tasks`] on the pool's **background lane**: the tasks only
+/// run on workers that found no foreground work, so jobs already queued
+/// (or spawned while these wait) preempt them. The calling thread still
+/// helps while blocked — foreground first, then these — so calling this
+/// from the engine coordinator mid-step lets busy workers finish the
+/// step's class chunks undisturbed while idle workers (and the blocked
+/// coordinator) chew the background tasks.
+pub fn parallel_tasks_background<R, F>(pool: &ThreadPool, tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    parallel_tasks_impl(pool, tasks, true)
+}
+
+fn parallel_tasks_impl<R, F>(pool: &ThreadPool, tasks: Vec<F>, background: bool) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
     if tasks.is_empty() {
         return Vec::new();
     }
@@ -176,16 +199,19 @@ where
     }
     let mut results: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
     pool.scope(|s| {
-        s.spawn_batch(
-            tasks
-                .into_iter()
-                .zip(results.iter_mut())
-                .map(|(task, slot)| {
-                    move |_: &crate::Scope<'_>| {
-                        *slot = Some(task());
-                    }
-                }),
-        );
+        let jobs = tasks
+            .into_iter()
+            .zip(results.iter_mut())
+            .map(|(task, slot)| {
+                move |_: &crate::Scope<'_>| {
+                    *slot = Some(task());
+                }
+            });
+        if background {
+            s.spawn_background_batch(jobs);
+        } else {
+            s.spawn_batch(jobs);
+        }
     });
     results
         .into_iter()
@@ -317,6 +343,28 @@ mod tests {
         let none: Vec<fn() -> u32> = Vec::new();
         assert!(parallel_tasks(&p, none).is_empty());
         assert_eq!(parallel_tasks(&p, vec![|| 9u32]), vec![9]);
+    }
+
+    #[test]
+    fn background_tasks_complete_with_results_in_order() {
+        let p = pool();
+        let tasks: Vec<_> = (0..53).map(|i| move || i * 7).collect();
+        let out = parallel_tasks_background(&p, tasks);
+        assert_eq!(out, (0..53).map(|i| i * 7).collect::<Vec<_>>());
+        // Empty/single fast paths too.
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(parallel_tasks_background(&p, none).is_empty());
+        assert_eq!(parallel_tasks_background(&p, vec![|| 4u32]), vec![4]);
+    }
+
+    #[test]
+    fn background_tasks_run_on_single_thread_pool() {
+        let p = ThreadPool::new(1);
+        let tasks: Vec<_> = (0..8).map(|i| move || i + 1).collect();
+        assert_eq!(
+            parallel_tasks_background(&p, tasks),
+            (1..=8).collect::<Vec<_>>()
+        );
     }
 
     #[test]

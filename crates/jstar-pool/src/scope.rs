@@ -89,16 +89,17 @@ impl<'scope> Scope<'scope> {
         }
     }
 
-    /// Spawns a task on the pool. The closure receives the scope again so it
-    /// can spawn further subtasks (nested fork/join).
-    pub fn spawn<F>(&self, f: F)
+    /// Wraps a scoped closure as a queueable job, registering it on the
+    /// latch. The increment happens here, after the caller has the
+    /// closure in hand, so an iterator that panics mid-batch never
+    /// leaves a phantom increment behind.
+    fn wrap<F>(&self, f: F) -> Job
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
         self.state.latch.increment();
         let state = Arc::clone(&self.state);
         let pool = self.pool;
-        let pool_shared = Arc::clone(self.pool.shared());
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let scope = Scope {
                 pool,
@@ -116,8 +117,17 @@ impl<'scope> Scope<'scope> {
         // pool reference) outlives the task's execution. We erase the
         // lifetime to store the job in the 'static queue, exactly like
         // rayon's scope and crossbeam's scoped threads do.
-        let job: Job = unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) };
-        pool_shared.push(job);
+        unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) }
+    }
+
+    /// Spawns a task on the pool. The closure receives the scope again so it
+    /// can spawn further subtasks (nested fork/join).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let job = self.wrap(f);
+        Arc::clone(self.pool.shared()).push(job);
     }
 
     /// Spawns a whole batch of tasks with a single queue submission and a
@@ -129,34 +139,55 @@ impl<'scope> Scope<'scope> {
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
         I: IntoIterator<Item = F>,
     {
-        let pool = self.pool;
         // Drain the caller's iterator *before* touching the latch: user
         // code may panic mid-iteration, and an increment without a queued
         // job would make Scope::run wait forever.
         let fs: Vec<F> = fs.into_iter().collect();
-        let jobs: Vec<Job> = fs
-            .into_iter()
-            .map(|f| {
-                self.state.latch.increment();
-                let state = Arc::clone(&self.state);
-                let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-                    let scope = Scope {
-                        pool,
-                        state: Arc::clone(&state),
-                        _marker: PhantomData,
-                    };
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
-                    if let Err(payload) = result {
-                        scope.state.record_panic(payload);
-                    }
-                    state.latch.decrement();
-                });
-                // SAFETY: identical to `spawn` — the latch keeps `'scope`
-                // alive until every batched task has run.
-                unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) }
-            })
-            .collect();
+        let jobs: Vec<Job> = fs.into_iter().map(|f| self.wrap(f)).collect();
         Arc::clone(self.pool.shared()).push_batch(jobs);
+    }
+
+    /// Spawns a batch of **low-priority** tasks: they are joined by this
+    /// scope like any other spawn, but workers only pick them up when no
+    /// foreground work (including chunks spawned through
+    /// [`Scope::spawn_batch`]) is available — foreground submissions
+    /// preempt them by construction. This is the lane for work that
+    /// should soak up idle workers without delaying a step's critical
+    /// path, e.g. the engine's Delta subtree pre-builds during class
+    /// execution.
+    pub fn spawn_background_batch<F, I>(&self, fs: I)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+        I: IntoIterator<Item = F>,
+    {
+        let fs: Vec<F> = fs.into_iter().collect();
+        let jobs: Vec<Job> = fs.into_iter().map(|f| self.wrap(f)).collect();
+        Arc::clone(self.pool.shared()).push_background_batch(jobs);
+    }
+
+    /// True when every task spawned on this scope (so far) has finished.
+    ///
+    /// Together with [`Scope::help`] and [`Scope::wait_timeout`] this
+    /// lets the scope owner *participate* in the join instead of
+    /// blocking in [`ThreadPool::scope`]'s internal loop — interleaving
+    /// its own coordinator work (e.g. absorbing staged tuples) with
+    /// helping, and breaking out the moment the spawned work is done.
+    pub fn completed(&self) -> bool {
+        self.state.latch.is_clear()
+    }
+
+    /// Executes one queued pool job if any is available (foreground
+    /// first, then the background lane). Returns false when there was
+    /// nothing to help with — the caller should then do its own pending
+    /// work or park via [`Scope::wait_timeout`].
+    pub fn help(&self) -> bool {
+        self.pool.shared().try_help(false)
+    }
+
+    /// Parks the calling thread until the scope's tasks complete or the
+    /// timeout elapses; returns true when the scope is complete.
+    pub fn wait_timeout(&self, dur: std::time::Duration) -> bool {
+        self.state.latch.wait_timeout(dur)
     }
 
     /// The pool this scope runs on.
@@ -228,6 +259,67 @@ mod tests {
         assert!(result.is_err(), "the panic must propagate");
         // No task ever started: the latch was never incremented.
         assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn foreground_spawns_preempt_background_tasks() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::{Arc, Barrier};
+        // One worker: queue a gate task to hold the worker, then a
+        // background task and a foreground task while it is held. On
+        // release the worker must take the foreground job first.
+        let pool = ThreadPool::new(1);
+        let gate = Arc::new(Barrier::new(2));
+        let fg_first = Arc::new(AtomicBool::new(false));
+        let fg_done = Arc::new(AtomicBool::new(false));
+        pool.scope(|s| {
+            let g = Arc::clone(&gate);
+            s.spawn(move |_| {
+                g.wait();
+            });
+            let fg_done2 = Arc::clone(&fg_done);
+            let fg_first2 = Arc::clone(&fg_first);
+            s.spawn_background_batch([move |_: &crate::Scope<'_>| {
+                // Background job observes whether foreground ran first.
+                fg_first2.store(fg_done2.load(Ordering::SeqCst), Ordering::SeqCst);
+            }]);
+            let fg_done3 = Arc::clone(&fg_done);
+            s.spawn(move |_| {
+                fg_done3.store(true, Ordering::SeqCst);
+            });
+            gate.wait();
+            // Do NOT help from this thread: helping would race the
+            // worker for the jobs. Just wait for completion.
+            while !s.completed() {
+                s.wait_timeout(std::time::Duration::from_millis(1));
+            }
+        });
+        assert!(
+            fg_first.load(Ordering::SeqCst),
+            "the foreground spawn must run before the earlier background task"
+        );
+    }
+
+    #[test]
+    fn scope_owner_can_participate_in_the_join() {
+        let pool = ThreadPool::new(2);
+        let done = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn_batch((0..64).map(|_| {
+                |_: &crate::Scope<'_>| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+            // Owner loop: help until the latch clears, instead of
+            // returning and letting Scope::run wait.
+            while !s.completed() {
+                if !s.help() {
+                    s.wait_timeout(std::time::Duration::from_millis(1));
+                }
+            }
+            assert!(s.completed());
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
     }
 
     #[test]
