@@ -10,7 +10,6 @@
 //! samples without materialising tuples — the paper's hand-written
 //! override of "one factory method".
 
-use super::PvWatts;
 use jstar_core::gamma::{InsertOutcome, TableStore};
 use jstar_core::query::Query;
 use jstar_core::relation::Relation;
@@ -29,6 +28,38 @@ struct Sample {
     day: i32,
     hour: i32,
     power: i64,
+}
+
+/// This store's own decode-side view of a PvWatts row: a hand-written
+/// struct wrapping the domain `Sample`, mapped onto the `PvWatts`
+/// table schema by the [`jstar_core::relation!`] `as "PvWatts"` form.
+/// The store decodes and addresses columns through this type — field
+/// offsets live in the declaration below, not sprinkled through the
+/// store — without depending on the app-level `PvWatts` relation that
+/// owns the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourSample {
+    pub year: i64,
+    pub month: i64,
+    pub day: i64,
+    pub hour: i64,
+    pub power: i64,
+}
+
+jstar_core::relation! {
+    HourSample as "PvWatts" (int year, int month, int day, int hour, int power)
+        orderby (PvWatts)
+}
+
+impl HourSample {
+    /// The compact in-store representation (drops the bucket keys).
+    fn sample(&self) -> Sample {
+        Sample {
+            day: self.day as i32,
+            hour: self.hour as i32,
+            power: self.power,
+        }
+    }
 }
 
 /// Custom month-indexed store for the PvWatts table.
@@ -99,19 +130,15 @@ impl MonthArrayStore {
 
 impl TableStore for MonthArrayStore {
     fn insert(&self, t: Tuple) -> InsertOutcome {
-        // Decode through the typed relation: field offsets live in one
-        // place (the `jstar_table!` declaration), not in this store.
-        let r = PvWatts::from_tuple(&t);
+        // Decode through the store's typed view: field offsets live in
+        // one place (the `relation!` declaration), not in this store.
+        let r = HourSample::from_tuple(&t);
         assert!(
             (1..=12).contains(&r.month),
             "month out of range: {}",
             r.month
         );
-        let sample = Sample {
-            day: r.day as i32,
-            hour: r.hour as i32,
-            power: r.power,
-        };
+        let sample = r.sample();
         self.months[(r.month - 1) as usize]
             .lock()
             .entry(r.year)
@@ -122,15 +149,11 @@ impl TableStore for MonthArrayStore {
     }
 
     fn contains(&self, t: &Tuple) -> bool {
-        let r = PvWatts::from_tuple(t);
+        let r = HourSample::from_tuple(t);
         if !(1..=12).contains(&r.month) {
             return false;
         }
-        let probe = Sample {
-            day: r.day as i32,
-            hour: r.hour as i32,
-            power: r.power,
-        };
+        let probe = r.sample();
         self.months[(r.month - 1) as usize]
             .lock()
             .get(&r.year)
@@ -157,8 +180,8 @@ impl TableStore for MonthArrayStore {
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
         // The intended access path: year and month both bound.
         if let (Some(year), Some(month)) = (
-            q.eq_value(PvWatts::year.index()),
-            q.eq_value(PvWatts::month.index()),
+            q.eq_value(HourSample::year.index()),
+            q.eq_value(HourSample::month.index()),
         ) {
             let (year, month) = (year.as_int(), month.as_int());
             if !(1..=12).contains(&month) {
@@ -242,11 +265,11 @@ mod tests {
         assert_eq!(store.len(), 4);
 
         let q = Query::on(TableId(0))
-            .eq(PvWatts::year.index(), 2000i64)
-            .eq(PvWatts::month.index(), 1i64);
+            .eq(HourSample::year.index(), 2000i64)
+            .eq(HourSample::month.index(), 1i64);
         let mut powers = Vec::new();
         store.query(&q, &mut |t| {
-            powers.push(t.int(PvWatts::power.index()));
+            powers.push(t.int(HourSample::power.index()));
             true
         });
         powers.sort();
@@ -287,7 +310,7 @@ mod tests {
         for d in 1..=10 {
             store.insert(rec(2000, 6, d, 12, d * 10));
         }
-        store.retain(&|t| t.int(PvWatts::power.index()) > 50);
+        store.retain(&|t| t.int(HourSample::power.index()) > 50);
         assert_eq!(store.len(), 5);
     }
 

@@ -18,12 +18,15 @@
 //! artifact per commit, and `--check-drain <ceiling>` turns the run
 //! into a regression gate: non-zero exit when the fig12 drain fraction
 //! exceeds the ceiling (the coordinator has become the bottleneck
-//! again) **or** when the pipelined coordinator (`pipeline_depth = 1`)
-//! regresses the single-thread fig12 median beyond a noise allowance
-//! vs. the alternating loop (`pipeline_depth = 0`) — the overlap
-//! machinery must be ≥ parity where there is nothing to overlap with.
-//! The instrumented rows also report `overlap_fraction`: the share of
-//! drain work hidden behind class execution by the pipeline.
+//! again) **or** when any pipelined depth in the `depth_sweep` section
+//! (fig12 at 1 thread, `pipeline_depth` 0/1/2/4, interleaved) regresses
+//! beyond a noise allowance vs. the alternating loop (depth 0) — at one
+//! thread there is nothing to overlap with and no join to hide the
+//! lookahead behind, so every depth must be ≥ parity: the pipeline and
+//! speculation machinery must not cost when they cannot pay. The
+//! instrumented rows also report `overlap_fraction` (the share of drain
+//! work hidden behind class execution) and the sweep rows the lookahead
+//! hit/miss counts of an instrumented run per depth.
 
 use jstar_apps::matmul;
 use jstar_apps::pvwatts::{InputOrder, Variant};
@@ -156,34 +159,78 @@ fn main() {
         })
         .collect();
 
-    // Pipeline A/B: fig12 at 1 thread, alternating loop vs pipelined
-    // coordinator, interleaved so noise lands on both arms evenly. At
-    // one thread there is nothing to overlap with, so depth 1 must be
-    // ≥ parity — this is the gate that catches the pipeline machinery
-    // itself becoming overhead.
-    let ab_config = |depth: usize| {
+    // Depth sweep: fig12 at 1 thread, pipeline_depth 0/1/2/4,
+    // interleaved so noise lands on every arm evenly. At one thread
+    // there is nothing to overlap with and no join to hide the
+    // lookahead behind, so every pipelined depth must be ≥ parity with
+    // the alternating loop — this is the gate that catches the
+    // pipeline/speculation machinery itself becoming overhead.
+    const SWEEP_DEPTHS: [usize; 4] = [0, 1, 2, 4];
+    let sweep_config = |depth: usize| {
         let mut c = EngineConfig::parallel(1).pipeline_depth(depth);
         c.pool = Some(Arc::clone(&pools[0]));
         c
     };
-    let (mut ab_depth0, mut ab_depth1) = (Vec::with_capacity(runs), Vec::with_capacity(runs));
-    run_dijkstra(spec, ab_config(0)); // warm-up, discarded
-    run_dijkstra(spec, ab_config(1));
-    for _round in 0..runs {
-        ab_depth0.push(run_dijkstra(spec, ab_config(0)));
-        ab_depth1.push(run_dijkstra(spec, ab_config(1)));
+    let mut sweep_cells: Vec<Vec<Duration>> = vec![Vec::with_capacity(runs); SWEEP_DEPTHS.len()];
+    for &depth in &SWEEP_DEPTHS {
+        run_dijkstra(spec, sweep_config(depth)); // warm-up, discarded
     }
-    let (ab0_median, ab1_median) = (median(&ab_depth0), median(&ab_depth1));
-    let ab_ratio = if ab0_median.as_secs_f64() > 0.0 {
-        ab1_median.as_secs_f64() / ab0_median.as_secs_f64()
-    } else {
-        1.0
-    };
+    for _round in 0..runs {
+        for (di, &depth) in SWEEP_DEPTHS.iter().enumerate() {
+            sweep_cells[di].push(run_dijkstra(spec, sweep_config(depth)));
+        }
+    }
+    struct SweepRow {
+        depth: usize,
+        median: Duration,
+        ratio_vs_depth0: f64,
+        effective_depth: usize,
+        lookahead_hits: u64,
+        lookahead_misses: u64,
+    }
+    let sweep_base = median(&sweep_cells[0]).as_secs_f64();
+    let sweep_rows: Vec<SweepRow> = SWEEP_DEPTHS
+        .iter()
+        .zip(&sweep_cells)
+        .map(|(&depth, samples)| {
+            // One instrumented run per *lookahead-armed* depth for the
+            // hit/miss counters (outside the timing cells —
+            // record_steps is not free). Below depth 2 the lookahead
+            // is disarmed, the counters are zero by construction and
+            // the effective depth is the configured one, so the extra
+            // run would buy nothing.
+            let (effective_depth, hits, misses) = if depth >= 2 {
+                let (_, report) =
+                    shortest_path::run_jstar_report(spec, sweep_config(depth).record_steps())
+                        .expect("dijkstra runs");
+                (
+                    report.pipeline_depth,
+                    report.lookahead_hits,
+                    report.lookahead_misses,
+                )
+            } else {
+                (depth, 0, 0)
+            };
+            let med = median(samples);
+            SweepRow {
+                depth,
+                median: med,
+                ratio_vs_depth0: if sweep_base > 0.0 {
+                    med.as_secs_f64() / sweep_base
+                } else {
+                    1.0
+                },
+                effective_depth,
+                lookahead_hits: hits,
+                lookahead_misses: misses,
+            }
+        })
+        .collect();
 
     // Hand-rolled JSON (the workspace deliberately vendors no serde).
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jstar-hotpath/v1\",\n");
+    out.push_str("  \"schema\": \"jstar-hotpath/v2\",\n");
     out.push_str(&format!("  \"scale\": {},\n", json_f(scale())));
     out.push_str(&format!(
         "  \"hardware_threads\": {},\n",
@@ -229,13 +276,22 @@ fn main() {
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"pipeline_ab\": {{\"workload\": \"fig12_dijkstra\", \"threads\": 1, \
-         \"depth0_median_secs\": {}, \"depth1_median_secs\": {}, \"ratio\": {}}}\n",
-        json_f(ab0_median.as_secs_f64()),
-        json_f(ab1_median.as_secs_f64()),
-        json_f(ab_ratio)
-    ));
+    out.push_str("  \"depth_sweep\": [\n");
+    for (i, row) in sweep_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"fig12_dijkstra\", \"threads\": 1, \"depth\": {}, \
+             \"effective_depth\": {}, \"median_secs\": {}, \"ratio_vs_depth0\": {}, \
+             \"lookahead_hits\": {}, \"lookahead_misses\": {}}}{}\n",
+            row.depth,
+            row.effective_depth,
+            json_f(row.median.as_secs_f64()),
+            json_f(row.ratio_vs_depth0),
+            row.lookahead_hits,
+            row.lookahead_misses,
+            if i + 1 < sweep_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
 
     std::fs::write(&args.out, &out).expect("write BENCH_hotpath.json");
@@ -261,26 +317,33 @@ fn main() {
         }
         println!("drain check ok: worst fig12 drain fraction {worst:.3} <= {ceiling:.3}");
 
-        // Pipeline parity gate: at 1 thread the pipelined coordinator
-        // has no idle workers to exploit, so anything beyond a noise
-        // allowance over the alternating loop is pure pipeline
-        // overhead — fail before it ships.
-        const AB_TOLERANCE: f64 = 1.30;
-        if ab_ratio > AB_TOLERANCE {
-            eprintln!(
-                "FAIL: pipelined fig12 single-thread median {:.4}s is {ab_ratio:.2}x the \
-                 alternating loop's {:.4}s (tolerance {AB_TOLERANCE:.2}x) — pipeline_depth=1 \
-                 regressed the no-overlap case",
-                ab1_median.as_secs_f64(),
-                ab0_median.as_secs_f64(),
-            );
-            std::process::exit(1);
+        // Depth-sweep parity gate: at 1 thread the pipelined
+        // coordinator has no idle workers to exploit and no join to
+        // hide speculation behind, so anything beyond a noise allowance
+        // over the alternating loop — at *any* depth — is pure
+        // pipeline/lookahead overhead. Fail before it ships.
+        const SWEEP_TOLERANCE: f64 = 1.30;
+        for row in sweep_rows.iter().filter(|r| r.depth > 0) {
+            if row.ratio_vs_depth0 > SWEEP_TOLERANCE {
+                eprintln!(
+                    "FAIL: fig12 single-thread depth{} median {:.4}s is {:.2}x the alternating \
+                     loop's {sweep_base:.4}s (tolerance {SWEEP_TOLERANCE:.2}x) — \
+                     pipeline_depth={} regressed the no-overlap case",
+                    row.depth,
+                    row.median.as_secs_f64(),
+                    row.ratio_vs_depth0,
+                    row.depth,
+                );
+                std::process::exit(1);
+            }
         }
+        let ratios: Vec<String> = sweep_rows
+            .iter()
+            .map(|r| format!("depth{} {:.3}", r.depth, r.ratio_vs_depth0))
+            .collect();
         println!(
-            "pipeline A/B ok: fig12 1-thread depth1/depth0 median ratio {ab_ratio:.3} \
-             (depth0 {:.4}s, depth1 {:.4}s)",
-            ab0_median.as_secs_f64(),
-            ab1_median.as_secs_f64()
+            "depth sweep ok: fig12 1-thread medians vs depth0 — {}",
+            ratios.join(", ")
         );
     }
 }

@@ -76,13 +76,20 @@ fn hotpath() {
         let (drain_step, exec_step) = report.per_step();
         let steps = report.steps.max(1) as f64;
         let per_step_us = |d: std::time::Duration| d.as_nanos() as f64 / steps / 1000.0;
+        let lookahead = if report.lookahead_hits + report.lookahead_misses > 0 {
+            format!("{:.1}%", 100.0 * report.lookahead_hit_rate())
+        } else {
+            "-".into()
+        };
         vec![
             name,
+            format!("{}", report.pipeline_depth),
             report.steps.to_string(),
             report.tuples_processed.to_string(),
             format!("{:.0}", report.tuples_per_sec()),
             format!("{:.1}%", 100.0 * report.drain_fraction()),
             format!("{:.1}%", 100.0 * report.overlap_fraction()),
+            lookahead,
             format!("{:.1}", drain_step.as_nanos() as f64 / 1000.0),
             format!("{:.1}", per_step_us(report.partition_time)),
             format!("{:.1}", per_step_us(report.merge_time)),
@@ -118,16 +125,34 @@ fn hotpath() {
             .expect("dijkstra runs");
         rows.push(row(format!("dijkstra parallel({threads})"), &report));
     }
+    // One lookahead row per workload: pipeline_depth 2 arms the
+    // speculative next-class extraction, whose hit rate lands in the
+    // "lookahead hits" column.
+    let threads = 4usize;
+    let (_, report) = jstar_apps::pvwatts::run_jstar(
+        Arc::clone(&csv),
+        threads.max(2),
+        jstar_apps::pvwatts::Variant::HashStore,
+        par_config(threads).pipeline_depth(2).record_steps(),
+    )
+    .expect("pvwatts runs");
+    rows.push(row(format!("pvwatts parallel({threads}) depth2"), &report));
+    let (_, report) =
+        shortest_path::run_jstar_report(spec, par_config(threads).pipeline_depth(2).record_steps())
+            .expect("dijkstra runs");
+    rows.push(row(format!("dijkstra parallel({threads}) depth2"), &report));
     print_table(
-        "Hot path — Delta throughput, coordinator drain/execute split and pipeline overlap \
-         (PvWatts hash store; Dijkstra)",
+        "Hot path — Delta throughput, coordinator drain/execute split, pipeline overlap and \
+         lookahead (PvWatts hash store; Dijkstra)",
         &[
             "engine",
+            "depth",
             "steps",
             "tuples",
             "tuples/sec",
             "drain share",
             "overlap share",
+            "lookahead hit rate",
             "drain µs/step",
             "partition µs/step",
             "merge µs/step",

@@ -59,6 +59,12 @@
 //! before the declaration (doc comments, extra `#[derive(...)]`s such as
 //! `Copy` or `Eq` for all-scalar tables) are passed through to the
 //! generated struct, which always derives `Debug`, `Clone`, `PartialEq`.
+//!
+//! For structs that already exist — domain types with their own methods,
+//! derives or invariants, which `jstar_table!` cannot generate —
+//! [`crate::relation!`] implements the same typed façade (the
+//! [`crate::relation::Relation`] impl plus the `Field` tokens) *onto*
+//! the hand-written struct, from the same column notation.
 
 /// Declares a table using the paper's
 /// `table Name(type col, ... -> type col, ...) orderby (...)` notation.
@@ -245,6 +251,159 @@ macro_rules! jstar_table {
 macro_rules! jstar_order {
     ($p:expr, $first:ident $(< $rest:ident)*) => {
         $p.order(&[stringify!($first) $(, stringify!($rest))*])
+    };
+}
+
+/// Implements [`crate::relation::Relation`] (plus per-column
+/// [`crate::relation::Field`] tokens) for an **existing** hand-written
+/// struct — the typed-façade entry point for apps that wrap domain
+/// types and therefore cannot let [`crate::jstar_table!`] generate the
+/// struct for them.
+///
+/// The column list uses the paper's declaration notation (the same
+/// grammar as `jstar_table!`, including the `->` key split and the
+/// `orderby (...)` clause); every struct field must appear as a column
+/// with the matching Rust type (`int` → `i64`, `double` → `f64`,
+/// `String` → `Arc<str>`, `boolean` → `bool`) — a missing or mistyped
+/// field is a compile error in the generated `from_tuple`. By default
+/// the table is named after the struct; `as "Name"` maps the struct
+/// onto a table declared under a different name (e.g. a decode-side
+/// view of a table that another relation owns).
+///
+/// ```
+/// use jstar_core::prelude::*;
+///
+/// /// Hand-written: carries domain methods `jstar_table!` could not emit.
+/// #[derive(Debug, Clone, PartialEq)]
+/// pub struct Reading {
+///     pub id: i64,
+///     pub value: f64,
+/// }
+/// impl Reading {
+///     pub fn is_anomalous(&self) -> bool {
+///         self.value.abs() > 100.0
+///     }
+/// }
+///
+/// jstar_core::relation! {
+///     Reading(int id -> double value) orderby (Int, seq id)
+/// }
+///
+/// let mut p = ProgramBuilder::new();
+/// let _readings = p.relation::<Reading>();
+/// p.put_rel(Reading { id: 0, value: 150.0 });
+/// let program = std::sync::Arc::new(p.build().unwrap());
+/// let mut engine = Engine::new(program, EngineConfig::sequential());
+/// engine.run().unwrap();
+/// let anomalies = engine
+///     .collect_rel(Reading::query().gt(Reading::value, 100.0))
+///     .into_iter()
+///     .filter(Reading::is_anomalous)
+///     .count();
+/// assert_eq!(anomalies, 1);
+/// ```
+#[macro_export]
+macro_rules! relation {
+    // ── Entry points: optional `as "Table"` × optional orderby. ─────
+    ($name:ident as $table:literal ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
+        $crate::relation!(@item [$table] $name; []; (none); 0usize; [$($ob)*]; $($cols)*);
+    };
+    ($name:ident as $table:literal ( $($cols:tt)* )) => {
+        $crate::relation!(@item [$table] $name; []; (none); 0usize; []; $($cols)*);
+    };
+    ($name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
+        $crate::relation!(@item [] $name; []; (none); 0usize; [$($ob)*]; $($cols)*);
+    };
+    ($name:ident ( $($cols:tt)* )) => {
+        $crate::relation!(@item [] $name; []; (none); 0usize; []; $($cols)*);
+    };
+
+    // Column munchers: accumulate `($idx, $name, RustType,
+    // ValueTypeVariant)` per column, tracking the `->` key split —
+    // the same accumulation as `jstar_table!`'s item form, minus the
+    // struct emission at the end.
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; ) => {
+        $crate::relation!(@emit $t $name; [$($acc)*]; $key; $ob);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident) => {
+        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $ob);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident) => {
+        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $ob);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident) => {
+        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $ob);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident) => {
+        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $ob);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident , $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident , $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident , $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident , $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident -> $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, i64, Int)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident -> $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, f64, Double)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident -> $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident -> $($rest:tt)*) => {
+        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, bool, Bool)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+    };
+
+    (@name $name:ident) => { ::core::stringify!($name) };
+    (@name $name:ident $table:literal) => { $table };
+
+    // Final expansion: the Relation impl and one Field token per
+    // column, attached to the caller's pre-existing struct.
+    (@emit [$($table:literal)?] $name:ident;
+        [$( ($idx:expr, $n:ident, $rty:ty, $vt:ident) )*]; $key:tt; [$($ob:tt)*]) => {
+        impl $crate::relation::Relation for $name {
+            const NAME: &'static str = $crate::relation!(@name $name $($table)?);
+            const COLUMNS: &'static [$crate::relation::ColumnSpec] = &[
+                $( $crate::relation::ColumnSpec {
+                    name: ::core::stringify!($n),
+                    ty: $crate::value::ValueType::$vt,
+                }, )*
+            ];
+            const KEY_ARITY: ::core::option::Option<usize> = $crate::jstar_table!(@key $key);
+
+            fn orderby() -> ::std::vec::Vec<$crate::orderby::OrderComponent> {
+                $crate::jstar_table!(@ob $($ob)*)
+            }
+
+            fn from_tuple(t: &$crate::tuple::Tuple) -> Self {
+                $name {
+                    $( $n: $crate::relation::FieldValue::from_value(t.get($idx)), )*
+                }
+            }
+
+            fn into_values(self) -> ::std::vec::Vec<$crate::value::Value> {
+                ::std::vec![ $( $crate::relation::FieldValue::into_value(self.$n), )* ]
+            }
+        }
+
+        #[allow(non_upper_case_globals)]
+        impl $name {
+            $(
+                #[doc = ::core::concat!(
+                    "Typed field token for column `", ::core::stringify!($n), "`."
+                )]
+                pub const $n: $crate::relation::Field<$name, $rty> =
+                    $crate::relation::Field::new($idx, ::core::stringify!($n));
+            )*
+        }
     };
 }
 

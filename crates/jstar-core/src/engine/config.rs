@@ -12,6 +12,13 @@ use std::sync::Arc;
 /// A tuple-lifetime predicate (§5 step 4): returns true to keep a tuple.
 pub type LifetimeHint = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
 
+/// The deepest supported [`EngineConfig::pipeline_depth`]: the epoch
+/// ring holds at most this many closed staging epochs in flight.
+/// Requested depths above it are clamped (and the effective depth is
+/// reported in [`super::RunReport::pipeline_depth`]) — a configuration
+/// lie is made visible instead of silently honoured.
+pub const MAX_PIPELINE_DEPTH: usize = 8;
+
 /// Engine configuration — the paper's compiler flags and runtime options,
 /// kept *outside* the program source (workflow stages 3–4).
 #[derive(Clone)]
@@ -58,16 +65,38 @@ pub struct EngineConfig {
     /// sequential insert loop, whose per-tuple cost is below the
     /// fork/join round trip at that size. Ignored in sequential mode.
     pub parallel_merge_threshold: usize,
-    /// Drain/execute pipelining depth. `0` restores the strictly
-    /// alternating step loop (absorb, then execute, workers idle during
-    /// each other's phase); `1` (the default) lets the coordinator close
-    /// staging epochs and merge their Delta subtrees *while* a forked
-    /// class executes, with the subtree builds on the pool's background
-    /// lane so execute chunks always preempt them. Values above 1 are
-    /// accepted and currently behave like 1 (one epoch in flight).
-    /// Results are bit-identical at every depth; ignored in sequential
+    /// Drain/execute pipelining depth — how many step artifacts the
+    /// lookahead step machine keeps in flight:
+    ///
+    /// * `0` — the strictly alternating loop (absorb, then execute;
+    ///   workers idle during each other's phase);
+    /// * `1` (the default) — the coordinator closes staging epochs and
+    ///   merges their Delta subtrees *while* a forked class executes,
+    ///   with the subtree builds on the pool's background lane so
+    ///   execute chunks always preempt them; one epoch in flight;
+    /// * `≥ 2` — a ring of up to `pipeline_depth` closed epochs, each
+    ///   with its subtree builds in flight, **plus** the lookahead:
+    ///   while step N executes the next minimal class is pre-extracted
+    ///   and its execution plan built speculatively, so step N+1's
+    ///   fan-out launches the instant step N joins (or the speculation
+    ///   is rolled back when a merge orders at or below it — see
+    ///   [`super::RunReport::lookahead_hits`]).
+    ///
+    /// Values above [`MAX_PIPELINE_DEPTH`] are clamped; the effective
+    /// depth is reported in [`super::RunReport::pipeline_depth`].
+    /// Results are bit-identical at every depth (the Delta structures
+    /// are canonical sets, and invalidated speculations are returned to
+    /// them before anything observable happens); ignored in sequential
     /// mode.
     pub pipeline_depth: usize,
+    /// Feedback-driven overlap batch sizing (default on). The pipelined
+    /// coordinator triggers a mid-step epoch swap once "enough" tuples
+    /// are staged; with this flag set the swap point is chosen per step
+    /// by a controller that tracks recent epoch-merge cost against the
+    /// executing class's window, instead of the fixed
+    /// `max(64, parallel_merge_threshold / 4)` fallback. Costs a few
+    /// clock reads per step. Ignored when `pipeline_depth` is 0.
+    pub adaptive_overlap: bool,
     /// Quiescent-point store compaction threshold: at the coordinator's
     /// maintain phase (right after lifetime hints run), a hinted table
     /// whose store reports more than this fraction of tombstoned slots
@@ -97,6 +126,7 @@ impl Default for EngineConfig {
             inline_class_threshold: 4,
             parallel_merge_threshold: 1024,
             pipeline_depth: 1,
+            adaptive_overlap: true,
             compact_tombstones_above: 0.5,
         }
     }
@@ -175,9 +205,21 @@ impl EngineConfig {
 
     /// Sets the drain/execute pipelining depth: `0` for the strictly
     /// alternating loop, `1` (default) to overlap the Delta merge with
-    /// class execution. See [`EngineConfig::pipeline_depth`].
+    /// class execution, `≥ 2` for the epoch ring plus the pre-extracted
+    /// next class. Clamped to [`MAX_PIPELINE_DEPTH`]; the effective
+    /// depth lands in [`super::RunReport::pipeline_depth`]. See
+    /// [`EngineConfig::pipeline_depth`].
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Enables or disables the feedback-driven overlap controller (on
+    /// by default); off restores the fixed
+    /// `max(64, parallel_merge_threshold / 4)` swap trigger. See
+    /// [`EngineConfig::adaptive_overlap`].
+    pub fn adaptive_overlap(mut self, on: bool) -> Self {
+        self.adaptive_overlap = on;
         self
     }
 

@@ -1,7 +1,8 @@
 //! The coordinator: a configured engine instance and its step loop,
 //! written as the explicit phase state machine described in the
-//! [module docs](super) — absorb → extract → execute (∥ absorb when
-//! pipelined) → maintain.
+//! [module docs](super) — absorb → extract (committing a surviving
+//! lookahead speculation for free) → execute (∥ absorb + next-class
+//! prepare when pipelined) → maintain.
 
 use crate::delta::{DeltaQueue, ShardedInbox};
 use crate::error::Result;
@@ -22,7 +23,7 @@ use super::config::EngineConfig;
 use super::pipeline::Pipeline;
 use super::report::RunReport;
 use super::runtime::{process_class_chunk, process_tuple, put_tuple, QueryPlan, RunState};
-use super::schedule::{ClassPlan, Scheduler};
+use super::schedule::{ClassPlan, Lookahead, Scheduler};
 use crate::error::JStarError;
 
 /// A configured instance of a JStar program, ready to run.
@@ -137,9 +138,11 @@ impl Engine {
     /// The step loop is the four-phase machine of the
     /// [module docs](super): each iteration **absorbs** staged tuples
     /// into the Delta queue, **extracts** the minimal equivalence
-    /// class, **executes** it (overlapping the next absorb when
-    /// [`EngineConfig::pipeline_depth`] ≥ 1), then **maintains** the
-    /// stores at the quiescent point.
+    /// class — taken for free from the lookahead when a speculation
+    /// survived ([`EngineConfig::pipeline_depth`] ≥ 2) — **executes**
+    /// it (overlapping the next absorb and the next extraction when
+    /// pipelined), then **maintains** the stores at the quiescent
+    /// point.
     pub fn run(&mut self) -> Result<RunReport> {
         let start = Instant::now();
         let state = &*self.state;
@@ -157,10 +160,12 @@ impl Engine {
         let mut tree = DeltaQueue::new(self.config.delta);
         let mut pipeline = Pipeline::new(state, &self.config);
         let scheduler = Scheduler::new(self.config.inline_class_threshold);
+        let mut lookahead = Lookahead::new(pipeline.lookahead_enabled());
         let mut steps: u64 = 0;
         // The per-step phase timers share the record_steps gate:
-        // profiling runs get the split, production runs pay zero clock
-        // reads in the coordinator loop.
+        // profiling runs get the split; production runs pay no clock
+        // reads in the coordinator loop beyond the few per step the
+        // adaptive overlap controller needs.
         let timing = self.config.record_steps;
         loop {
             if state.has_errors() {
@@ -168,16 +173,25 @@ impl Engine {
             }
 
             // ── Phase 1: absorb ─────────────────────────────────────
-            // Everything staged by earlier steps must be queued before
-            // the next pop — a staged key may order before the current
-            // tree minimum. Under pipelining most of this already
-            // happened during the previous execute phase; this is the
-            // remainder.
-            pipeline.absorb(state, &mut tree, self.pool.as_deref());
+            // Everything staged by earlier steps must be queued (and
+            // checked against the speculation) before the next extract
+            // — a staged key may order before the current tree minimum.
+            // Under pipelining most of this already happened during the
+            // previous execute phase; this drains the epoch ring and
+            // the remainder.
+            pipeline.absorb(state, &mut tree, self.pool.as_deref(), &mut lookahead);
 
             // ── Phase 2: extract ────────────────────────────────────
-            let Some((key, mut class)) = tree.pop_min_class() else {
-                break;
+            // A surviving speculation *is* the minimal class (every
+            // merge since it was prepared ordered strictly after it),
+            // with its execution plan already built — the fan-out
+            // launches with zero extraction work. Otherwise pop.
+            let (key, mut class, speculative_plan) = match lookahead.take(&state.stats) {
+                Some((prepared, plan)) => (prepared.key, prepared.tuples, Some(plan)),
+                None => match tree.pop_min_class() {
+                    Some((key, class)) => (key, class, None),
+                    None => break,
+                },
             };
             steps += 1;
             if let Some(max) = self.config.max_steps {
@@ -192,14 +206,17 @@ impl Engine {
             state.stats.record_step(class_size);
             let exec_start = timing.then(Instant::now);
 
-            // ── Phase 3: execute (∥ absorb when pipelined) ──────────
-            match scheduler.plan(self.pool.as_deref(), class_size) {
+            // ── Phase 3: execute (∥ absorb + next extract when pipelined) ──
+            let plan = speculative_plan
+                .unwrap_or_else(|| scheduler.plan(self.pool.as_deref(), class_size));
+            match plan {
                 ClassPlan::Forked { chunk } => {
                     state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
                     let pool = self.pool.as_ref().expect("forked plan implies a pool");
                     let key = &key;
                     let pipeline = &mut pipeline;
                     let tree = &mut tree;
+                    let lookahead = &mut lookahead;
                     pool.scope(|s| {
                         // All chunks submitted as one batch: a single
                         // wakeup, no per-task notify storm.
@@ -209,10 +226,18 @@ impl Engine {
                             }
                         }));
                         if pipeline.pipelined() {
-                            // The coordinator joins the class from inside
-                            // the scope, interleaving epoch absorption
-                            // with helping — the drain/execute overlap.
-                            pipeline.overlap(s, state, tree, pool);
+                            // Speculate on the next step while this one
+                            // runs (no-op below depth 2), then join the
+                            // class from inside the scope, interleaving
+                            // epoch absorption with helping — the
+                            // drain/execute overlap.
+                            lookahead.prepare(
+                                tree,
+                                &scheduler,
+                                Some(pool),
+                                pipeline.absorbed_seq(),
+                            );
+                            pipeline.overlap(s, state, tree, pool, lookahead, &scheduler);
                         }
                     });
                 }
@@ -282,6 +307,9 @@ impl Engine {
             execute_time: Duration::from_nanos(state.stats.execute_nanos.load(Ordering::Relaxed)),
             inline_classes: state.stats.inline_classes.load(Ordering::Relaxed),
             forked_classes: state.stats.forked_classes.load(Ordering::Relaxed),
+            pipeline_depth: pipeline.effective_depth(),
+            lookahead_hits: state.stats.lookahead_hits.load(Ordering::Relaxed),
+            lookahead_misses: state.stats.lookahead_misses.load(Ordering::Relaxed),
             output: state.output.lock().clone(),
         })
     }

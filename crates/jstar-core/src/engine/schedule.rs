@@ -1,5 +1,5 @@
 //! Adaptive all-minimums scheduling: how one extracted equivalence
-//! class is executed.
+//! class is executed — and the **lookahead** over the next one.
 //!
 //! The paper's "simple all-minimums parallelisation strategy" makes
 //! every tuple of the minimal class a fork/join task. That is the right
@@ -18,8 +18,24 @@
 //!   batch (single wakeup). A forked class is also the pipeline's
 //!   overlap window: while its chunks run, the coordinator absorbs
 //!   staged epochs (see [`super::pipeline`]).
+//!
+//! With [`super::EngineConfig::pipeline_depth`] ≥ 2 the coordinator
+//! additionally runs the [`Lookahead`] inside that window: the *next*
+//! minimal class is extracted from the Delta queue and planned
+//! speculatively ([`Scheduler::plan_speculative`] — chunked for the
+//! idle pool the fan-out will actually see at launch), so when the
+//! current class joins, the next step starts with zero extraction or
+//! planning work on the critical path. Every epoch merged meanwhile is
+//! validated against the prepared key; a merge ordering at or below it
+//! rolls the speculation back (see [`crate::delta::PreparedClass`]),
+//! which keeps the pop schedule bit-identical to the non-speculating
+//! engine.
 
+use crate::delta::{DeltaQueue, PreparedClass};
+use crate::orderby::OrderKey;
+use crate::stats::EngineStats;
 use jstar_pool::ThreadPool;
+use std::sync::atomic::Ordering;
 
 /// How one equivalence class should execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +71,164 @@ impl Scheduler {
             Some(_) => ClassPlan::Inline { sort: false },
             None => ClassPlan::Inline { sort: true },
         }
+    }
+
+    /// Plans a class **speculatively**, for a fan-out that will launch
+    /// at the *next* step boundary. Differs from [`Scheduler::plan`]
+    /// only in the chunking input: the pool is busy *now* (the current
+    /// class is still executing), but by launch time its chunks will
+    /// have drained — so the chunk size assumes the idle pool the
+    /// fan-out will actually see, rather than reading the transient
+    /// backlog.
+    pub(super) fn plan_speculative(
+        &self,
+        pool: Option<&ThreadPool>,
+        class_size: usize,
+    ) -> ClassPlan {
+        match pool {
+            Some(pool) if class_size > self.inline_threshold => ClassPlan::Forked {
+                chunk: jstar_pool::idle_chunk(pool.num_threads(), class_size),
+            },
+            Some(_) => ClassPlan::Inline { sort: false },
+            None => ClassPlan::Inline { sort: true },
+        }
+    }
+}
+
+/// After this many consecutive misses the lookahead pauses: the
+/// workload is invalidating every speculation (a priority-queue shape
+/// whose merges keep ordering below the next class), so each prepare
+/// is pure churn — one extra insert+extract of the class per step.
+const MISS_STREAK_PAUSE: u32 = 4;
+/// How many prepare opportunities a paused lookahead skips before
+/// probing the workload again (a phase change — e.g. a program moving
+/// from a relaxation stratum into a fan-out stratum — re-arms it).
+const PAUSE_PREPARES: u32 = 16;
+
+/// The speculative half of the lookahead step machine: the
+/// pre-extracted next class and its pre-built plan, with the
+/// hit/miss bookkeeping.
+///
+/// Lifecycle per step window: [`Lookahead::prepare`] extracts the
+/// minimal class and plans it; each merged epoch is checked through
+/// [`Lookahead::validate`], which rolls the speculation back (restoring
+/// the tuples to the queue — a **miss**) when the epoch's minimum
+/// orders at or below the prepared key; at the step boundary
+/// [`Lookahead::take`] either commits the surviving speculation (a
+/// **hit** — the next fan-out launches immediately) or reports `None`
+/// and the coordinator pops normally.
+///
+/// A run of [`MISS_STREAK_PAUSE`] consecutive misses pauses the
+/// speculation for the next [`PAUSE_PREPARES`] opportunities: on
+/// workloads that invalidate every lookahead, pausing converts the
+/// per-step churn into a periodic probe, which is what keeps deeper
+/// pipeline depths at parity with depth 1 where speculation cannot pay
+/// (the `depth_sweep` bench gate). Pausing only skips *preparing* —
+/// it never affects what executes, so results stay bit-identical.
+pub(super) struct Lookahead {
+    /// False below `pipeline_depth` 2: every method is a no-op and the
+    /// engine behaves exactly like the non-speculating pipeline.
+    enabled: bool,
+    prepared: Option<(PreparedClass, ClassPlan)>,
+    /// Consecutive misses since the last hit (or unpause).
+    miss_streak: u32,
+    /// Remaining prepare opportunities to skip while paused.
+    paused_for: u32,
+}
+
+impl Lookahead {
+    pub(super) fn new(enabled: bool) -> Lookahead {
+        Lookahead {
+            enabled,
+            prepared: None,
+            miss_streak: 0,
+            paused_for: 0,
+        }
+    }
+
+    /// Speculatively extracts and plans the next minimal class, if none
+    /// is already prepared (and the lookahead is not pausing after a
+    /// miss streak). Called from inside the execute window — right
+    /// after the current class's chunks are spawned, and again after
+    /// every absorbed epoch, so an invalidated speculation is
+    /// immediately rebuilt from the updated queue.
+    pub(super) fn prepare(
+        &mut self,
+        tree: &mut DeltaQueue,
+        scheduler: &Scheduler,
+        pool: Option<&ThreadPool>,
+        epoch_mark: u64,
+    ) {
+        if !self.enabled || self.prepared.is_some() {
+            return;
+        }
+        if self.paused_for > 0 {
+            self.paused_for -= 1;
+            if self.paused_for > 0 {
+                return;
+            }
+            // Pause over: probe the workload again with a fresh streak.
+            self.miss_streak = 0;
+        }
+        if let Some(prepared) = tree.prepare_min_class(epoch_mark) {
+            let plan = scheduler.plan_speculative(pool, prepared.tuples.len());
+            self.prepared = Some((prepared, plan));
+        }
+    }
+
+    /// Checks a merged epoch (its sequence number and minimal staged
+    /// key) against the speculation. An epoch ordering at or below the
+    /// prepared class invalidates it: the tuples go back into the
+    /// queue, where canonical-set semantics collapse any duplicates the
+    /// merge introduced (their already-counted Delta inserts are
+    /// unwound via `stats`), and a miss is recorded.
+    pub(super) fn validate(
+        &mut self,
+        epoch_seq: u64,
+        merged_min: Option<&OrderKey>,
+        tree: &mut DeltaQueue,
+        stats: &EngineStats,
+    ) {
+        let invalidated = match &self.prepared {
+            Some((prepared, _)) => {
+                // The epoch_mark contract: a speculation reflects every
+                // epoch up to and including its mark, so only strictly
+                // later epochs may reach this check.
+                debug_assert!(
+                    prepared.epoch_mark < epoch_seq,
+                    "epoch {epoch_seq} validated against a speculation already marked {}",
+                    prepared.epoch_mark
+                );
+                !prepared.survives(merged_min)
+            }
+            None => false,
+        };
+        if invalidated {
+            let (prepared, _) = self.prepared.take().expect("checked above");
+            tree.restore_prepared(prepared, &mut |ti| {
+                stats.tables[ti]
+                    .delta_inserts
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+            stats.lookahead_misses.fetch_add(1, Ordering::Relaxed);
+            self.miss_streak += 1;
+            if self.miss_streak >= MISS_STREAK_PAUSE {
+                self.paused_for = PAUSE_PREPARES;
+            }
+        }
+    }
+
+    /// Commits the surviving speculation at the step boundary, counting
+    /// a hit (which also clears any miss streak). `None` when nothing
+    /// is prepared (lookahead disabled, pausing, no window opened, or
+    /// the speculation was invalidated).
+    pub(super) fn take(&mut self, stats: &EngineStats) -> Option<(PreparedClass, ClassPlan)> {
+        let taken = self.prepared.take();
+        if taken.is_some() {
+            stats.lookahead_hits.fetch_add(1, Ordering::Relaxed);
+            self.miss_streak = 0;
+        }
+        taken
     }
 }
 

@@ -118,6 +118,81 @@ fn unpipelined_runs_report_zero_overlap() {
 }
 
 #[test]
+fn pipeline_depth_is_clamped_and_reported() {
+    // A configured depth the ring cannot honour is clamped to
+    // MAX_PIPELINE_DEPTH and the *effective* depth lands in the report
+    // — the config lie is visible instead of silently downgraded.
+    let prog = ship_program();
+    for (configured, effective) in [
+        (0usize, 0usize),
+        (1, 1),
+        (4, 4),
+        (MAX_PIPELINE_DEPTH, MAX_PIPELINE_DEPTH),
+        (MAX_PIPELINE_DEPTH + 1, MAX_PIPELINE_DEPTH),
+        (usize::MAX, MAX_PIPELINE_DEPTH),
+    ] {
+        let mut eng = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::parallel(2).pipeline_depth(configured),
+        );
+        let report = eng.run().unwrap();
+        assert_eq!(
+            report.pipeline_depth, effective,
+            "configured {configured} must run at {effective}"
+        );
+    }
+    // Sequential mode has no pipeline regardless of the setting.
+    let mut eng = Engine::new(Arc::clone(&prog), {
+        let mut c = EngineConfig::sequential();
+        c.pipeline_depth = 4;
+        c
+    });
+    assert_eq!(eng.run().unwrap().pipeline_depth, 0);
+}
+
+#[test]
+fn lookahead_stays_disarmed_below_depth_two() {
+    let prog = ship_program();
+    for depth in [0usize, 1] {
+        let mut eng = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::parallel(4)
+                .pipeline_depth(depth)
+                .inline_classes_up_to(0)
+                .parallel_merge_from(1),
+        );
+        let report = eng.run().unwrap();
+        assert_eq!(report.lookahead_hits, 0, "depth {depth}");
+        assert_eq!(report.lookahead_misses, 0, "depth {depth}");
+        assert_eq!(report.lookahead_hit_rate(), 0.0, "depth {depth}");
+    }
+}
+
+#[test]
+fn adaptive_overlap_toggle_produces_identical_results() {
+    let prog = ship_program();
+    let ship = prog.table_id("Ship").unwrap();
+    let mut reference: Option<Vec<Tuple>> = None;
+    for adaptive in [true, false] {
+        let mut eng = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::parallel(4)
+                .pipeline_depth(2)
+                .adaptive_overlap(adaptive)
+                .inline_classes_up_to(0)
+                .parallel_merge_from(1),
+        );
+        eng.run().unwrap();
+        let mut got = eng.gamma().collect(&Query::on(ship));
+        got.sort();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "controller choice must be unobservable"),
+        }
+    }
+}
+
+#[test]
 fn unbounded_rule_hits_step_limit() {
     // §3's first rule: "effectively creates an infinite loop that keeps
     // moving the Ship infinitely far to the right!"

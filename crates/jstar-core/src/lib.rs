@@ -21,7 +21,7 @@
 //!   "late commitment to data structures" (§1.4, §5);
 //! * [`rule`] / [`query`] / [`reduce`] — rules, positive/negative/aggregate
 //!   queries, and reducers with user-defined operators (§1.3, §3);
-//! * [`relation`] / [`dsl`] — the typed façade: schema-carrying relation
+//! * [`relation`](mod@relation) / [`dsl`] — the typed façade: schema-carrying relation
 //!   structs, `Field` tokens, typed queries, and the `jstar_table!`
 //!   declaration macro (§1.1's concision goal);
 //! * [`causality`] — static proof obligations discharged by a built-in
@@ -34,7 +34,7 @@
 //! * [`stats`] — per-table usage statistics and DOT dependency graphs
 //!   (§1.5).
 //!
-//! The public surface is the **typed relation façade** ([`relation`],
+//! The public surface is the **typed relation façade** ([`relation`](mod@relation),
 //! [`dsl`]): the paper's one-line table declaration generates a Rust
 //! struct, a schema, and per-column [`relation::Field`] tokens, so rules
 //! and queries are compile-time checked. The positional API

@@ -108,6 +108,14 @@ pub struct EngineStats {
     pub inline_classes: AtomicU64,
     /// Classes fanned out to the fork/join pool.
     pub forked_classes: AtomicU64,
+    /// Steps whose equivalence class was pre-extracted by the lookahead
+    /// machine and survived every later epoch merge: the step's extract
+    /// phase cost nothing on the critical path.
+    pub lookahead_hits: AtomicU64,
+    /// Speculative extractions invalidated by a merge whose minimum key
+    /// ordered at or below the prepared class (the tuples were returned
+    /// to the Delta queue and re-extracted).
+    pub lookahead_misses: AtomicU64,
     /// Per-step log; only populated when
     /// [`crate::engine::EngineConfig::record_steps`] is set.
     pub step_log: Mutex<Vec<StepRecord>>,
@@ -127,6 +135,8 @@ impl EngineStats {
             execute_nanos: AtomicU64::new(0),
             inline_classes: AtomicU64::new(0),
             forked_classes: AtomicU64::new(0),
+            lookahead_hits: AtomicU64::new(0),
+            lookahead_misses: AtomicU64::new(0),
             step_log: Mutex::new(Vec::new()),
         }
     }

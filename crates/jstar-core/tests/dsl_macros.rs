@@ -295,3 +295,105 @@ fn duplicate_relation_name_is_a_build_error() {
         }
     );
 }
+
+// ── relation!{} — the typed façade over *existing* structs ──────────
+
+/// A hand-written domain struct: carries its own derives and methods,
+/// which `jstar_table!`'s item form could not have emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quake {
+    pub t: i64,
+    pub magnitude_x10: i64,
+    pub shallow: bool,
+}
+
+impl Quake {
+    pub fn is_major(&self) -> bool {
+        self.magnitude_x10 >= 70
+    }
+}
+
+jstar_core::relation! {
+    Quake(int t -> int magnitude_x10, boolean shallow)
+        orderby (Int, seq t)
+}
+
+/// A decode-side view mapped onto a table declared under a different
+/// name (the `as "Table"` form): same layout as `Tick`, different type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickView {
+    pub t: i64,
+    pub v: i64,
+}
+
+jstar_core::relation! {
+    TickView as "Tick" (int t -> int v) orderby (Int, seq t)
+}
+
+#[test]
+fn relation_macro_schema_matches_jstar_table_form() {
+    assert_eq!(Quake::NAME, "Quake");
+    assert_eq!(Quake::KEY_ARITY, Some(1));
+    assert_eq!(Quake::COLUMNS.len(), 3);
+    assert_eq!(Quake::COLUMNS[1].name, "magnitude_x10");
+    assert_eq!(Quake::COLUMNS[2].ty, ValueType::Bool);
+    assert_eq!(Quake::orderby(), vec![strat("Int"), seq("t")]);
+    // Field tokens address the right offsets.
+    assert_eq!(Quake::t.index(), 0);
+    assert_eq!(Quake::magnitude_x10.index(), 1);
+    assert_eq!(Quake::shallow.index(), 2);
+}
+
+#[test]
+fn relation_macro_roundtrips_through_tuples() {
+    let q = Quake {
+        t: 3,
+        magnitude_x10: 81,
+        shallow: true,
+    };
+    assert!(q.is_major(), "domain methods survive the macro");
+    let tuple = Tuple::new(TableId(0), q.into_values());
+    let back = Quake::from_tuple(&tuple);
+    assert_eq!(back, q);
+}
+
+#[test]
+fn relation_macro_struct_runs_end_to_end() {
+    let mut p = ProgramBuilder::new();
+    let _quakes = p.relation::<Quake>();
+    p.rule_rel("aftershock", |ctx, q: Quake| {
+        if q.is_major() && q.t < 5 {
+            ctx.put_rel(Quake {
+                t: q.t + 1,
+                magnitude_x10: q.magnitude_x10 - 15,
+                shallow: q.shallow,
+            });
+        }
+    });
+    p.put_rel(Quake {
+        t: 0,
+        magnitude_x10: 95,
+        shallow: false,
+    });
+    let prog = Arc::new(p.build().unwrap());
+    let mut eng = Engine::new(prog, EngineConfig::sequential());
+    eng.run().unwrap();
+    // 95 → 80 → 65 (not major): three rows.
+    let all = eng.collect_rel(Quake::query());
+    assert_eq!(all.len(), 3);
+    let majors = eng.collect_rel(Quake::query().ge(Quake::magnitude_x10, 70i64));
+    assert_eq!(majors.len(), 2);
+}
+
+#[test]
+fn relation_as_form_decodes_a_foreign_tables_rows() {
+    // `Tick` (jstar_table!-generated) owns the table; `TickView` maps
+    // the same schema onto a hand-written struct under `as "Tick"`.
+    assert_eq!(TickView::NAME, "Tick");
+    assert_eq!(TickView::KEY_ARITY, Some(1));
+    let tick = Tick { t: 7, v: 42 };
+    let tuple = Tuple::new(TableId(0), tick.into_values());
+    let view = TickView::from_tuple(&tuple);
+    assert_eq!(view, TickView { t: 7, v: 42 });
+    assert_eq!(TickView::v.index(), Tick::v.index());
+}

@@ -1,6 +1,8 @@
-//! Stress tests for the pipelined coordinator's epoch swap: 8 worker
-//! threads staging at full rate while the coordinator closes epochs
-//! mid-execution and merges their subtrees on the background lane.
+//! Stress tests for the pipelined coordinator's epoch machinery: 8
+//! worker threads staging at full rate while the coordinator closes
+//! epochs mid-execution, rides their subtree builds on the background
+//! lane, and (at depth ≥ 2) speculatively extracts the next class and
+//! rolls it back under adversarial merges.
 //!
 //! The determinism *properties* live in `prop_engine.rs`; these tests
 //! hammer one adversarial configuration — every class forked
@@ -82,6 +84,98 @@ fn eight_thread_epoch_swap_stress() {
             report.steps, seq_report.steps,
             "round {round}: pop schedule diverged"
         );
+    }
+}
+
+/// A two-horizon fan-out built to ambush the lookahead: every `(t, v)`
+/// tuple puts `fanout` tuples at `t + 2` (wide far classes) and, for a
+/// third of values, one tuple at `t + 1` (a sparse near class). The
+/// class prepared at a step's window start is therefore the `t + 1` or
+/// `t + 2` class, and the step's own staging always includes keys at or
+/// below it — every non-final forked step deterministically invalidates
+/// its speculation at *some* absorb (mid-window or at the boundary),
+/// whatever the thread interleaving. Staging is pure puts (no queries),
+/// so the pop schedule itself is deterministic and comparable across
+/// configurations.
+fn ambush_program(fanout: i64, modp: i64, horizon: i64, seeds: i64) -> Arc<Program> {
+    let mut p = ProgramBuilder::new();
+    let t = p.table("T", |b| {
+        b.col_int("t").col_int("v").orderby(&[strat("T"), seq("t")])
+    });
+    p.rule("fan", t, move |ctx, tr| {
+        if tr.int(0) < horizon {
+            for k in 0..fanout {
+                ctx.put(Tuple::new(
+                    t,
+                    vec![
+                        Value::Int(tr.int(0) + 2),
+                        Value::Int((tr.int(1) * 37 + 11 * k + 1).rem_euclid(modp)),
+                    ],
+                ));
+            }
+            if tr.int(1) % 3 == 0 {
+                ctx.put(Tuple::new(
+                    t,
+                    vec![Value::Int(tr.int(0) + 1), Value::Int(tr.int(1) + 1)],
+                ));
+            }
+        }
+    });
+    for s in 0..seeds {
+        p.put(Tuple::new(t, vec![Value::Int(0), Value::Int(s * 3)]));
+    }
+    Arc::new(p.build().unwrap())
+}
+
+#[test]
+fn eight_thread_lookahead_invalidation_stress() {
+    let prog = ambush_program(6, 400, 40, 4);
+    let table = prog.table_id("T").unwrap();
+
+    let mut seq_eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+    let seq_report = seq_eng.run().unwrap();
+    let want = canonical(&seq_eng, table);
+    assert!(want.len() > 1000, "the stress load must be non-trivial");
+
+    // Repeated runs at both lookahead depths: the speculation /
+    // invalidation interleavings differ every time; the pop schedule
+    // and fixpoint must not.
+    for round in 0..3 {
+        for depth in [2usize, 4] {
+            let mut eng = Engine::new(
+                Arc::clone(&prog),
+                EngineConfig::parallel(8)
+                    .pipeline_depth(depth)
+                    .inline_classes_up_to(0)
+                    .parallel_merge_from(1),
+            );
+            let report = eng.run().unwrap();
+            assert_eq!(report.pipeline_depth, depth);
+            assert_eq!(
+                canonical(&eng, table),
+                want,
+                "round {round} depth {depth}: gamma diverged from sequential"
+            );
+            assert_eq!(
+                report.tuples_processed, seq_report.tuples_processed,
+                "round {round} depth {depth}: tuple counts diverged"
+            );
+            assert_eq!(
+                report.steps, seq_report.steps,
+                "round {round} depth {depth}: pop schedule diverged"
+            );
+            assert!(
+                report.lookahead_hits + report.lookahead_misses > 0,
+                "round {round} depth {depth}: the lookahead never engaged"
+            );
+            // Every non-final forked step stages keys at or below its
+            // window-start speculation, so invalidations are a
+            // certainty of the program shape, not of thread timing.
+            assert!(
+                report.lookahead_misses > 0,
+                "round {round} depth {depth}: the ambush produced no invalidations"
+            );
+        }
     }
 }
 

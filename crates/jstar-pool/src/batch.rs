@@ -1,0 +1,239 @@
+//! Detached task batches with completion signaling.
+//!
+//! A blocking submission (a scope over [`crate::Scope::spawn_background_batch`])
+//! holds its caller until the whole batch finishes — the right shape
+//! when the results are needed immediately, and the wrong one for a
+//! *pipeline*: the engine's epoch ring closes a staging epoch, submits
+//! its per-partition Delta subtree builds, and wants to keep
+//! coordinating (closing further epochs, helping execute class chunks)
+//! while those builds ride the background lane.
+//! [`submit_background`] is that submission shape: it enqueues the
+//! batch and returns a [`TaskBatch`] handle immediately; the caller polls
+//! [`TaskBatch::is_complete`] and collects with [`TaskBatch::join`] (which
+//! helps execute queued work — foreground first — while anything is still
+//! outstanding, so joining from inside a fork/join scope can never
+//! deadlock the pool).
+//!
+//! Tasks must be `'static`: unlike [`crate::Scope`] there is no enclosing
+//! frame whose lifetime bounds them — the handle may outlive the
+//! submitting stack frame by design.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::latch::CountLatch;
+use crate::pool::ThreadPool;
+
+/// Shared state of one submitted batch.
+struct BatchState<R> {
+    latch: CountLatch,
+    /// `(submission index, result)` pairs, pushed as tasks finish.
+    results: Mutex<Vec<(usize, R)>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A handle to a batch of tasks running on the pool's **background
+/// lane**: workers (and helpers) only pick them up when no foreground
+/// work exists, so foreground submissions preempt the batch by
+/// construction.
+///
+/// Created by [`submit_background`]. Dropping the handle without joining
+/// leaks nothing — the tasks still run to completion and their results
+/// are dropped with the shared state.
+pub struct TaskBatch<R> {
+    state: Arc<BatchState<R>>,
+    len: usize,
+}
+
+impl<R: Send + 'static> TaskBatch<R> {
+    /// Number of tasks in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a batch of zero tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once every task of the batch has finished (true immediately
+    /// for an empty batch). One relaxed atomic load — cheap enough to
+    /// poll from a coordinator loop.
+    pub fn is_complete(&self) -> bool {
+        self.state.latch.is_clear()
+    }
+
+    /// Waits for the batch and returns the results in submission order.
+    ///
+    /// While tasks are outstanding the calling thread *helps*: it
+    /// executes queued pool jobs (foreground first, then the background
+    /// lane — possibly this batch's own tasks), so a join from the
+    /// engine coordinator mid-step lets busy workers finish their class
+    /// chunks undisturbed. If any task panicked, the panic is resumed
+    /// here.
+    pub fn join(self, pool: &ThreadPool) -> Vec<R> {
+        let mut stalled_waits = 0u32;
+        while !self.state.latch.is_clear() {
+            if pool.shared().try_help(false) {
+                stalled_waits = 0;
+            } else {
+                self.state.latch.wait_timeout(Duration::from_millis(1));
+                stalled_waits += 1;
+                if stalled_waits >= 2
+                    && !self.state.latch.is_clear()
+                    && pool.shared().try_help(true)
+                {
+                    stalled_waits = 0;
+                }
+            }
+        }
+        if let Some(payload) = self.state.panic.lock().take() {
+            panic::resume_unwind(payload);
+        }
+        let mut results = std::mem::take(&mut *self.state.results.lock());
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Submits `tasks` on `pool`'s background lane and returns immediately
+/// with a [`TaskBatch`] handle. One queue submission and one worker
+/// wakeup for the whole batch, like [`crate::Scope::spawn_batch`].
+pub fn submit_background<R, F>(pool: &ThreadPool, tasks: Vec<F>) -> TaskBatch<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let len = tasks.len();
+    let state = Arc::new(BatchState {
+        latch: CountLatch::new(),
+        results: Mutex::new(Vec::with_capacity(len)),
+        panic: Mutex::new(None),
+    });
+    let mut jobs: Vec<crate::pool::Job> = Vec::with_capacity(len);
+    for (i, task) in tasks.into_iter().enumerate() {
+        state.latch.increment();
+        let state = Arc::clone(&state);
+        jobs.push(Box::new(move || {
+            match panic::catch_unwind(AssertUnwindSafe(task)) {
+                Ok(r) => state.results.lock().push((i, r)),
+                Err(payload) => {
+                    let mut slot = state.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            // Decrement last: a joiner that sees the latch clear must
+            // also see this task's result (or its panic).
+            state.latch.decrement();
+        }));
+    }
+    Arc::clone(pool.shared()).push_background_batch(jobs);
+    TaskBatch { state, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_batch_is_complete_immediately() {
+        let pool = ThreadPool::new(2);
+        let batch: TaskBatch<u32> = submit_background(&pool, Vec::<fn() -> u32>::new());
+        assert!(batch.is_complete());
+        assert!(batch.is_empty());
+        assert!(batch.join(&pool).is_empty());
+    }
+
+    #[test]
+    fn join_collects_in_submission_order() {
+        let pool = ThreadPool::new(4);
+        let tasks: Vec<_> = (0..64).map(|i| move || i * 3).collect();
+        let batch = submit_background(&pool, tasks);
+        assert_eq!(batch.len(), 64);
+        let out = batch.join(&pool);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn is_complete_flips_without_joining() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..8)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        let batch = submit_background(&pool, tasks);
+        while !batch.is_complete() {
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        batch.join(&pool);
+    }
+
+    #[test]
+    fn dropping_the_handle_still_runs_the_tasks() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..16)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        drop(submit_background(&pool, tasks));
+        while hits.load(Ordering::Relaxed) < 16 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn works_on_single_thread_pool() {
+        let pool = ThreadPool::new(1);
+        let tasks: Vec<_> = (0..8).map(|i| move || i + 1).collect();
+        let batch = submit_background(&pool, tasks);
+        assert_eq!(batch.join(&pool), (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bg boom")]
+    fn join_resumes_task_panics() {
+        let pool = ThreadPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("bg boom")),
+            Box::new(|| 3),
+        ];
+        submit_background(&pool, tasks).join(&pool);
+    }
+
+    #[test]
+    fn foreground_work_preempts_while_batch_pending() {
+        // Background tasks must not starve a foreground scope spawned
+        // after them: the scope completes even while the batch waits.
+        let pool = ThreadPool::new(2);
+        let tasks: Vec<_> = (0..4).map(|i| move || i).collect();
+        let batch = submit_background(&pool, tasks);
+        let count = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn_batch((0..32).map(|_| {
+                |_: &crate::Scope<'_>| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+        assert_eq!(batch.join(&pool), vec![0, 1, 2, 3]);
+    }
+}

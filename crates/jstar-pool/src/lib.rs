@@ -30,15 +30,17 @@
 //! assert_eq!(data[513], 1026);
 //! ```
 
+mod batch;
 mod latch;
 mod parfor;
 mod pool;
 mod scope;
 
+pub use batch::{submit_background, TaskBatch};
 pub use latch::CountLatch;
 pub use parfor::{
-    adaptive_chunk, parallel_chunks, parallel_for, parallel_for_each, parallel_map,
-    parallel_reduce, parallel_tasks, parallel_tasks_background,
+    adaptive_chunk, idle_chunk, parallel_chunks, parallel_for, parallel_for_each, parallel_map,
+    parallel_reduce, parallel_tasks,
 };
 pub use pool::{global, ThreadPool};
 pub use scope::Scope;

@@ -7,6 +7,17 @@
 
 use crate::pool::ThreadPool;
 
+/// The chunk size [`adaptive_chunk`] picks for an **idle** pool of
+/// `threads` workers: four stealable chunks per thread. Exposed so
+/// callers planning work for a *future* launch instant (e.g. the
+/// engine's speculative next-class plans, built while the pool is
+/// transiently busy with the current class) can size chunks for the
+/// occupancy the launch will actually see, without diverging from the
+/// live heuristic.
+pub fn idle_chunk(threads: usize, len: usize) -> usize {
+    len.div_ceil((threads * 4).max(1)).max(1)
+}
+
 /// Occupancy-aware chunk size: gives each thread a few chunks to steal
 /// when the pool is idle, but when the pool already has a backlog of
 /// queued jobs the split is coarsened — extra tasks would only queue
@@ -15,10 +26,12 @@ use crate::pool::ThreadPool;
 pub fn adaptive_chunk(pool: &ThreadPool, len: usize) -> usize {
     let threads = pool.num_threads();
     let backlog = pool.pending_jobs();
-    // Idle pool: 4 stealable chunks per thread. Saturated pool: one chunk
-    // per thread is plenty.
-    let per_thread = if backlog >= threads { 1 } else { 4 };
-    len.div_ceil((threads * per_thread).max(1)).max(1)
+    if backlog >= threads {
+        // Saturated pool: one chunk per thread is plenty.
+        len.div_ceil(threads.max(1)).max(1)
+    } else {
+        idle_chunk(threads, len)
+    }
 }
 
 /// Runs `body(i)` for every `i` in `range`, in parallel chunks.
@@ -168,25 +181,10 @@ where
     R: Send,
     F: FnOnce() -> R + Send,
 {
-    parallel_tasks_impl(pool, tasks, false)
+    parallel_tasks_impl(pool, tasks)
 }
 
-/// [`parallel_tasks`] on the pool's **background lane**: the tasks only
-/// run on workers that found no foreground work, so jobs already queued
-/// (or spawned while these wait) preempt them. The calling thread still
-/// helps while blocked — foreground first, then these — so calling this
-/// from the engine coordinator mid-step lets busy workers finish the
-/// step's class chunks undisturbed while idle workers (and the blocked
-/// coordinator) chew the background tasks.
-pub fn parallel_tasks_background<R, F>(pool: &ThreadPool, tasks: Vec<F>) -> Vec<R>
-where
-    R: Send,
-    F: FnOnce() -> R + Send,
-{
-    parallel_tasks_impl(pool, tasks, true)
-}
-
-fn parallel_tasks_impl<R, F>(pool: &ThreadPool, tasks: Vec<F>, background: bool) -> Vec<R>
+fn parallel_tasks_impl<R, F>(pool: &ThreadPool, tasks: Vec<F>) -> Vec<R>
 where
     R: Send,
     F: FnOnce() -> R + Send,
@@ -207,11 +205,7 @@ where
                     *slot = Some(task());
                 }
             });
-        if background {
-            s.spawn_background_batch(jobs);
-        } else {
-            s.spawn_batch(jobs);
-        }
+        s.spawn_batch(jobs);
     });
     results
         .into_iter()
@@ -343,28 +337,6 @@ mod tests {
         let none: Vec<fn() -> u32> = Vec::new();
         assert!(parallel_tasks(&p, none).is_empty());
         assert_eq!(parallel_tasks(&p, vec![|| 9u32]), vec![9]);
-    }
-
-    #[test]
-    fn background_tasks_complete_with_results_in_order() {
-        let p = pool();
-        let tasks: Vec<_> = (0..53).map(|i| move || i * 7).collect();
-        let out = parallel_tasks_background(&p, tasks);
-        assert_eq!(out, (0..53).map(|i| i * 7).collect::<Vec<_>>());
-        // Empty/single fast paths too.
-        let none: Vec<fn() -> u32> = Vec::new();
-        assert!(parallel_tasks_background(&p, none).is_empty());
-        assert_eq!(parallel_tasks_background(&p, vec![|| 4u32]), vec![4]);
-    }
-
-    #[test]
-    fn background_tasks_run_on_single_thread_pool() {
-        let p = ThreadPool::new(1);
-        let tasks: Vec<_> = (0..8).map(|i| move || i + 1).collect();
-        assert_eq!(
-            parallel_tasks_background(&p, tasks),
-            (1..=8).collect::<Vec<_>>()
-        );
     }
 
     #[test]
