@@ -112,6 +112,16 @@ impl DeltaNode {
         }
     }
 
+    /// Visits every tuple at this node and below, non-destructively.
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+        for t in &self.here {
+            f(t);
+        }
+        for child in self.children.values() {
+            child.for_each(f);
+        }
+    }
+
     /// Non-destructive twin of [`DeltaNode::pop_min`]: finds the minimal
     /// equivalence class below this node, appending its path to `path`,
     /// without removing anything.
@@ -581,6 +591,14 @@ impl DeltaTree {
         }
     }
 
+    /// Visits every queued tuple non-destructively, in no particular
+    /// order — the snapshot writer's walk. Order keys are not reported:
+    /// they are pure functions of the tuple fields, so a restore
+    /// recomputes them by re-injecting through the normal put path.
+    pub fn for_each_pending(&self, f: &mut dyn FnMut(&Tuple)) {
+        self.root.for_each(f);
+    }
+
     /// Number of queued tuples.
     pub fn len(&self) -> usize {
         self.len
@@ -735,6 +753,15 @@ impl FlatDelta {
             let ti = t.table().index();
             if !self.insert(&prepared.key, t) {
                 on_dup(ti);
+            }
+        }
+    }
+
+    /// Flat-map twin of [`DeltaTree::for_each_pending`].
+    pub fn for_each_pending(&self, f: &mut dyn FnMut(&Tuple)) {
+        for set in self.map.values() {
+            for t in set {
+                f(t);
             }
         }
     }
@@ -969,6 +996,15 @@ impl DeltaQueue {
         }
     }
 
+    /// Visits every queued tuple non-destructively (see
+    /// [`DeltaTree::for_each_pending`]).
+    pub fn for_each_pending(&self, f: &mut dyn FnMut(&Tuple)) {
+        match self {
+            DeltaQueue::Tree(t) => t.for_each_pending(f),
+            DeltaQueue::Flat(fl) => fl.for_each_pending(f),
+        }
+    }
+
     pub fn len(&self) -> usize {
         match self {
             DeltaQueue::Tree(t) => t.len(),
@@ -1185,6 +1221,19 @@ impl ShardedInbox {
         self.shards
             .iter()
             .all(|s| s.len.load(Ordering::Relaxed) == 0)
+    }
+
+    /// The checkpoint-time quiescence invariant: a snapshot serializes
+    /// the Delta queue only after every staged epoch has been absorbed,
+    /// so the inbox must be empty — a staged tuple left here would be
+    /// silently missing from the snapshot. Violation is an engine bug
+    /// (not a recoverable I/O condition), so this panics.
+    pub fn assert_quiescent(&self) {
+        assert!(
+            self.is_empty(),
+            "checkpoint reached with {} tuples still staged in the inbox",
+            self.len()
+        );
     }
 }
 
@@ -1785,5 +1834,34 @@ mod tests {
         // 50 classes of 40 tuples each.
         let (_, first) = tree.pop_min_class().unwrap();
         assert_eq!(first.len(), 40);
+    }
+
+    #[test]
+    fn for_each_pending_visits_everything_without_disturbing_the_queue() {
+        for kind in [DeltaKind::Tree, DeltaKind::Flat] {
+            let mut q = DeltaQueue::new(kind);
+            for i in 0..30i64 {
+                q.insert(&skey(0, i % 3), tup(0, i));
+            }
+            let mut seen = Vec::new();
+            q.for_each_pending(&mut |t| seen.push(t.int(0)));
+            seen.sort_unstable();
+            assert_eq!(seen, (0..30).collect::<Vec<_>>());
+            assert_eq!(q.len(), 30, "walk is non-destructive ({kind:?})");
+            // Pop order is unaffected by the walk.
+            let (_, class) = q.pop_min_class().unwrap();
+            assert_eq!(class.len(), 10);
+        }
+    }
+
+    #[test]
+    fn quiescence_assert_accepts_only_an_empty_inbox() {
+        let inbox = ShardedInbox::new(2);
+        inbox.assert_quiescent();
+        inbox.push(inbox.external_shard(), skey(0, 1), tup(0, 1));
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inbox.assert_quiescent()))
+                .is_err();
+        assert!(panicked, "a staged tuple must trip the invariant");
     }
 }

@@ -65,6 +65,67 @@
 //! [`crate::relation!`] implements the same typed façade (the
 //! [`crate::relation::Relation`] impl plus the `Field` tokens) *onto*
 //! the hand-written struct, from the same column notation.
+//!
+//! All three surfaces — `jstar_table!`'s expression form, its item
+//! form, and `relation!` — parse the identical column grammar, so the
+//! grammar lives in exactly one place: the [`crate::__jstar_columns!`]
+//! muncher walks `type name [, | ->]` once, accumulates
+//! `(index, name, type)` triples plus the key split, and calls back
+//! into the requesting macro, which only renders the result.
+
+/// The shared column muncher behind [`crate::jstar_table!`] and
+/// [`crate::relation!`] — **not public API** (the name is `#[doc(hidden)]`
+/// and exported only because `macro_rules!` cross-macro calls require
+/// it).
+///
+/// Entry: `__jstar_columns!([callback_macro ctx...]; columns...)`.
+/// The muncher walks the paper's `type name` list, counting the `->`
+/// primary-key split, and finishes by invoking
+/// `$crate::callback_macro!(ctx...; [(idx, name, type)...]; key)`
+/// where `key` is `(none)` or `(some arity)`. The `@rust_ty`,
+/// `@value_ty`, `@key`, and `@apply_key` helper arms render the
+/// accumulated triples for the callbacks.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __jstar_columns {
+    // The recursive arms transcribe to brace-form invocations, which
+    // parse both as items (the item-form callers) and as expressions
+    // (the builder-form caller).
+    ([$($cb:tt)*]; $($cols:tt)*) => {
+        $crate::__jstar_columns! { @munch [$($cb)*]; []; (none); 0usize; $($cols)* }
+    };
+
+    // The muncher: one arm per way a `type name` pair can end.
+    (@munch $cb:tt; $acc:tt; $key:tt; $idx:expr; ) => {
+        $crate::__jstar_columns! { @done $cb; $acc; $key }
+    };
+    (@munch $cb:tt; [$($acc:tt)*]; $key:tt; $idx:expr; $kind:tt $n:ident) => {
+        $crate::__jstar_columns! { @done $cb; [$($acc)* ($idx, $n, $kind)]; $key }
+    };
+    (@munch $cb:tt; [$($acc:tt)*]; $key:tt; $idx:expr; $kind:tt $n:ident , $($rest:tt)*) => {
+        $crate::__jstar_columns! { @munch $cb; [$($acc)* ($idx, $n, $kind)]; $key; $idx + 1usize; $($rest)* }
+    };
+    (@munch $cb:tt; [$($acc:tt)*]; $key:tt; $idx:expr; $kind:tt $n:ident -> $($rest:tt)*) => {
+        $crate::__jstar_columns! { @munch $cb; [$($acc)* ($idx, $n, $kind)]; (some ($idx + 1usize)); $idx + 1usize; $($rest)* }
+    };
+    (@done [$cbmac:ident $($ctx:tt)*]; $acc:tt; $key:tt) => {
+        $crate::$cbmac! { $($ctx)*; $acc; $key }
+    };
+
+    // Rendering helpers: the paper's surface types and the key split.
+    (@rust_ty int) => { i64 };
+    (@rust_ty double) => { f64 };
+    (@rust_ty String) => { ::std::sync::Arc<str> };
+    (@rust_ty boolean) => { bool };
+    (@value_ty int) => { $crate::value::ValueType::Int };
+    (@value_ty double) => { $crate::value::ValueType::Double };
+    (@value_ty String) => { $crate::value::ValueType::Str };
+    (@value_ty boolean) => { $crate::value::ValueType::Bool };
+    (@key (none)) => { ::core::option::Option::None };
+    (@key (some $k:expr)) => { ::core::option::Option::Some($k) };
+    (@apply_key (none), $e:expr) => { $e };
+    (@apply_key (some $k:expr), $e:expr) => { $e.key($k) };
+}
 
 /// Declares a table using the paper's
 /// `table Name(type col, ... -> type col, ...) orderby (...)` notation.
@@ -83,54 +144,31 @@
 macro_rules! jstar_table {
     // ── Item form: emit struct + Relation impl + Field tokens. ──────
     ($(#[$meta:meta])* $vis:vis $name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
-        $crate::jstar_table!(@item [$(#[$meta])*] [$vis] $name; []; (none); 0usize; [$($ob)*]; $($cols)*);
+        $crate::__jstar_columns!([jstar_table @emit [$(#[$meta])*] [$vis] $name [$($ob)*]]; $($cols)*);
     };
     ($(#[$meta:meta])* $vis:vis $name:ident ( $($cols:tt)* )) => {
-        $crate::jstar_table!(@item [$(#[$meta])*] [$vis] $name; []; (none); 0usize; []; $($cols)*);
+        $crate::__jstar_columns!([jstar_table @emit [$(#[$meta])*] [$vis] $name []]; $($cols)*);
     };
 
     // ── Expression form: declare on a builder, return the TableId. ──
     ($p:expr, $name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
         $p.table(stringify!($name), |b| {
-            let b = $crate::jstar_table!(@cols b, 0usize; $($cols)*);
+            let b = $crate::__jstar_columns!([jstar_table @build b]; $($cols)*);
             b.orderby(&$crate::jstar_table!(@ob $($ob)*))
         })
     };
     ($p:expr, $name:ident ( $($cols:tt)* )) => {
         $p.table(stringify!($name), |b| {
-            $crate::jstar_table!(@cols b, 0usize; $($cols)*)
+            $crate::__jstar_columns!([jstar_table @build b]; $($cols)*)
         })
     };
 
-    // Column munchers. The counter tracks how many columns precede `->`.
-    (@cols $b:expr, $k:expr; ) => { $b };
-    (@cols $b:expr, $k:expr; int $n:ident) => { $b.col_int(stringify!($n)) };
-    (@cols $b:expr, $k:expr; double $n:ident) => { $b.col_double(stringify!($n)) };
-    (@cols $b:expr, $k:expr; String $n:ident) => { $b.col_str(stringify!($n)) };
-    (@cols $b:expr, $k:expr; boolean $n:ident) => { $b.col_bool(stringify!($n)) };
-    (@cols $b:expr, $k:expr; int $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_int(stringify!($n)), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; double $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_double(stringify!($n)), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; String $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_str(stringify!($n)), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; boolean $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_bool(stringify!($n)), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; int $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_int(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; double $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_double(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; String $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_str(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
-    };
-    (@cols $b:expr, $k:expr; boolean $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@cols $b.col_bool(stringify!($n)).key($k + 1), $k + 1; $($rest)*)
+    // Expression-form callback: chain the declared columns onto the
+    // [`crate::schema::TableBuilder`], then the key split (if any).
+    (@build $b:ident; [$( ($idx:expr, $n:ident, $kind:tt) )*]; $key:tt) => {
+        $crate::__jstar_columns!(@apply_key $key,
+            $b $( .col(stringify!($n), $crate::__jstar_columns!(@value_ty $kind)) )*
+        )
     };
 
     // Orderby list: accumulate component expressions, then emit one
@@ -151,60 +189,14 @@ macro_rules! jstar_table {
         $crate::jstar_table!(@oblist [$($acc,)* $crate::orderby::strat(stringify!($lit)),] $($($rest)*)?)
     };
 
-    // Item-form column munchers: accumulate `($idx, $name, RustType,
-    // ValueTypeVariant)` per column, tracking the `->` key split, then
-    // emit the struct and impls in one final step.
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; ) => {
-        $crate::jstar_table!(@emit $m $v $name; [$($acc)*]; $key; $ob);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident) => {
-        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $ob);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident) => {
-        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $ob);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident) => {
-        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $ob);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident) => {
-        $crate::jstar_table!(@emit $m $v $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $ob);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident , $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, i64, Int)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, f64, Double)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $m:tt $v:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident -> $($rest:tt)*) => {
-        $crate::jstar_table!(@item $m $v $name; [$($acc)* ($idx, $n, bool, Bool)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-
-    (@key (none)) => { ::core::option::Option::None };
-    (@key (some $k:expr)) => { ::core::option::Option::Some($k) };
-
-    // Final item-form expansion: the struct, its Relation impl, and one
-    // Field token per column.
-    (@emit [$($meta:tt)*] [$vis:vis] $name:ident;
-        [$( ($idx:expr, $n:ident, $rty:ty, $vt:ident) )*]; $key:tt; [$($ob:tt)*]) => {
+    // Item-form callback: the struct, its Relation impl, and one Field
+    // token per column.
+    (@emit [$($meta:tt)*] [$vis:vis] $name:ident [$($ob:tt)*];
+        [$( ($idx:expr, $n:ident, $kind:tt) )*]; $key:tt) => {
         $($meta)*
         #[derive(Debug, Clone, PartialEq)]
         $vis struct $name {
-            $( pub $n: $rty, )*
+            $( pub $n: $crate::__jstar_columns!(@rust_ty $kind), )*
         }
 
         impl $crate::relation::Relation for $name {
@@ -212,10 +204,11 @@ macro_rules! jstar_table {
             const COLUMNS: &'static [$crate::relation::ColumnSpec] = &[
                 $( $crate::relation::ColumnSpec {
                     name: ::core::stringify!($n),
-                    ty: $crate::value::ValueType::$vt,
+                    ty: $crate::__jstar_columns!(@value_ty $kind),
                 }, )*
             ];
-            const KEY_ARITY: ::core::option::Option<usize> = $crate::jstar_table!(@key $key);
+            const KEY_ARITY: ::core::option::Option<usize> =
+                $crate::__jstar_columns!(@key $key);
 
             fn orderby() -> ::std::vec::Vec<$crate::orderby::OrderComponent> {
                 $crate::jstar_table!(@ob $($ob)*)
@@ -238,8 +231,10 @@ macro_rules! jstar_table {
                 #[doc = ::core::concat!(
                     "Typed field token for column `", ::core::stringify!($n), "`."
                 )]
-                pub const $n: $crate::relation::Field<$name, $rty> =
-                    $crate::relation::Field::new($idx, ::core::stringify!($n));
+                pub const $n: $crate::relation::Field<
+                    $name,
+                    $crate::__jstar_columns!(@rust_ty $kind),
+                > = $crate::relation::Field::new($idx, ::core::stringify!($n));
             )*
         }
     };
@@ -306,78 +301,35 @@ macro_rules! jstar_order {
 macro_rules! relation {
     // ── Entry points: optional `as "Table"` × optional orderby. ─────
     ($name:ident as $table:literal ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
-        $crate::relation!(@item [$table] $name; []; (none); 0usize; [$($ob)*]; $($cols)*);
+        $crate::__jstar_columns!([relation @emit [$table] $name [$($ob)*]]; $($cols)*);
     };
     ($name:ident as $table:literal ( $($cols:tt)* )) => {
-        $crate::relation!(@item [$table] $name; []; (none); 0usize; []; $($cols)*);
+        $crate::__jstar_columns!([relation @emit [$table] $name []]; $($cols)*);
     };
     ($name:ident ( $($cols:tt)* ) orderby ( $($ob:tt)* )) => {
-        $crate::relation!(@item [] $name; []; (none); 0usize; [$($ob)*]; $($cols)*);
+        $crate::__jstar_columns!([relation @emit [] $name [$($ob)*]]; $($cols)*);
     };
     ($name:ident ( $($cols:tt)* )) => {
-        $crate::relation!(@item [] $name; []; (none); 0usize; []; $($cols)*);
-    };
-
-    // Column munchers: accumulate `($idx, $name, RustType,
-    // ValueTypeVariant)` per column, tracking the `->` key split —
-    // the same accumulation as `jstar_table!`'s item form, minus the
-    // struct emission at the end.
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; ) => {
-        $crate::relation!(@emit $t $name; [$($acc)*]; $key; $ob);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident) => {
-        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $ob);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident) => {
-        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $ob);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident) => {
-        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $ob);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident) => {
-        $crate::relation!(@emit $t $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $ob);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident , $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, i64, Int)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident , $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, f64, Double)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident , $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident , $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, bool, Bool)]; $key; $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; int $n:ident -> $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, i64, Int)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; double $n:ident -> $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, f64, Double)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; String $n:ident -> $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, ::std::sync::Arc<str>, Str)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
-    };
-    (@item $t:tt $name:ident; [$($acc:tt)*]; $key:tt; $idx:expr; $ob:tt; boolean $n:ident -> $($rest:tt)*) => {
-        $crate::relation!(@item $t $name; [$($acc)* ($idx, $n, bool, Bool)]; (some ($idx + 1usize)); $idx + 1usize; $ob; $($rest)*);
+        $crate::__jstar_columns!([relation @emit [] $name []]; $($cols)*);
     };
 
     (@name $name:ident) => { ::core::stringify!($name) };
     (@name $name:ident $table:literal) => { $table };
 
-    // Final expansion: the Relation impl and one Field token per
-    // column, attached to the caller's pre-existing struct.
-    (@emit [$($table:literal)?] $name:ident;
-        [$( ($idx:expr, $n:ident, $rty:ty, $vt:ident) )*]; $key:tt; [$($ob:tt)*]) => {
+    // Callback: the Relation impl and one Field token per column,
+    // attached to the caller's pre-existing struct.
+    (@emit [$($table:literal)?] $name:ident [$($ob:tt)*];
+        [$( ($idx:expr, $n:ident, $kind:tt) )*]; $key:tt) => {
         impl $crate::relation::Relation for $name {
             const NAME: &'static str = $crate::relation!(@name $name $($table)?);
             const COLUMNS: &'static [$crate::relation::ColumnSpec] = &[
                 $( $crate::relation::ColumnSpec {
                     name: ::core::stringify!($n),
-                    ty: $crate::value::ValueType::$vt,
+                    ty: $crate::__jstar_columns!(@value_ty $kind),
                 }, )*
             ];
-            const KEY_ARITY: ::core::option::Option<usize> = $crate::jstar_table!(@key $key);
+            const KEY_ARITY: ::core::option::Option<usize> =
+                $crate::__jstar_columns!(@key $key);
 
             fn orderby() -> ::std::vec::Vec<$crate::orderby::OrderComponent> {
                 $crate::jstar_table!(@ob $($ob)*)
@@ -400,8 +352,10 @@ macro_rules! relation {
                 #[doc = ::core::concat!(
                     "Typed field token for column `", ::core::stringify!($n), "`."
                 )]
-                pub const $n: $crate::relation::Field<$name, $rty> =
-                    $crate::relation::Field::new($idx, ::core::stringify!($n));
+                pub const $n: $crate::relation::Field<
+                    $name,
+                    $crate::__jstar_columns!(@rust_ty $kind),
+                > = $crate::relation::Field::new($idx, ::core::stringify!($n));
             )*
         }
     };

@@ -103,6 +103,22 @@ pub struct EngineConfig {
     /// is rebuilt, physically reclaiming the memory that `retain` only
     /// logically discarded. Values ≥ 1.0 disable compaction.
     pub compact_tombstones_above: f64,
+    /// Write a checkpoint every this many steps (0 — the default —
+    /// disables checkpointing). Requires [`EngineConfig::checkpoint_path`];
+    /// see [`crate::persist`] for the policy guidance and on-disk
+    /// format. Checkpoints are written atomically (temp + rename) from
+    /// the coordinator's maintain phase at a fully quiescent point, so
+    /// a crash between checkpoints loses at most `checkpoint_every`
+    /// steps of work.
+    pub checkpoint_every: u64,
+    /// Directory receiving `ckpt-<seq>.jsnap` files (created on first
+    /// checkpoint). `None` disables checkpointing regardless of
+    /// [`EngineConfig::checkpoint_every`].
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Keep-last-N rotation: how many checkpoint files to retain
+    /// (default 2 — the newest plus one fallback in case the newest is
+    /// torn or corrupted). 0 is treated as 1.
+    pub checkpoint_keep: usize,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +144,9 @@ impl Default for EngineConfig {
             pipeline_depth: 1,
             adaptive_overlap: true,
             compact_tombstones_above: 0.5,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            checkpoint_keep: 2,
         }
     }
 }
@@ -227,6 +246,25 @@ impl EngineConfig {
     /// compacted at the maintain phase; pass a value ≥ 1.0 to disable.
     pub fn compact_tombstones_above(mut self, fraction: f64) -> Self {
         self.compact_tombstones_above = fraction;
+        self
+    }
+
+    /// Enables periodic checkpointing: every `every` steps (0 disables)
+    /// a snapshot is written atomically into `dir` as
+    /// `ckpt-<seq>.jsnap`, keeping the newest
+    /// [`EngineConfig::checkpoint_keep`] files. See [`crate::persist`]
+    /// for interval guidance and [`super::Engine::restore_latest`] for
+    /// recovery.
+    pub fn checkpoint(mut self, dir: impl Into<std::path::PathBuf>, every: u64) -> Self {
+        self.checkpoint_path = Some(dir.into());
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets the keep-last-N checkpoint rotation count (0 is treated
+    /// as 1).
+    pub fn checkpoint_keep(mut self, keep: usize) -> Self {
+        self.checkpoint_keep = keep;
         self
     }
 

@@ -32,6 +32,23 @@ pub struct Engine {
     config: EngineConfig,
     pool: Option<Arc<ThreadPool>>,
     injected: Vec<Tuple>,
+    /// Set by [`Engine::restore`]: the next [`Engine::run`] resumes
+    /// from the restored state instead of re-putting the program's
+    /// initial tuples (which the checkpointed run already processed).
+    restored: bool,
+}
+
+/// The result of [`Engine::restore_latest`]: which checkpoint was
+/// actually restored, and which newer files had to be skipped.
+#[derive(Debug)]
+pub struct RestoreOutcome {
+    /// The checkpoint file the engine restored from.
+    pub path: std::path::PathBuf,
+    /// Newer checkpoints skipped as unreadable (torn by a crash,
+    /// corrupted on disk), newest first, each with the reported reason
+    /// — surfaced rather than silently swallowed so callers can alert
+    /// on storage rot.
+    pub skipped: Vec<(std::path::PathBuf, JStarError)>,
 }
 
 impl Engine {
@@ -117,6 +134,7 @@ impl Engine {
             config,
             pool,
             injected: Vec::new(),
+            restored: false,
         }
     }
 
@@ -148,10 +166,15 @@ impl Engine {
         let state = &*self.state;
 
         // Initial puts (from program source) and injected events enter at
-        // the minimal key, so they may target any table.
+        // the minimal key, so they may target any table. A restored
+        // engine skips the initial puts — the checkpointed run already
+        // processed them (its pending Delta tuples arrive through the
+        // injected queue instead).
         let min = OrderKey::minimum();
-        for t in state.program.initial() {
-            put_tuple(state, &min, "<init>", t.clone());
+        if !self.restored {
+            for t in state.program.initial() {
+                put_tuple(state, &min, "<init>", t.clone());
+            }
         }
         for t in self.injected.drain(..) {
             put_tuple(state, &min, "<inject>", t);
@@ -162,6 +185,12 @@ impl Engine {
         let scheduler = Scheduler::new(self.config.inline_class_threshold);
         let mut lookahead = Lookahead::new(pipeline.lookahead_enabled());
         let mut steps: u64 = 0;
+        let mut checkpoints: u64 = 0;
+        let mut checkpoint_time = Duration::ZERO;
+        // The first checkpoint discovers where the sequence left off
+        // (a resumed run must number its files after the ones it
+        // restored from); later ones just increment.
+        let mut checkpoint_seq: Option<u64> = None;
         // The per-step phase timers share the record_steps gate:
         // profiling runs get the split; production runs pay no clock
         // reads in the coordinator loop beyond the few per step the
@@ -286,6 +315,59 @@ impl Engine {
                     }
                 }
             }
+
+            // Periodic checkpointing shares the quiescent point: the
+            // Delta queue is forced fully current (every staged epoch
+            // absorbed, any lookahead speculation returned), then the
+            // Gamma stores and pending tuples stream out atomically.
+            // A failed write fails the run — the harness's injected
+            // crashes rely on that behaving exactly like process death,
+            // and a real I/O error silently skipped would leave the
+            // user thinking they have a checkpoint they don't.
+            if self.config.checkpoint_every > 0
+                && steps.is_multiple_of(self.config.checkpoint_every)
+                && self.config.checkpoint_path.is_some()
+            {
+                let dir = self.config.checkpoint_path.as_deref().expect("checked");
+                let t0 = Instant::now();
+                pipeline.absorb(state, &mut tree, self.pool.as_deref(), &mut lookahead);
+                lookahead.flush(&mut tree, &state.stats);
+                state.inbox.assert_quiescent();
+                let written = std::fs::create_dir_all(dir)
+                    .map_err(|e| JStarError::Io(format!("{}: {e}", dir.display())))
+                    .and_then(|()| match checkpoint_seq {
+                        Some(seq) => Ok(seq),
+                        None => crate::persist::next_checkpoint_seq(dir),
+                    })
+                    .and_then(|seq| {
+                        let meta = crate::persist::SnapshotMeta {
+                            steps,
+                            tuples_processed: state.stats.tuples_processed.load(Ordering::Relaxed),
+                        };
+                        let file = dir.join(crate::persist::checkpoint_file_name(seq));
+                        crate::persist::write_snapshot(
+                            state.program.defs(),
+                            &state.gamma,
+                            &mut |emit| tree.for_each_pending(emit),
+                            meta,
+                            &file,
+                            self.pool.as_deref(),
+                        )?;
+                        crate::persist::rotate_checkpoints(dir, self.config.checkpoint_keep)?;
+                        Ok(seq)
+                    });
+                match written {
+                    Ok(seq) => {
+                        checkpoint_seq = Some(seq + 1);
+                        checkpoints += 1;
+                        checkpoint_time += t0.elapsed();
+                    }
+                    Err(e) => {
+                        state.record_error(e);
+                        break;
+                    }
+                }
+            }
         }
 
         let errors = state.errors.lock();
@@ -310,8 +392,149 @@ impl Engine {
             pipeline_depth: pipeline.effective_depth(),
             lookahead_hits: state.stats.lookahead_hits.load(Ordering::Relaxed),
             lookahead_misses: state.stats.lookahead_misses.load(Ordering::Relaxed),
+            checkpoints,
+            checkpoint_time,
             output: state.output.lock().clone(),
         })
+    }
+
+    /// Writes a snapshot of the current Gamma database to `path`,
+    /// atomically (temp + rename). Meant for a quiescent engine — after
+    /// [`Engine::run`] returns — so the pending-Delta section is empty;
+    /// mid-run durability is the checkpointing path
+    /// ([`EngineConfig::checkpoint`]), which also captures pending
+    /// tuples.
+    pub fn snapshot(&self, path: &std::path::Path) -> Result<()> {
+        let meta = crate::persist::SnapshotMeta {
+            steps: self.state.stats.steps.load(Ordering::Relaxed),
+            tuples_processed: self.state.stats.tuples_processed.load(Ordering::Relaxed),
+        };
+        crate::persist::write_snapshot(
+            self.state.program.defs(),
+            &self.state.gamma,
+            &mut |_emit| {},
+            meta,
+            path,
+            self.pool.as_deref(),
+        )
+    }
+
+    /// The order-independent digest of the live Gamma database (see
+    /// [`crate::persist::gamma_digest`]). Equal logical states produce
+    /// equal digests across thread counts, pipeline depths and
+    /// checkpoint/restore cycles — determinism and recovery checks are
+    /// one `u64` comparison.
+    pub fn content_hash(&self) -> u64 {
+        crate::persist::gamma_digest(self.state.program.defs(), &self.state.gamma)
+    }
+
+    /// Restores the snapshot at `path` into this engine, replacing the
+    /// Gamma contents wholesale and queueing the snapshot's pending
+    /// Delta tuples for the next [`Engine::run`] (which resumes the
+    /// interrupted schedule instead of re-running the initial puts).
+    ///
+    /// Meant for a freshly built engine. Never panics on bad input:
+    /// truncated, bit-flipped or crafted files are a reported
+    /// [`JStarError::CorruptSnapshot`], and a snapshot from a different
+    /// program schema is a [`JStarError::SchemaMismatch`]. Validation
+    /// completes before any store is touched, so a failed restore
+    /// leaves the engine unmodified.
+    pub fn restore(&mut self, path: &std::path::Path) -> Result<()> {
+        let snap = crate::persist::read_snapshot(path)?;
+        self.apply_snapshot(snap)
+    }
+
+    /// Restores from the newest intact checkpoint in `dir`: files are
+    /// tried newest-first, and one that fails to read or load —
+    /// typically the newest, torn by the very crash being recovered
+    /// from — is skipped (recorded in [`RestoreOutcome::skipped`]) in
+    /// favour of its predecessor. A [`JStarError::SchemaMismatch`]
+    /// aborts immediately: the whole directory belongs to one program,
+    /// so older files cannot fare better. Errs when the directory holds
+    /// no checkpoint at all, or when every checkpoint is unreadable.
+    pub fn restore_latest(&mut self, dir: &std::path::Path) -> Result<RestoreOutcome> {
+        let files = crate::persist::list_checkpoints(dir)?;
+        if files.is_empty() {
+            return Err(JStarError::Io(format!(
+                "{}: no checkpoints found",
+                dir.display()
+            )));
+        }
+        let mut skipped = Vec::new();
+        for path in files.into_iter().rev() {
+            match crate::persist::read_snapshot(&path).and_then(|s| self.apply_snapshot(s)) {
+                Ok(()) => return Ok(RestoreOutcome { path, skipped }),
+                Err(e @ JStarError::SchemaMismatch(_)) => return Err(e),
+                Err(e) => skipped.push((path, e)),
+            }
+        }
+        Err(JStarError::CorruptSnapshot(format!(
+            "{}: every checkpoint was unreadable ({} tried)",
+            dir.display(),
+            skipped.len()
+        )))
+    }
+
+    /// Validates a decoded snapshot against this engine's program and
+    /// applies it: bulk-imports each table's tuples into its Gamma
+    /// store (a segment-level rebuild, O(live) — not per-tuple
+    /// re-insertion through the dedup path) and queues the pending
+    /// Delta tuples for re-injection (their order keys are recomputed
+    /// from tuple fields by the normal put path).
+    fn apply_snapshot(&mut self, snap: crate::persist::Snapshot) -> Result<()> {
+        let defs = self.state.program.defs();
+        let expected = crate::persist::schema_fingerprint(defs);
+        if snap.schema_fingerprint != expected {
+            return Err(JStarError::SchemaMismatch(format!(
+                "snapshot fingerprint {:#018x} != this program's {expected:#018x} \
+                 (table names, column types, keys or orderby lists differ)",
+                snap.schema_fingerprint
+            )));
+        }
+        if snap.tables.len() != defs.len() {
+            return Err(JStarError::SchemaMismatch(format!(
+                "snapshot holds {} tables, program declares {}",
+                snap.tables.len(),
+                defs.len()
+            )));
+        }
+        // Decode and validate everything before touching any store, so
+        // a failed restore leaves the engine unmodified.
+        let mut loads: Vec<Vec<Tuple>> = Vec::with_capacity(defs.len());
+        for (section, def) in snap.tables.into_iter().zip(defs) {
+            if section.name != def.name {
+                return Err(JStarError::SchemaMismatch(format!(
+                    "snapshot table `{}` where program declares `{}`",
+                    section.name, def.name
+                )));
+            }
+            let mut tuples = Vec::with_capacity(section.tuples.len());
+            for fields in section.tuples {
+                def.type_check(&fields).map_err(|msg| {
+                    JStarError::CorruptSnapshot(format!("table {}: {msg}", def.name))
+                })?;
+                tuples.push(Tuple::new(def.id, fields));
+            }
+            loads.push(tuples);
+        }
+        let mut pending = Vec::with_capacity(snap.pending.len());
+        for (ti, fields) in snap.pending {
+            let def = defs.get(ti as usize).ok_or_else(|| {
+                JStarError::CorruptSnapshot(format!(
+                    "pending tuple names table index {ti}, program has {}",
+                    defs.len()
+                ))
+            })?;
+            def.type_check(&fields)
+                .map_err(|msg| JStarError::CorruptSnapshot(format!("pending: {msg}")))?;
+            pending.push(Tuple::new(def.id, fields));
+        }
+        for (def, tuples) in defs.iter().zip(loads) {
+            self.state.gamma.store(def.id).import_snapshot(tuples);
+        }
+        self.injected.extend(pending);
+        self.restored = true;
+        Ok(())
     }
 
     /// The Gamma database (inspect results after a run).

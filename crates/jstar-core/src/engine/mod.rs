@@ -97,9 +97,12 @@
 //!   (property-tested across depths 0/1/2/4 in
 //!   `tests/prop_engine.rs::lookahead_matches_alternating`).
 //! * **Maintain** — the coordinator's single-threaded quiescent point:
-//!   tuple-lifetime hints run (§5 step 4), and stores whose tombstone
+//!   tuple-lifetime hints run (§5 step 4), stores whose tombstone
 //!   fraction exceeds [`EngineConfig::compact_tombstones_above`] are
-//!   compacted ([`crate::gamma::TableStore::maybe_compact`]).
+//!   compacted ([`crate::gamma::TableStore::maybe_compact`]), and —
+//!   every [`EngineConfig::checkpoint_every`] steps — a checkpoint is
+//!   written atomically (the Delta queue is forced fully current
+//!   first; see [`crate::persist`] and [`Engine::restore_latest`]).
 //!
 //! The mid-step swap point is chosen per step by a feedback controller
 //! ([`EngineConfig::adaptive_overlap`], default on): it tracks recent
@@ -176,7 +179,7 @@ mod schedule;
 mod tests;
 
 pub use config::{EngineConfig, LifetimeHint, MAX_PIPELINE_DEPTH};
-pub use coordinator::Engine;
+pub use coordinator::{Engine, RestoreOutcome};
 pub use ctx::RuleCtx;
 pub use report::RunReport;
 pub use runtime::QueryPlan;

@@ -69,6 +69,16 @@ pub struct RunReport {
     /// adversarial workload pays the churn on a small fraction of
     /// steps rather than all of them.
     pub lookahead_misses: u64,
+    /// Checkpoints written during the run (see
+    /// [`super::EngineConfig::checkpoint`]).
+    pub checkpoints: u64,
+    /// Coordinator time spent writing checkpoints (quiescing the Delta
+    /// queue, serializing, fsync-free atomic rename, rotation). Always
+    /// recorded when checkpointing is on — unlike the per-step phase
+    /// timers it does not require
+    /// [`super::EngineConfig::record_steps`], because checkpoints are
+    /// rare enough that the two clock reads per checkpoint are free.
+    pub checkpoint_time: Duration,
     /// Collected `println` output (order not significant).
     pub output: Vec<String>,
 }

@@ -218,6 +218,23 @@ impl Lookahead {
         }
     }
 
+    /// Returns any prepared speculation to the queue **without**
+    /// counting a miss — the checkpoint path. A snapshot must see the
+    /// complete pending set, so the speculatively extracted class is
+    /// put back (canonical-set semantics collapse duplicates, unwinding
+    /// their counted Delta inserts exactly as [`Lookahead::validate`]
+    /// does); the hit/miss bookkeeping is untouched because nothing was
+    /// learned about the workload.
+    pub(super) fn flush(&mut self, tree: &mut DeltaQueue, stats: &EngineStats) {
+        if let Some((prepared, _)) = self.prepared.take() {
+            tree.restore_prepared(prepared, &mut |ti| {
+                stats.tables[ti]
+                    .delta_inserts
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    }
+
     /// Commits the surviving speculation at the step boundary, counting
     /// a hit (which also clears any miss streak). `None` when nothing
     /// is prepared (lookahead disabled, pausing, no window opened, or

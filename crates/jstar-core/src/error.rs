@@ -40,6 +40,17 @@ pub enum JStarError {
     Unproved(String),
     /// Anything else (I/O in system rules, configuration mistakes...).
     Other(String),
+    /// An operating-system I/O failure while writing or reading a
+    /// snapshot. Carries the rendered `std::io::Error` so the variant
+    /// stays `Clone + PartialEq` like the rest of the enum.
+    Io(String),
+    /// A snapshot file failed structural validation: bad magic, version,
+    /// checksum, or framing. [`crate::engine::Engine::restore`] reports
+    /// this instead of panicking on truncated or bit-flipped input.
+    CorruptSnapshot(String),
+    /// A snapshot was written by a program with a different schema
+    /// (table names, column names/types, key split, or orderby lists).
+    SchemaMismatch(String),
 }
 
 impl fmt::Display for JStarError {
@@ -71,6 +82,9 @@ impl fmt::Display for JStarError {
             }
             JStarError::Unproved(msg) => write!(f, "Causality warning: {msg}"),
             JStarError::Other(msg) => write!(f, "{msg}"),
+            JStarError::Io(msg) => write!(f, "I/O error: {msg}"),
+            JStarError::CorruptSnapshot(msg) => write!(f, "Corrupt snapshot: {msg}"),
+            JStarError::SchemaMismatch(msg) => write!(f, "Snapshot schema mismatch: {msg}"),
         }
     }
 }
@@ -104,5 +118,19 @@ mod tests {
             detail: "two distances for vertex 3".into(),
         };
         assert!(e.to_string().contains("Done"));
+    }
+
+    #[test]
+    fn persistence_errors_name_their_cause() {
+        let e = JStarError::Io("permission denied".into());
+        assert!(e.to_string().contains("I/O"));
+        assert!(e.to_string().contains("permission denied"));
+
+        let e = JStarError::CorruptSnapshot("checksum mismatch".into());
+        assert!(e.to_string().contains("Corrupt snapshot"));
+
+        let e = JStarError::SchemaMismatch("table Ship: arity 5 vs 4".into());
+        assert!(e.to_string().contains("schema mismatch"));
+        assert!(e.to_string().contains("Ship"));
     }
 }

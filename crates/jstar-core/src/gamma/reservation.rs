@@ -212,6 +212,28 @@ pub(crate) fn hash_values<'a>(values: impl IntoIterator<Item = &'a crate::value:
     crate::fxhash::hash_seq(values)
 }
 
+/// Chunk-count policy for parallel snapshot export: one chunk per
+/// available worker, floored so no chunk covers fewer than ~4k journal
+/// entries — below that the fork/join overhead eats the encode win.
+pub(crate) fn export_chunks_for(entries: usize, hint: usize) -> usize {
+    const MIN_CHUNK_ENTRIES: usize = 4096;
+    hint.min(entries / MIN_CHUNK_ENTRIES).max(1)
+}
+
+/// Best-effort cache prefetch of the line holding `p`. A hint only —
+/// any address is allowed, nothing is dereferenced.
+#[inline(always)]
+fn prefetch(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory effects; invalid addresses are
+    // silently ignored by the hardware.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 impl ReservationTable {
     /// Creates a table with `capacity_hint` rounded up to a power of two
     /// (minimum 2^17 slots) as the first segment size. The floor is
@@ -384,6 +406,53 @@ impl ReservationTable {
         unreachable!("reservation table exhausted {MAX_SEGMENTS} segments");
     }
 
+    /// Claims the first `EMPTY` slot on `primary`'s probe walk and
+    /// publishes `t` there **without** the duplicate / key-conflict
+    /// scan — the snapshot-import fast path. Sound only for trusted,
+    /// already-deduplicated input (a checksum-verified snapshot written
+    /// from a store that enforced uniqueness at insert time): skipping
+    /// the scan on untrusted input would let two equal tuples occupy
+    /// distinct slots and break the probe-walk meeting-point invariant.
+    pub fn insert_unchecked(&self, primary: u64, secondary: u64, t: Tuple) {
+        let my_hash = primary & HASH_MASK;
+        for k in 0..MAX_SEGMENTS {
+            let seg = self.segment_or_alloc(k);
+            let start = primary as usize;
+            for i in 0..PROBE_LIMIT.min(seg.tags.len()) {
+                let idx = (start + i) & seg.mask;
+                let tag = &seg.tags[idx];
+                if tag.load(Ordering::Acquire) != EMPTY_TAG
+                    || tag
+                        .compare_exchange(
+                            EMPTY_TAG,
+                            my_hash | RESERVED,
+                            Ordering::Acquire,
+                            Ordering::Acquire,
+                        )
+                        .is_err()
+                {
+                    continue;
+                }
+                // Claimed: publish, exactly as in `insert`. SAFETY: the
+                // CAS makes this thread the unique writer; no reader
+                // dereferences the payload before the release store.
+                let payload = &seg.payload[idx];
+                unsafe {
+                    *payload.secondary.get() = secondary;
+                    (*payload.tuple.get()).write(t);
+                }
+                tag.store(my_hash | PUBLISHED, Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                seg.journal_push(idx);
+                if self.index_heads.is_some() {
+                    self.link_index(secondary, encode(k, idx));
+                }
+                return;
+            }
+        }
+        unreachable!("reservation table exhausted {MAX_SEGMENTS} segments");
+    }
+
     /// Links a published slot into its secondary chain. The link CAS is
     /// a release, so a reader that acquires the head sees the slot fully
     /// published.
@@ -496,6 +565,124 @@ impl ReservationTable {
                     }
                 }
             }
+        }
+    }
+
+    /// Number of claim-journal entries across all segments — the
+    /// position space [`ReservationTable::for_each_journal_range`]
+    /// partitions for chunked snapshot export. Includes in-flight and
+    /// tombstoned entries (the range walk skips them), so it is an
+    /// upper bound on live tuples. Stable only while no inserts run.
+    pub fn journal_entries(&self) -> usize {
+        let mut n = 0;
+        for k in 0..MAX_SEGMENTS {
+            let Some(seg) = self.segment(k) else { break };
+            n += seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
+        }
+        n
+    }
+
+    /// Visits the live tuples at global claim-journal positions
+    /// `lo..hi` (segments concatenated in order — the same enumeration
+    /// [`ReservationTable::for_each`] walks). Covering a partition of
+    /// `0..journal_entries()` chunk by chunk yields exactly the
+    /// `for_each` sequence, which is what lets snapshot export encode
+    /// chunks on separate threads yet still produce a byte-identical
+    /// image. Callers must hold the quiescence the snapshot path
+    /// already guarantees: concurrent inserts would move the cursor
+    /// between the caller's partitioning and this walk.
+    ///
+    /// Unlike `for_each`, this walk prefetches a lookahead window:
+    /// each visit chases a journal → tag/payload → tuple heap → field
+    /// slice chain of dependent cache misses over hash-scattered
+    /// slots, and that latency — not the encode arithmetic — is what
+    /// dominates a snapshot of a large table. Issuing the chain's
+    /// loads a few entries ahead (deeper levels at shorter distances,
+    /// so each level's prefetch has landed before the next level reads
+    /// through it) overlaps the misses with the current tuple's
+    /// encode work.
+    pub fn for_each_journal_range(&self, lo: usize, hi: usize, f: &mut dyn FnMut(&Tuple)) {
+        // Lookahead distances: tag/payload cells first, then the
+        // tuple's heap block, then its field slice.
+        const PF_SLOT: usize = 32;
+        const PF_TUPLE: usize = 16;
+        const PF_FIELDS: usize = 8;
+        let mut base = 0usize;
+        for k in 0..MAX_SEGMENTS {
+            if base >= hi {
+                return;
+            }
+            let Some(seg) = self.segment(k) else { return };
+            let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
+            let start = lo.saturating_sub(base).min(n);
+            let end = hi.saturating_sub(base).min(n);
+            // Published tuple (if any) at journal position `j`.
+            let tuple_at = |j: usize| -> Option<&Tuple> {
+                let entry = seg.journal[j].load(Ordering::Acquire);
+                if entry == 0 {
+                    return None; // append in flight — not yet visible
+                }
+                let idx = (entry - 1) as usize;
+                if seg.tags[idx].load(Ordering::Acquire) & STATE_MASK == PUBLISHED {
+                    // SAFETY: acquire-observed published tag.
+                    Some(unsafe { Self::tuple_of(&seg.payload[idx]) })
+                } else {
+                    None
+                }
+            };
+            // Software pipeline: each position is resolved exactly once
+            // — PF_TUPLE entries ahead of its visit, right after its
+            // slot prefetch has landed — and parked in a ring the later
+            // stages and the visit read back, instead of re-chasing the
+            // journal → tag → payload loads at every stage. The ring
+            // holds `PF_TUPLE` in-flight positions, so every reader
+            // distance must stay below that.
+            let mut ring: [Option<&Tuple>; PF_TUPLE] = [None; PF_TUPLE];
+            for j in start..(start + PF_TUPLE).min(end) {
+                let t = tuple_at(j);
+                if let Some(t) = t {
+                    prefetch(t.heap_ptr());
+                }
+                ring[j % PF_TUPLE] = t;
+            }
+            for j in start..end {
+                if j + PF_SLOT < end {
+                    let entry = seg.journal[j + PF_SLOT].load(Ordering::Relaxed);
+                    if entry != 0 {
+                        let idx = (entry - 1) as usize;
+                        prefetch(std::ptr::addr_of!(seg.tags[idx]) as *const u8);
+                        prefetch(std::ptr::addr_of!(seg.payload[idx]) as *const u8);
+                    }
+                }
+                // Take this visit's tuple before its ring slot is
+                // recycled for the position PF_TUPLE ahead.
+                let cur = ring[j % PF_TUPLE];
+                if j + PF_TUPLE < end {
+                    let t = tuple_at(j + PF_TUPLE);
+                    if let Some(t) = t {
+                        prefetch(t.heap_ptr());
+                    }
+                    ring[j % PF_TUPLE] = t;
+                }
+                if j + PF_FIELDS < end {
+                    if let Some(t) = ring[(j + PF_FIELDS) % PF_TUPLE] {
+                        let fields = t.fields();
+                        let p = fields.as_ptr() as *const u8;
+                        prefetch(p);
+                        // A handful of 16-byte values spills past one
+                        // cache line.
+                        if fields.len() > 4 {
+                            // SAFETY: pointer math within (one past)
+                            // the live slice; never dereferenced.
+                            prefetch(unsafe { p.add(64) });
+                        }
+                    }
+                }
+                if let Some(t) = cur {
+                    f(t);
+                }
+            }
+            base += n;
         }
     }
 
@@ -627,6 +814,29 @@ impl SwappableTable {
         });
         self.replace_quiescent(fresh);
         true
+    }
+
+    /// Replaces the table's contents wholesale with `tuples` — the
+    /// shared snapshot-import protocol behind the stores'
+    /// [`crate::gamma::TableStore::import_snapshot`]. Builds a fresh
+    /// table sized for the incoming count and claims slots directly
+    /// ([`ReservationTable::insert_unchecked`] — a verified snapshot is
+    /// trusted, deduplicated input), then swaps it in, so import is
+    /// O(incoming) regardless of what the old table held. `hashes` as
+    /// in [`SwappableTable::compact_quiescent`]. Quiescent-point only:
+    /// see the type docs.
+    pub fn import_quiescent(
+        &self,
+        with_index: bool,
+        tuples: Vec<Tuple>,
+        mut hashes: impl FnMut(&Tuple) -> (u64, u64),
+    ) {
+        let fresh = ReservationTable::new(tuples.len().max(1), with_index);
+        for t in tuples {
+            let (primary, secondary) = hashes(&t);
+            fresh.insert_unchecked(primary, secondary, t);
+        }
+        self.replace_quiescent(fresh);
     }
 }
 
@@ -844,6 +1054,51 @@ mod tests {
         assert!(!swap.needs_compaction(0.0));
         let t = Tuple::new(TableId(0), vec![Value::Int(3), Value::Int(3)]);
         assert!(swap.get().contains(primary_of(&def, &t), &t));
+    }
+
+    #[test]
+    fn import_quiescent_rebuilds_with_unchecked_claims() {
+        let def = set_def();
+        let swap = SwappableTable::new(ReservationTable::new(16, true));
+        // Pre-import contents (including tombstones) must vanish.
+        for i in 0..20i64 {
+            let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+            let p = primary_of(&def, &t);
+            swap.get().insert(&def, p, hash_values([t.get(0)]), t);
+        }
+        swap.get().retain(&|t| t.int(0) < 5);
+
+        let incoming: Vec<Tuple> = (100..150i64)
+            .map(|i| Tuple::new(TableId(0), vec![Value::Int(i % 7), Value::Int(i)]))
+            .collect();
+        swap.import_quiescent(true, incoming, |t| {
+            (hash_values(t.key_fields(&def)), hash_values([t.get(0)]))
+        });
+
+        assert_eq!(swap.get().len(), 50);
+        assert_eq!(swap.get().tombstones(), 0);
+        let gone = Tuple::new(TableId(0), vec![Value::Int(3), Value::Int(3)]);
+        assert!(!swap.get().contains(primary_of(&def, &gone), &gone));
+        let here = Tuple::new(TableId(0), vec![Value::Int(100 % 7), Value::Int(100)]);
+        assert!(swap.get().contains(primary_of(&def, &here), &here));
+        // The secondary chains were rebuilt too.
+        let mut chain_hits = 0;
+        swap.get()
+            .scan_index(hash_values([&Value::Int(3)]), &mut |t| {
+                if t.get(0) == &Value::Int(3) {
+                    chain_hits += 1;
+                }
+                true
+            });
+        assert_eq!(chain_hits, (100..150).filter(|i| i % 7 == 3).count());
+        // Unchecked claims still dedup correctly through normal inserts
+        // afterwards.
+        let dup = Tuple::new(TableId(0), vec![Value::Int(101 % 7), Value::Int(101)]);
+        assert_eq!(
+            swap.get()
+                .insert(&def, primary_of(&def, &dup), 0, dup.clone()),
+            InsertOutcome::Duplicate
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod error;
 pub(crate) mod fxhash;
 pub mod gamma;
 pub mod orderby;
+pub mod persist;
 pub mod program;
 pub mod query;
 pub mod reduce;

@@ -1,0 +1,171 @@
+//! Deterministic crash injection for the snapshot writer.
+//!
+//! Compiled to a real hook only under `--features fault-inject`; in
+//! normal builds every probe is a `const`-foldable no-op. The hook is
+//! **thread-local**: checkpoints are written on the coordinator thread
+//! (the thread that called [`crate::engine::Engine::run`]), so a test
+//! arms the fail point on its own thread and concurrently running
+//! tests cannot trip each other's crashes.
+//!
+//! A fail point names a *write site* in the snapshot writer plus a
+//! byte countdown within that site: `arm(CrashSite::TupleBytes, 37)`
+//! kills the writer 37 bytes into the tuple stream, flushing exactly
+//! the prefix that "made it to disk" before the simulated process
+//! death and reporting [`crate::error::JStarError::Io`] up the stack.
+//! `arm_seeded` derives a (site, offset) pair from a seed with a
+//! xorshift generator, so a crash matrix is reproducible from the
+//! failing seed alone.
+
+/// A write site in the snapshot writer where a crash can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashSite {
+    /// The fixed-size file header (magic, version, fingerprint, meta).
+    Header,
+    /// A per-table section header (name, live count, content hash).
+    TableSection,
+    /// The bulk tuple stream of a table section — the segment write.
+    TupleBytes,
+    /// The pending-Delta section — the journal write.
+    PendingSection,
+    /// The footer (trailing magic + checksum).
+    Footer,
+    /// The atomic publish: between the full temp-file write and the
+    /// rename onto the final checkpoint name.
+    Rename,
+}
+
+/// All sites, in file order (used by crash-matrix tests).
+pub const ALL_SITES: [CrashSite; 6] = [
+    CrashSite::Header,
+    CrashSite::TableSection,
+    CrashSite::TupleBytes,
+    CrashSite::PendingSection,
+    CrashSite::Footer,
+    CrashSite::Rename,
+];
+
+#[cfg(feature = "fault-inject")]
+mod hook {
+    use super::CrashSite;
+    use std::cell::Cell;
+
+    thread_local! {
+        static ARMED: Cell<Option<(CrashSite, u64)>> = const { Cell::new(None) };
+        static FIRED: Cell<Option<(CrashSite, u64)>> = const { Cell::new(None) };
+    }
+
+    /// Arms a crash `after_bytes` into the named write site on this
+    /// thread (0 = before the site's first byte). Replaces any
+    /// previously armed point and clears the fired record.
+    pub fn arm(site: CrashSite, after_bytes: u64) {
+        ARMED.with(|a| a.set(Some((site, after_bytes))));
+        FIRED.with(|f| f.set(None));
+    }
+
+    /// Derives and arms a pseudo-random crash point from `seed`,
+    /// returning it. The same seed always arms the same point.
+    pub fn arm_seeded(seed: u64) -> (CrashSite, u64) {
+        // xorshift64* — tiny, deterministic, good enough to spread
+        // points across sites and offsets.
+        let mut x = seed.wrapping_mul(2_685_821_657_736_338_717).wrapping_add(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let r = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let site = super::ALL_SITES[(r % 6) as usize];
+        let offset = match site {
+            CrashSite::TupleBytes => (r >> 8) % 4096,
+            CrashSite::PendingSection => (r >> 8) % 256,
+            CrashSite::Header | CrashSite::TableSection | CrashSite::Footer => (r >> 8) % 16,
+            CrashSite::Rename => 0,
+        };
+        arm(site, offset);
+        (site, offset)
+    }
+
+    /// Disarms the hook, returning the crash point that actually fired
+    /// (if any) since the last `arm`.
+    pub fn disarm() -> Option<(CrashSite, u64)> {
+        ARMED.with(|a| a.set(None));
+        FIRED.with(|f| f.take())
+    }
+
+    /// Writer probe: about to write `len` bytes at `site`. Returns
+    /// `Some(cut)` when the armed countdown lands inside this chunk —
+    /// the writer must persist exactly `cut` bytes of it and then die.
+    /// Decrements the countdown otherwise.
+    pub(crate) fn consume(site: CrashSite, len: u64) -> Option<u64> {
+        ARMED.with(|a| {
+            let (armed_site, countdown) = a.get()?;
+            if armed_site != site {
+                return None;
+            }
+            if countdown < len || (len == 0 && countdown == 0) {
+                a.set(None);
+                FIRED.with(|f| f.set(Some((site, countdown))));
+                Some(countdown)
+            } else {
+                a.set(Some((site, countdown - len)));
+                None
+            }
+        })
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use hook::{arm, arm_seeded, disarm};
+
+#[cfg(feature = "fault-inject")]
+pub(crate) use hook::consume;
+
+/// No-op probe in normal builds: the optimiser erases it entirely.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn consume(_site: CrashSite, _len: u64) -> Option<u64> {
+    None
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countdown_crosses_chunks() {
+        arm(CrashSite::TupleBytes, 10);
+        // Wrong site: untouched.
+        assert_eq!(consume(CrashSite::Header, 100), None);
+        // 6 bytes pass; countdown now 4.
+        assert_eq!(consume(CrashSite::TupleBytes, 6), None);
+        // Next 8-byte chunk contains the crash point, 4 bytes in.
+        assert_eq!(consume(CrashSite::TupleBytes, 8), Some(4));
+        // Fired and disarmed.
+        assert_eq!(consume(CrashSite::TupleBytes, 8), None);
+        assert_eq!(disarm(), Some((CrashSite::TupleBytes, 4)));
+        assert_eq!(disarm(), None);
+    }
+
+    #[test]
+    fn rename_site_fires_on_zero_length_probe() {
+        arm(CrashSite::Rename, 0);
+        assert_eq!(consume(CrashSite::Rename, 0), Some(0));
+        assert_eq!(disarm(), Some((CrashSite::Rename, 0)));
+    }
+
+    #[test]
+    fn seeded_points_are_reproducible_and_spread() {
+        let a = arm_seeded(7);
+        disarm();
+        let b = arm_seeded(7);
+        disarm();
+        assert_eq!(a, b);
+
+        let distinct: std::collections::HashSet<CrashSite> = (0..64)
+            .map(|s| {
+                let (site, _) = arm_seeded(s);
+                disarm();
+                site
+            })
+            .collect();
+        assert!(distinct.len() >= 5, "seeds cover {} sites", distinct.len());
+    }
+}

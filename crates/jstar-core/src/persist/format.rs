@@ -1,0 +1,401 @@
+//! On-disk framing for snapshots: little-endian, hand-rolled (the
+//! build is offline — no serde), self-describing enough that a
+//! truncated or bit-flipped file decodes to a reported
+//! [`crate::error::JStarError::CorruptSnapshot`] instead of a panic.
+//!
+//! See the [module docs](super) for the full file layout table.
+
+use crate::error::{JStarError, Result};
+use crate::value::Value;
+
+/// Leading magic of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"JSTARSNP";
+/// Trailing magic, immediately before the checksum.
+pub const FOOTER_MAGIC: &[u8; 8] = b"JSNAPEND";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// File-name extension for checkpoint snapshots.
+pub const SNAPSHOT_EXT: &str = "jsnap";
+
+/// Appends an LEB128 varint (7 data bits per byte, high bit =
+/// continuation, always minimal-form).
+pub fn encode_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes (of either sign)
+/// varint-encode in one or two bytes.
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Canonical value encoding: a 1-byte type tag (the
+/// [`crate::value::Value`] type rank) followed by the payload — a
+/// zigzag varint for `Int` (checkpoint images are dominated by small
+/// integers; fixed 8-byte fields tripled the image size, and every
+/// downstream cost of a checkpoint is byte-proportional), `to_bits`
+/// as 8 fixed little-endian bytes for `Double` (preserving `-0.0` vs
+/// `0.0` and NaN payloads, matching `Value`'s total order), a varint
+/// length + UTF-8 bytes for `Str`. This encoding doubles as the
+/// content-hash input; the encoder's minimal-form varints keep it
+/// injective per type.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            encode_varint(out, zigzag(*i));
+        }
+        Value::Double(d) => {
+            let mut rec = [1u8; 9];
+            rec[1..].copy_from_slice(&d.to_bits().to_le_bytes());
+            out.extend_from_slice(&rec);
+        }
+        Value::Str(s) => {
+            out.push(2);
+            encode_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(3);
+            out.push(*b as u8);
+        }
+    }
+}
+
+/// Like [`encode_varint`] but into a slice, returning the bytes used.
+fn varint_into(buf: &mut [u8], mut v: u64) -> usize {
+    let mut i = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[i] = byte;
+            return i + 1;
+        }
+        buf[i] = byte | 0x80;
+        i += 1;
+    }
+}
+
+/// Canonical tuple encoding: varint field count, then each field via
+/// [`encode_value`]. The table is identified by the enclosing section
+/// (or an explicit index, for pending-Delta records) — tuples do not
+/// repeat it.
+pub fn encode_tuple(out: &mut Vec<u8>, fields: &[Value]) {
+    // Fast path: a string-free tuple of ≤ 11 fields encodes in at most
+    // 1 + 11·10 bytes, so it can be built in a stack buffer and
+    // appended with one bounded copy instead of a capacity-checked Vec
+    // push per byte — tens of nanoseconds per tuple, which is real
+    // money when a checkpoint encodes the whole Gamma. The bytes are
+    // identical to the general path below.
+    if fields.len() <= 11 && !fields.iter().any(|v| matches!(v, Value::Str(_))) {
+        let mut buf = [0u8; 128];
+        buf[0] = fields.len() as u8; // arity ≤ 11 is a 1-byte varint
+        let mut at = 1;
+        for v in fields {
+            match v {
+                Value::Int(i) => {
+                    buf[at] = 0;
+                    at += 1 + varint_into(&mut buf[at + 1..], zigzag(*i));
+                }
+                Value::Double(d) => {
+                    buf[at] = 1;
+                    buf[at + 1..at + 9].copy_from_slice(&d.to_bits().to_le_bytes());
+                    at += 9;
+                }
+                Value::Bool(b) => {
+                    buf[at] = 3;
+                    buf[at + 1] = *b as u8;
+                    at += 2;
+                }
+                Value::Str(_) => unreachable!("filtered above"),
+            }
+        }
+        out.extend_from_slice(&buf[..at]);
+        return;
+    }
+    encode_varint(out, fields.len() as u64);
+    for v in fields {
+        encode_value(out, v);
+    }
+}
+
+/// Bounds-checked little-endian reader over a snapshot's byte image.
+///
+/// Every accessor returns `CorruptSnapshot` on overrun; length fields
+/// are validated against the remaining input before any allocation is
+/// sized from them, so a bit-flipped count cannot request gigabytes.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Current read offset (for diagnostics).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn corrupt(&self, what: &str) -> JStarError {
+        JStarError::CorruptSnapshot(format!(
+            "{what} at byte {} of {}",
+            self.pos,
+            self.bytes.len()
+        ))
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(self.corrupt("truncated record"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// An LEB128 varint. At most 10 bytes; a continuation bit running
+    /// past the end of input or past 64 bits is a corruption error.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7f) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(self.corrupt("varint overflows 64 bits"));
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.corrupt("varint longer than 10 bytes"))
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(self.corrupt("string length exceeds input"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| {
+            JStarError::CorruptSnapshot(format!("invalid UTF-8 string at byte {}", self.pos))
+        })
+    }
+
+    /// One canonically encoded value.
+    pub fn value(&mut self) -> Result<Value> {
+        match self.u8()? {
+            0 => Ok(Value::Int(unzigzag(self.varint()?))),
+            1 => Ok(Value::Double(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            )))),
+            2 => {
+                let len64 = self.varint()?;
+                if len64 > self.remaining() as u64 {
+                    return Err(self.corrupt("string value length exceeds input"));
+                }
+                let bytes = self.take(len64 as usize)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| self.corrupt("invalid UTF-8 in string value"))?;
+                Ok(Value::str(s.to_string()))
+            }
+            3 => match self.u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                _ => Err(self.corrupt("boolean value out of range")),
+            },
+            _ => Err(self.corrupt("unknown value type tag")),
+        }
+    }
+
+    /// One canonically encoded tuple record, returning its fields and
+    /// the raw record slice (the content-hash input).
+    pub fn tuple_record(&mut self) -> Result<(Vec<Value>, &'a [u8])> {
+        let start = self.pos;
+        let arity64 = self.varint()?;
+        // Each field is at least 2 bytes (tag + smallest payload), so a
+        // plausible arity is bounded by the remaining input.
+        if arity64 > self.remaining() as u64 {
+            return Err(self.corrupt("tuple arity exceeds input"));
+        }
+        let arity = arity64 as usize;
+        let mut fields = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            fields.push(self.value()?);
+        }
+        Ok((fields, &self.bytes[start..self.pos]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(fields: Vec<Value>) {
+        let mut buf = Vec::new();
+        encode_tuple(&mut buf, &fields);
+        let mut r = ByteReader::new(&buf);
+        let (decoded, raw) = r.tuple_record().unwrap();
+        assert_eq!(decoded, fields);
+        assert_eq!(raw, &buf[..]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn tuple_roundtrips_every_value_type() {
+        roundtrip(vec![
+            Value::Int(-42),
+            Value::Double(2.5),
+            Value::str("héllo"),
+            Value::Bool(true),
+        ]);
+        roundtrip(vec![]);
+        roundtrip(vec![Value::Double(-0.0), Value::Double(f64::NAN)]);
+    }
+
+    #[test]
+    fn double_bits_survive() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Double(-0.0));
+        let mut r = ByteReader::new(&buf);
+        match r.value().unwrap() {
+            Value::Double(d) => assert_eq!(d.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        encode_tuple(
+            &mut buf,
+            &[Value::Int(7), Value::str("abc"), Value::Bool(false)],
+        );
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            let err = r.tuple_record().unwrap_err();
+            assert!(
+                matches!(err, JStarError::CorruptSnapshot(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips_and_rejects_hostile_bytes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            encode_varint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+        // Continuation bit running off the end of input.
+        assert!(ByteReader::new(&[0x80, 0x80]).varint().is_err());
+        // More than 64 bits of payload.
+        assert!(ByteReader::new(&[0xff; 10]).varint().is_err());
+        assert!(ByteReader::new(&[0x80; 11]).varint().is_err());
+    }
+
+    #[test]
+    fn zigzag_preserves_sign_and_magnitude() {
+        for i in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            encode_value(&mut buf, &Value::Int(i));
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.value().unwrap(), Value::Int(i));
+        }
+        // Small magnitudes of either sign stay tiny on disk.
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Int(-3));
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn fast_tuple_path_matches_general_encoding() {
+        let cases: Vec<Vec<Value>> = vec![
+            vec![],
+            vec![Value::Int(0)],
+            vec![Value::Int(-1), Value::Bool(true), Value::Double(3.5)],
+            (0..11).map(Value::Int).collect(),
+            (0..12).map(Value::Int).collect(), // just over the arity bound
+            vec![Value::Int(i64::MIN), Value::Int(i64::MAX)],
+            vec![Value::str("s"), Value::Int(1)], // strings take the general path
+        ];
+        for fields in cases {
+            let mut fast = Vec::new();
+            encode_tuple(&mut fast, &fields);
+            let mut general = Vec::new();
+            encode_varint(&mut general, fields.len() as u64);
+            for v in &fields {
+                encode_value(&mut general, v);
+            }
+            assert_eq!(fast, general, "{fields:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected() {
+        // Arity claims ~4 billion fields in a short input.
+        let mut buf = Vec::new();
+        encode_varint(&mut buf, u32::MAX as u64);
+        buf.extend_from_slice(&[0; 6]);
+        let mut r = ByteReader::new(&buf);
+        assert!(r.tuple_record().is_err());
+
+        // String length claims more than the input holds.
+        let mut buf = vec![2u8]; // Str tag
+        encode_varint(&mut buf, u64::MAX);
+        let mut r = ByteReader::new(&buf);
+        assert!(r.value().is_err());
+
+        // Bad type tag.
+        let mut r = ByteReader::new(&[9u8, 0, 0]);
+        assert!(r.value().is_err());
+
+        // Bad bool payload.
+        let mut r = ByteReader::new(&[3u8, 7]);
+        assert!(r.value().is_err());
+
+        // Invalid UTF-8 in a string value.
+        let mut buf = vec![2u8];
+        encode_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = ByteReader::new(&buf);
+        assert!(r.value().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Snapshot reader: fully validating, never panicking.
+//!
+//! Validation is layered so no parse decision is ever made on
+//! unverified bytes:
+//!
+//! 1. the footer magic and whole-file word-folded FNV-1a checksum are
+//!    verified against the raw image **before** any field is interpreted —
+//!    truncation and bit flips stop here;
+//! 2. parsing itself is bounds-checked at every read
+//!    ([`super::format::ByteReader`]), with length fields validated
+//!    against the remaining input before sizing any allocation —
+//!    defense in depth against crafted or colliding images;
+//! 3. each table's tuple stream is re-hashed during decode and checked
+//!    against the section header's content hash and count.
+//!
+//! Every failure is a reported
+//! [`crate::error::JStarError::CorruptSnapshot`] (or
+//! [`crate::error::JStarError::Io`] for filesystem errors).
+
+use crate::error::{JStarError, Result};
+use crate::value::Value;
+use std::path::Path;
+
+use super::format::{self, ByteReader};
+use super::integrity::{fnv1a_words, ContentHash};
+use super::writer::SnapshotMeta;
+
+/// One decoded table section.
+#[derive(Debug)]
+pub struct SnapshotTable {
+    /// Table name (matched against the program's defs on restore).
+    pub name: String,
+    /// The order-independent content digest from the section header,
+    /// verified against the decoded tuples.
+    pub content_hash: u64,
+    /// Decoded live tuples (field vectors; the table id is assigned by
+    /// the restoring engine).
+    pub tuples: Vec<Vec<Value>>,
+}
+
+/// A fully decoded, checksum-verified snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Fingerprint of the writing program's schema.
+    pub schema_fingerprint: u64,
+    /// Run counters at snapshot time.
+    pub meta: SnapshotMeta,
+    /// One section per table, in the writing program's `TableId` order.
+    pub tables: Vec<SnapshotTable>,
+    /// Not-yet-executed Delta tuples: `(table index, fields)`.
+    pub pending: Vec<(u32, Vec<Value>)>,
+}
+
+impl Snapshot {
+    /// The snapshot's overall Gamma digest: the per-table content
+    /// hashes combined in table order. Equal logical states produce
+    /// equal digests (see [`super::integrity::ContentHash`]).
+    pub fn digest(&self) -> u64 {
+        super::combine_digest(
+            self.tables
+                .iter()
+                .map(|t| (t.name.as_str(), t.content_hash)),
+        )
+    }
+}
+
+/// Reads and validates the snapshot at `path`.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot> {
+    let bytes =
+        std::fs::read(path).map_err(|e| JStarError::Io(format!("{}: {e}", path.display())))?;
+    read_snapshot_bytes(&bytes)
+}
+
+/// Validates and decodes a snapshot image.
+pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Snapshot> {
+    const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 4;
+    const FOOTER_LEN: usize = 8 + 8;
+    if bytes.len() < HEADER_LEN + 8 + FOOTER_LEN {
+        return Err(JStarError::CorruptSnapshot(format!(
+            "file too short ({} bytes)",
+            bytes.len()
+        )));
+    }
+
+    // Layer 1: footer + checksum over the raw image.
+    let magic_at = bytes.len() - FOOTER_LEN;
+    if &bytes[magic_at..magic_at + 8] != format::FOOTER_MAGIC {
+        return Err(JStarError::CorruptSnapshot(
+            "missing footer magic (truncated file?)".to_string(),
+        ));
+    }
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let actual = fnv1a_words(&bytes[..bytes.len() - 8]);
+    if stored != actual {
+        return Err(JStarError::CorruptSnapshot(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+
+    // Layer 2: bounds-checked parse of the verified body.
+    let mut r = ByteReader::new(&bytes[..magic_at]);
+    if r.take(8)? != format::MAGIC {
+        return Err(JStarError::CorruptSnapshot("bad magic".to_string()));
+    }
+    let version = r.u32()?;
+    if version != format::VERSION {
+        return Err(JStarError::CorruptSnapshot(format!(
+            "unsupported snapshot version {version} (this build reads {})",
+            format::VERSION
+        )));
+    }
+    let schema_fingerprint = r.u64()?;
+    let meta = SnapshotMeta {
+        steps: r.u64()?,
+        tuples_processed: r.u64()?,
+    };
+    let table_count = r.u32()? as usize;
+    // Each section is at least 20 bytes (empty name + count + hash).
+    if table_count > r.remaining() / 20 + 1 {
+        return Err(JStarError::CorruptSnapshot(format!(
+            "table count {table_count} exceeds input"
+        )));
+    }
+
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let name = r.string()?;
+        let count = r.u64()?;
+        let content_hash = r.u64()?;
+        // Each tuple record is at least 1 byte (its arity varint).
+        if count > r.remaining() as u64 + 1 {
+            return Err(JStarError::CorruptSnapshot(format!(
+                "table {name}: tuple count {count} exceeds input"
+            )));
+        }
+        let mut tuples = Vec::with_capacity(count as usize);
+        let mut ch = ContentHash::new();
+        for _ in 0..count {
+            let (fields, raw) = r.tuple_record()?;
+            ch.add_encoded(raw);
+            tuples.push(fields);
+        }
+        // Layer 3: the decoded stream must reproduce the header digest.
+        if ch.finish() != content_hash {
+            return Err(JStarError::CorruptSnapshot(format!(
+                "table {name}: content hash mismatch"
+            )));
+        }
+        tables.push(SnapshotTable {
+            name,
+            content_hash,
+            tuples,
+        });
+    }
+
+    let pending_count = r.u64()?;
+    // Each pending record is at least 5 bytes (table index + arity).
+    if pending_count > (r.remaining() / 5 + 1) as u64 {
+        return Err(JStarError::CorruptSnapshot(format!(
+            "pending count {pending_count} exceeds input"
+        )));
+    }
+    let mut pending = Vec::with_capacity(pending_count as usize);
+    for _ in 0..pending_count {
+        let table = r.u32()?;
+        let (fields, _) = r.tuple_record()?;
+        pending.push((table, fields));
+    }
+
+    if r.remaining() != 0 {
+        return Err(JStarError::CorruptSnapshot(format!(
+            "{} trailing bytes after pending section",
+            r.remaining()
+        )));
+    }
+
+    Ok(Snapshot {
+        schema_fingerprint,
+        meta,
+        tables,
+        pending,
+    })
+}

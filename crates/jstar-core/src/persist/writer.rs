@@ -1,0 +1,293 @@
+//! Snapshot writer: builds the full file image in memory (snapshots
+//! are bounded by live Gamma, which is in memory anyway), then
+//! publishes it atomically — write to `<name>.tmp`, then rename onto
+//! the final path. A reader can never observe a half-written file
+//! under the final name; a crash leaves at most a stale `.tmp` that
+//! restore ignores.
+//!
+//! Every append runs through a [`super::fault`] probe, so the
+//! `fault-inject` harness can kill the write at byte granularity
+//! within any site — the partial prefix is flushed to the `.tmp` file
+//! exactly as a real crash would leave it.
+
+use crate::error::{JStarError, Result};
+use crate::gamma::{Gamma, TableStore};
+use crate::schema::TableDef;
+use crate::tuple::Tuple;
+use jstar_pool::ThreadPool;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use super::fault::{self, CrashSite};
+use super::format;
+use super::integrity::{fnv1a_words, schema_fingerprint, ContentHash};
+
+/// Run counters persisted alongside the data, so a restored engine can
+/// report how much work the checkpointed run had already done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Coordinator steps completed when the snapshot was taken.
+    pub steps: u64,
+    /// Tuples processed when the snapshot was taken.
+    pub tuples_processed: u64,
+}
+
+/// A visitor over the not-yet-executed Delta tuples: called with an
+/// emit callback it must invoke once per pending tuple.
+pub type PendingVisitor<'a> = dyn FnMut(&mut dyn FnMut(&Tuple)) + 'a;
+
+/// In-memory file image with fault probes on every append.
+struct Framed {
+    buf: Vec<u8>,
+}
+
+impl Framed {
+    fn emit(&mut self, site: CrashSite, bytes: &[u8]) -> Result<()> {
+        if let Some(cut) = fault::consume(site, bytes.len() as u64) {
+            self.buf.extend_from_slice(&bytes[..cut as usize]);
+            return Err(JStarError::Io(format!(
+                "injected crash at {site:?} + {cut} bytes"
+            )));
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Probes a region of length `len` that was already appended
+    /// (encoded in place rather than staged in a side buffer). The
+    /// probe consumes the site's countdown exactly like [`Framed::emit`]
+    /// with the same bytes would; an injected crash truncates the image
+    /// back to `start + cut`, leaving the identical partial prefix.
+    fn probe_in_place(&mut self, site: CrashSite, start: usize, len: usize) -> Result<()> {
+        if let Some(cut) = fault::consume(site, len as u64) {
+            self.buf.truncate(start + cut as usize);
+            return Err(JStarError::Io(format!(
+                "injected crash at {site:?} + {cut} bytes"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn io_err(context: &Path, e: std::io::Error) -> JStarError {
+    JStarError::Io(format!("{}: {e}", context.display()))
+}
+
+/// The `.tmp` staging name next to a final snapshot path.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Encodes one export chunk of `store` into a fresh buffer with its
+/// partial content hash — the unit of work the parallel export path
+/// fans out over the pool.
+fn encode_chunk(store: &dyn TableStore, chunk: usize, of: usize) -> (Vec<u8>, ContentHash) {
+    let mut body = Vec::with_capacity(store.len() / of * 24 + 64);
+    let mut ch = ContentHash::new();
+    store.export_snapshot_chunk(chunk, of, &mut |t| {
+        let start = body.len();
+        format::encode_tuple(&mut body, t.fields());
+        ch.add_encoded(&body[start..]);
+    });
+    (body, ch)
+}
+
+fn build_image(
+    w: &mut Framed,
+    defs: &[Arc<TableDef>],
+    gamma: &Gamma,
+    pending: &mut PendingVisitor,
+    meta: SnapshotMeta,
+    pool: Option<&ThreadPool>,
+) -> Result<()> {
+    // ── Header ──────────────────────────────────────────────────────
+    let mut head = Vec::with_capacity(40);
+    head.extend_from_slice(format::MAGIC);
+    head.extend_from_slice(&format::VERSION.to_le_bytes());
+    head.extend_from_slice(&schema_fingerprint(defs).to_le_bytes());
+    head.extend_from_slice(&meta.steps.to_le_bytes());
+    head.extend_from_slice(&meta.tuples_processed.to_le_bytes());
+    head.extend_from_slice(&(defs.len() as u32).to_le_bytes());
+    w.emit(CrashSite::Header, &head)?;
+
+    // ── Table sections ──────────────────────────────────────────────
+    // Tuples stream out in the store's journal order (O(live), one
+    // pass); the header carries the order-independent content hash so
+    // two snapshots of the same logical state are comparable even
+    // though their streams are permuted. Buffers are pre-sized from
+    // the live counts — reallocation copies of a multi-hundred-KB
+    // image are measurable on the checkpoint hot path.
+    let live: usize = defs.iter().map(|def| gamma.store(def.id).len()).sum();
+    w.buf.reserve(live * 24 + defs.len() * 64 + 128);
+    for def in defs {
+        let store = gamma.store(def.id);
+        // The per-tuple encode+hash pass is the dominant checkpoint
+        // cost and it's memory-latency bound (scattered heap tuples
+        // reached through the claim journal), so a large store splits
+        // it across the pool — idle at this quiescent point. Chunks
+        // partition the journal walk in order, so the emitted bytes
+        // (and every fault-probe offset) are identical to a
+        // sequential export; the partial hashes merge commutatively.
+        // The worker hint is capped by the cores the OS actually grants
+        // (pools are sized by `--threads=N`, which users oversubscribe
+        // freely): with one core, fanning the encode out only adds
+        // scheduling overhead on top of the same serial work.
+        let chunks = match pool {
+            Some(p) => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                store.export_chunks(p.num_threads().min(cores))
+            }
+            None => 1,
+        };
+        if chunks > 1 {
+            let pool = pool.expect("chunks > 1 only with a pool");
+            let store: &dyn TableStore = &**store;
+            let parts: Vec<(Vec<u8>, ContentHash)> =
+                jstar_pool::parallel_map(pool, chunks, 1, |i| encode_chunk(store, i, chunks));
+            let mut ch = ContentHash::new();
+            for (_, part) in &parts {
+                ch.merge(part);
+            }
+            let mut section = Vec::with_capacity(def.name.len() + 20);
+            section.extend_from_slice(&(def.name.len() as u32).to_le_bytes());
+            section.extend_from_slice(def.name.as_bytes());
+            section.extend_from_slice(&ch.count().to_le_bytes());
+            section.extend_from_slice(&ch.finish().to_le_bytes());
+            w.emit(CrashSite::TableSection, &section)?;
+            for (body, _) in &parts {
+                w.emit(CrashSite::TupleBytes, body)?;
+            }
+        } else {
+            // Sequential path: encode tuples straight into the image —
+            // no staging buffer, no second copy of the table bytes. The
+            // section header needs the count and hash that only the
+            // encode pass produces, so placeholder bytes are reserved
+            // and patched afterwards; the crash probes then run over the
+            // finished regions in the same order, with the same lengths
+            // and cut offsets, as the staged path's emits.
+            let section_start = w.buf.len();
+            w.buf
+                .extend_from_slice(&(def.name.len() as u32).to_le_bytes());
+            w.buf.extend_from_slice(def.name.as_bytes());
+            let patch_at = w.buf.len();
+            w.buf.extend_from_slice(&[0u8; 16]);
+            let body_start = w.buf.len();
+            let mut ch = ContentHash::new();
+            let buf = &mut w.buf;
+            store.export_snapshot(&mut |t| {
+                let start = buf.len();
+                format::encode_tuple(buf, t.fields());
+                ch.add_encoded(&buf[start..]);
+            });
+            let body_len = w.buf.len() - body_start;
+            w.buf[patch_at..patch_at + 8].copy_from_slice(&ch.count().to_le_bytes());
+            w.buf[patch_at + 8..patch_at + 16].copy_from_slice(&ch.finish().to_le_bytes());
+            w.probe_in_place(
+                CrashSite::TableSection,
+                section_start,
+                body_start - section_start,
+            )?;
+            w.probe_in_place(CrashSite::TupleBytes, body_start, body_len)?;
+        }
+    }
+
+    // ── Pending-Delta section ───────────────────────────────────────
+    // Only the tuples: their order keys are pure functions of tuple
+    // fields (the orderby extractor), so restore recomputes them by
+    // re-injecting through the normal put path.
+    let mut records = Vec::new();
+    let mut count: u64 = 0;
+    pending(&mut |t| {
+        records.extend_from_slice(&t.table().0.to_le_bytes());
+        format::encode_tuple(&mut records, t.fields());
+        count += 1;
+    });
+    let mut section = Vec::with_capacity(8 + records.len());
+    section.extend_from_slice(&count.to_le_bytes());
+    section.extend_from_slice(&records);
+    w.emit(CrashSite::PendingSection, &section)?;
+
+    // ── Footer ──────────────────────────────────────────────────────
+    // The checksum covers every byte before it, footer magic included
+    // — the magic is emitted first so the word-folded hash runs over
+    // one contiguous slice.
+    w.emit(CrashSite::Footer, format::FOOTER_MAGIC)?;
+    let checksum = fnv1a_words(&w.buf);
+    w.emit(CrashSite::Footer, &checksum.to_le_bytes())?;
+    Ok(())
+}
+
+/// Serializes `gamma` (plus the `pending` Delta tuples) to `path`,
+/// atomically: the image lands on `<path>.tmp` first and is renamed
+/// into place only when complete. On error the final path is never
+/// touched; a partial `.tmp` may remain (and is ignored by
+/// [`super::reader::read_snapshot`] / checkpoint discovery).
+///
+/// `pending` is a visitor over the not-yet-executed Delta tuples —
+/// pass a no-op closure for a post-run snapshot (the Delta set is
+/// empty at quiescence).
+///
+/// `pool`, when given, parallelises the per-table encode+hash pass
+/// over large stores' export chunks. The file bytes are identical
+/// either way (chunks partition the journal walk in order); the
+/// caller must be at a quiescent point — no concurrent inserts — which
+/// every snapshot path already guarantees.
+pub fn write_snapshot(
+    defs: &[Arc<TableDef>],
+    gamma: &Gamma,
+    pending: &mut PendingVisitor,
+    meta: SnapshotMeta,
+    path: &Path,
+    pool: Option<&ThreadPool>,
+) -> Result<()> {
+    // Periodic checkpoints rebuild a multi-hundred-KB image every few
+    // steps; a buffer that size goes straight to mmap in the allocator,
+    // so a fresh Vec per snapshot pays an mmap/munmap pair plus a page
+    // fault per 4 KB of image on the coordinator thread. Keeping the
+    // buffer per-thread makes every checkpoint after the first reuse
+    // already-faulted pages.
+    thread_local! {
+        static IMAGE_BUF: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    let mut w = Framed {
+        buf: IMAGE_BUF.with(|b| std::mem::take(&mut *b.borrow_mut())),
+    };
+    w.buf.clear();
+    let result = write_snapshot_into(&mut w, defs, gamma, pending, meta, path, pool);
+    IMAGE_BUF.with(|b| *b.borrow_mut() = std::mem::take(&mut w.buf));
+    result
+}
+
+fn write_snapshot_into(
+    w: &mut Framed,
+    defs: &[Arc<TableDef>],
+    gamma: &Gamma,
+    pending: &mut PendingVisitor,
+    meta: SnapshotMeta,
+    path: &Path,
+    pool: Option<&ThreadPool>,
+) -> Result<()> {
+    let tmp = tmp_path(path);
+    match build_image(w, defs, gamma, pending, meta, pool) {
+        Ok(()) => {
+            std::fs::write(&tmp, &w.buf).map_err(|e| io_err(&tmp, e))?;
+            if fault::consume(CrashSite::Rename, 0).is_some() {
+                return Err(JStarError::Io(
+                    "injected crash between temp write and rename".to_string(),
+                ));
+            }
+            std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+        }
+        Err(e) => {
+            // The bytes that "made it out" before the simulated crash:
+            // flush them so restore sees the same partial file a real
+            // power cut would have left.
+            let _ = std::fs::write(&tmp, &w.buf);
+            Err(e)
+        }
+    }
+}

@@ -52,6 +52,14 @@ impl Tuple {
         &self.0.fields
     }
 
+    /// Raw pointer to the tuple's heap allocation — a prefetch hint
+    /// for bulk walks (the snapshot export's lookahead window). Never
+    /// dereferenced by callers; reading the fields still goes through
+    /// [`Tuple::fields`].
+    pub(crate) fn heap_ptr(&self) -> *const u8 {
+        std::sync::Arc::as_ptr(&self.0) as *const u8
+    }
+
     /// Number of fields.
     pub fn arity(&self) -> usize {
         self.0.fields.len()

@@ -413,6 +413,50 @@ proptest! {
         }
     }
 
+    /// The persisted Gamma digest is a pure function of the logical
+    /// fixpoint: for random programs, `Engine::content_hash()` — the
+    /// hash a snapshot stores per table and recovery compares against —
+    /// is bit-identical across the sequential engine and every
+    /// (threads × pipeline depth 0/1/2/4) parallel configuration. This
+    /// is what makes crash-recovery checkable: restore + resume must
+    /// land on this exact hash whatever configuration resumes the run.
+    #[test]
+    fn content_hash_is_identical_across_configurations(
+        layers in 1usize..4,
+        fanout in 1i64..4,
+        mul in 1i64..7,
+        add in 0i64..5,
+        modp in 2i64..40,
+        dt in 0i64..3,
+        horizon in 0i64..12,
+        seeds in 1i64..6,
+        threads in 2usize..6,
+    ) {
+        let prog = build_program(layers, fanout, mul, add, modp, dt, horizon, seeds);
+
+        let mut seq_eng = Engine::new(Arc::clone(&prog), EngineConfig::sequential());
+        seq_eng.run().unwrap();
+        let want = seq_eng.content_hash();
+
+        for depth in [0usize, 1, 2, 4] {
+            let mut eng = Engine::new(
+                Arc::clone(&prog),
+                EngineConfig::parallel(threads)
+                    .pipeline_depth(depth)
+                    .inline_classes_up_to(0)
+                    .parallel_merge_from(1),
+            );
+            eng.run().unwrap();
+            prop_assert_eq!(
+                eng.content_hash(),
+                want,
+                "content hash diverged at {} threads, depth {}",
+                threads,
+                depth
+            );
+        }
+    }
+
     /// Both Delta structures reach the same fixpoint under the batched
     /// drain (the flat map is the ablation of the tree).
     #[test]

@@ -122,6 +122,98 @@ fn type_checking_can_be_disabled_for_speed() {
     assert_eq!(engine.gamma().total_len(), 1);
 }
 
+/// A small two-table run serialized through the real writer — the
+/// corpus seed for the snapshot-reader fuzz tests below.
+fn snapshot_corpus() -> Vec<u8> {
+    let mut p = ProgramBuilder::new();
+    let a = p.table("A", |b| {
+        b.col_int("t")
+            .col_double("v")
+            .col_str("tag")
+            .col_bool("on")
+            .orderby(&[strat("A"), seq("t")])
+    });
+    let b = p.table("B", |b| b.col_int("x").orderby(&[strat("B"), seq("x")]));
+    p.order(&["A", "B"]);
+    p.rule("copy", a, move |ctx, tr| {
+        ctx.put(Tuple::new(b, vec![Value::Int(tr.int(0) + 1)]));
+    });
+    for i in 0..6 {
+        p.put(Tuple::new(
+            a,
+            vec![
+                Value::Int(i),
+                Value::Double(i as f64 * 0.5),
+                Value::Str(format!("tag{i}").into()),
+                Value::Bool(i % 2 == 0),
+            ],
+        ));
+    }
+    let prog = Arc::new(p.build().unwrap());
+    let mut engine = Engine::new(prog, EngineConfig::sequential());
+    engine.run().unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "jstar-validation-corpus-{}-{:?}.jsnap",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    engine.snapshot(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn snapshot_reader_accepts_the_unmangled_corpus() {
+    let bytes = snapshot_corpus();
+    let snap = jstar_core::persist::read_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(snap.tables.len(), 2);
+    assert_eq!(snap.tables[0].tuples.len(), 6);
+    assert_eq!(snap.tables[1].tuples.len(), 6);
+}
+
+#[test]
+fn snapshot_reader_rejects_every_truncation_without_panicking() {
+    let bytes = snapshot_corpus();
+    for len in 0..bytes.len() {
+        assert!(
+            jstar_core::persist::read_snapshot_bytes(&bytes[..len]).is_err(),
+            "truncation to {len}/{} bytes must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn snapshot_reader_rejects_every_single_bit_flip_without_panicking() {
+    // The trailing checksum covers every preceding byte (including the
+    // footer magic), so no single-bit corruption anywhere in the image
+    // may survive — and none may panic the reader.
+    let bytes = snapshot_corpus();
+    let mut mangled = bytes.clone();
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            mangled[pos] ^= 1 << bit;
+            assert!(
+                jstar_core::persist::read_snapshot_bytes(&mangled).is_err(),
+                "bit {bit} of byte {pos} flipped: must be rejected"
+            );
+            mangled[pos] = bytes[pos];
+        }
+    }
+}
+
+#[test]
+fn snapshot_reader_rejects_trailing_garbage_and_alien_bytes() {
+    let mut bytes = snapshot_corpus();
+    bytes.extend_from_slice(b"junk");
+    assert!(jstar_core::persist::read_snapshot_bytes(&bytes).is_err());
+    assert!(jstar_core::persist::read_snapshot_bytes(b"").is_err());
+    assert!(jstar_core::persist::read_snapshot_bytes(b"JSTARSNP").is_err());
+    let alien: Vec<u8> = (0..512u32).map(|i| (i * 31 % 251) as u8).collect();
+    assert!(jstar_core::persist::read_snapshot_bytes(&alien).is_err());
+}
+
 #[test]
 fn run_report_exposes_elapsed_and_output() {
     let mut p = ProgramBuilder::new();
