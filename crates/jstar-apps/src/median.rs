@@ -197,6 +197,9 @@ impl TableStore for MedianArrayStore {
         // through the typed relation so the layout lives in one place.
         let d = Data::from_tuple(&t);
         let row = &self.rows[(d.iter % 2) as usize];
+        // SAFETY: inserts for generation `iter` come from tasks that own
+        // disjoint [lo, hi) index spans (see the Send/Sync rationale on
+        // the type), so no two writers alias this element.
         unsafe { *row[d.index as usize].get() = d.value };
         InsertOutcome::Fresh
     }

@@ -38,8 +38,8 @@
 use jstar_apps::matmul;
 use jstar_apps::pvwatts::{InputOrder, Variant};
 use jstar_apps::shortest_path;
-use jstar_bench::workloads::*;
 use jstar_bench::scale;
+use jstar_bench::workloads::*;
 use jstar_core::prelude::*;
 use jstar_pool::ThreadPool;
 use std::sync::Arc;

@@ -1,0 +1,46 @@
+//! Vector clocks for the happens-before order tracked by the model.
+
+/// Maximum number of model threads per execution (including the main
+/// thread running the test closure). Kernels under test use 2–4 threads;
+/// the fixed bound keeps clocks `Copy` and comparisons branch-free.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock. `clock[t]` is the number of scheduling
+/// points thread `t` has executed that the owner has synchronised with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    pub fn zero() -> VClock {
+        VClock([0; MAX_THREADS])
+    }
+
+    #[inline]
+    pub fn get(&self, t: usize) -> u32 {
+        self.0[t]
+    }
+
+    /// Advances this thread's own component (one per executed op).
+    #[inline]
+    pub fn tick(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+
+    /// A clock that is zero everywhere except `v` at `t` (a read epoch).
+    #[inline]
+    pub fn single(t: usize, v: u32) -> VClock {
+        let mut c = VClock::zero();
+        c.0[t] = v;
+        c
+    }
+
+    /// Pointwise maximum: `self := self ⊔ other`.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            if other.0[i] > self.0[i] {
+                self.0[i] = other.0[i];
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Depth-first exploration over scheduling decisions, seed encoding,
+//! replay and greedy shrinking.
+
+use crate::exec::{Cfg, Decision, Execution, Outcome};
+
+/// Result of a [`Checker`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// True when the bounded schedule space was fully explored (no
+    /// failure found and no budget cap hit).
+    pub complete: bool,
+    /// The first failure found, if any (after shrinking).
+    pub failure: Option<Failure>,
+}
+
+/// A failing schedule, replayable via [`Checker::replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Replay seed: `jc1:<thread digits>`, one digit per scheduling
+    /// decision. Printed in panic messages and CI artifacts.
+    pub seed: String,
+    /// Human-readable description (race sites, panic message, deadlock).
+    pub message: String,
+    /// Preemptions in the (shrunk) failing schedule.
+    pub preemptions: usize,
+}
+
+impl Report {
+    /// Panics with the seed and message if the run found a failure.
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model check failed after {} schedule(s)\n  seed: {}\n  {}",
+                self.schedules, f.seed, f.message
+            );
+        }
+    }
+}
+
+/// A bounded model checker over a closure that spawns model threads via
+/// [`crate::thread::spawn`] and synchronises through [`crate::sync`].
+#[derive(Clone, Debug)]
+pub struct Checker {
+    preemption_bound: usize,
+    max_ops: usize,
+    max_schedules: usize,
+    shrink_budget: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: 2,
+            max_ops: 20_000,
+            max_schedules: 250_000,
+            shrink_budget: 64,
+        }
+    }
+}
+
+const SEED_PREFIX: &str = "jc1:";
+
+impl Checker {
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// CHESS-style bound on involuntary context switches per schedule.
+    pub fn preemption_bound(mut self, n: usize) -> Checker {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Cap on instrumented operations per schedule (livelock guard).
+    pub fn max_ops(mut self, n: usize) -> Checker {
+        self.max_ops = n;
+        self
+    }
+
+    /// Cap on schedules explored; hitting it reports `complete: false`.
+    pub fn max_schedules(mut self, n: usize) -> Checker {
+        self.max_schedules = n;
+        self
+    }
+
+    fn cfg(&self) -> Cfg {
+        Cfg {
+            preemption_bound: self.preemption_bound,
+            max_ops: self.max_ops,
+        }
+    }
+
+    fn run_once(&self, forced: Vec<usize>, f: &(dyn Fn() + Sync)) -> Outcome {
+        let exec = Execution::new(self.cfg(), forced);
+        exec.bind_main();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let msg = match &r {
+            Ok(()) => None,
+            Err(p) if Execution::is_abort(p.as_ref()) => None,
+            Err(p) => Some(crate::exec::panic_message(p.as_ref())),
+        };
+        exec.finish(msg.as_deref())
+    }
+
+    /// Explores the schedule space of `f` depth-first and returns the
+    /// first (shrunk) failure, or a clean exhaustive report.
+    pub fn check(&self, f: impl Fn() + Sync) -> Report {
+        let f: &(dyn Fn() + Sync) = &f;
+        let mut schedules = 0usize;
+        // The DFS frontier: the decision tape of the last execution. To
+        // advance, bump the deepest decision with an untried alternative
+        // and replay the prefix.
+        let mut tape: Vec<Decision> = Vec::new();
+        loop {
+            let forced: Vec<usize> = tape.iter().map(|d| d.chosen).collect();
+            let out = self.run_once(forced, f);
+            schedules += 1;
+            if let Some(msg) = out.failure {
+                let failure = self.shrink(out.decisions, msg, f, &mut schedules);
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: Some(failure),
+                };
+            }
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: None,
+                };
+            }
+            tape = out.decisions;
+            // Backtrack: find the deepest decision with an untried sibling.
+            let advanced = loop {
+                match tape.pop() {
+                    None => break false,
+                    Some(d) => {
+                        let at = d.allowed.iter().position(|&c| c == d.chosen).unwrap_or(0);
+                        if at + 1 < d.allowed.len() {
+                            let chosen = d.allowed[at + 1];
+                            tape.push(Decision {
+                                allowed: d.allowed,
+                                chosen,
+                            });
+                            break true;
+                        }
+                    }
+                }
+            };
+            if !advanced {
+                return Report {
+                    schedules,
+                    complete: true,
+                    failure: None,
+                };
+            }
+        }
+    }
+
+    /// Greedy shrink: try truncating the forced tape and letting the
+    /// default (run-to-completion) policy finish the schedule; keep any
+    /// shorter/less-preempting tape that still fails.
+    fn shrink(
+        &self,
+        decisions: Vec<Decision>,
+        message: String,
+        f: &(dyn Fn() + Sync),
+        schedules: &mut usize,
+    ) -> Failure {
+        let mut best: Vec<usize> = decisions.iter().map(|d| d.chosen).collect();
+        let mut best_msg = message;
+        let mut best_pre = decisions
+            .iter()
+            .filter(|d| d.allowed.first() != Some(&d.chosen))
+            .count();
+        let mut trials = self.shrink_budget;
+        let mut improved = true;
+        while improved && trials > 0 {
+            improved = false;
+            // Candidate cut points, deepest first.
+            for cut in (0..best.len()).rev() {
+                if trials == 0 {
+                    break;
+                }
+                trials -= 1;
+                let out = self.run_once(best[..cut].to_vec(), f);
+                *schedules += 1;
+                if let Some(msg) = out.failure {
+                    let chosen: Vec<usize> = out.decisions.iter().map(|d| d.chosen).collect();
+                    let pre = out.preemptions;
+                    if chosen.len() < best.len() || pre < best_pre {
+                        best = chosen;
+                        best_msg = msg;
+                        best_pre = pre;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let failure = Failure {
+            seed: encode_seed(&best),
+            message: best_msg,
+            preemptions: best_pre,
+        };
+        write_artifact(&failure);
+        failure
+    }
+
+    /// Re-executes exactly the schedule encoded in `seed`.
+    pub fn replay(&self, seed: &str, f: impl Fn() + Sync) -> Report {
+        let forced = decode_seed(seed).unwrap_or_else(|e| panic!("bad seed {seed:?}: {e}"));
+        let out = self.run_once(forced, &f);
+        let failure = out.failure.map(|message| Failure {
+            seed: seed.to_string(),
+            message,
+            preemptions: out.preemptions,
+        });
+        Report {
+            schedules: 1,
+            complete: false,
+            failure,
+        }
+    }
+}
+
+/// Checks `f` with default budgets and panics on any failure, printing
+/// the replay seed. The usual entry point for model tests.
+#[track_caller]
+pub fn model(f: impl Fn() + Sync) {
+    Checker::new().check(f).assert_ok();
+}
+
+fn encode_seed(choices: &[usize]) -> String {
+    let mut s = String::with_capacity(SEED_PREFIX.len() + choices.len());
+    s.push_str(SEED_PREFIX);
+    for &c in choices {
+        debug_assert!(c < 10, "thread ids are single digits");
+        s.push(char::from(b'0' + c as u8));
+    }
+    s
+}
+
+fn decode_seed(seed: &str) -> Result<Vec<usize>, String> {
+    let body = seed
+        .strip_prefix(SEED_PREFIX)
+        .ok_or_else(|| format!("missing {SEED_PREFIX} prefix"))?;
+    body.chars()
+        .map(|c| {
+            c.to_digit(10)
+                .map(|d| d as usize)
+                .ok_or_else(|| format!("bad digit {c:?}"))
+        })
+        .collect()
+}
+
+/// CI support: when JSTAR_CHECK_ARTIFACT_DIR is set, failing seeds are
+/// appended there so the workflow can upload them.
+fn write_artifact(failure: &Failure) {
+    let Ok(dir) = std::env::var("JSTAR_CHECK_ARTIFACT_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join("failing-seeds.txt");
+    use std::io::Write;
+    if let Ok(mut fh) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            fh,
+            "{}\t{}",
+            failure.seed,
+            failure.message.replace('\n', " | ")
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! jstar-check: a concurrency shim plus a bounded model checker for the
+//! JStar lock-free kernels.
+//!
+//! The workspace's hot concurrent code (`gamma/reservation.rs`, the
+//! `SwappableTable` pointer swap, `ShardedInbox::swap_epoch`, the
+//! `jstar-pool` scope-completion latch, the disruptor ring cursors) imports
+//! its synchronisation primitives from [`sync`] instead of `std::sync` /
+//! `parking_lot`. In a normal build every item in [`sync`] is a zero-cost
+//! re-export (or a `#[repr(transparent)]` wrapper with `#[inline(always)]`
+//! accessors) of the real type — the shim compiles away entirely.
+//!
+//! With `--features model-check` the same imports resolve to instrumented
+//! types that route every load, store, RMW, lock and plain-cell access
+//! through a deterministic exploring scheduler:
+//!
+//! * **Exhaustive bounded search.** `Checker::check` runs the test closure
+//!   repeatedly, enumerating thread interleavings by depth-first search over
+//!   scheduling decisions. Preemptions (descheduling a runnable thread that
+//!   did not yield) are bounded, CHESS-style, which keeps small protocols
+//!   exhaustively explorable while still covering the interleavings that
+//!   expose real races.
+//! * **Data-race detection.** Every instrumented location carries vector
+//!   clocks; plain `UnsafeCell` accesses are checked FastTrack-style against
+//!   the happens-before order established by the atomics, mutexes and
+//!   spawn/join edges. A racy pair is reported with both source locations.
+//! * **Deterministic replay.** Every failure prints a seed (`jc1:<digits>`)
+//!   encoding the schedule; `Checker::replay` re-executes exactly that
+//!   interleaving. Failing schedules are greedily shrunk before reporting.
+//!
+//! The model explores sequentially-consistent executions and reports
+//! (a) assertion failures / panics, (b) data races on plain memory,
+//! (c) deadlocks, and (d) livelocks (op-budget exhaustion). Weak-memory
+//! value speculation (reading stale values allowed by C11 but not by any
+//! SC interleaving) is out of scope; ordering mistakes on the *publish*
+//! side still surface as data races because release/acquire edges are what
+//! build the happens-before order the race detector checks.
+//!
+//! Guarantees relied on by the kernels:
+//!
+//! * All shim types are valid when zero-initialised (`loc == 0` simply means
+//!   "not yet registered with an execution"), so `alloc_zeroed` payload
+//!   arrays keep working under the model.
+//! * Outside a model context (no active `Checker` execution on the current
+//!   thread) the instrumented types fall back to the real primitive with the
+//!   caller's orderings, so a whole test suite can be compiled with
+//!   `model-check` on and only the `model_*` tests pay for instrumentation.
+
+pub mod sync;
+
+#[cfg(feature = "model-check")]
+mod clock;
+#[cfg(feature = "model-check")]
+mod exec;
+#[cfg(feature = "model-check")]
+mod explore;
+#[cfg(feature = "model-check")]
+pub mod thread;
+
+#[cfg(feature = "model-check")]
+pub use explore::{model, Checker, Failure, Report};

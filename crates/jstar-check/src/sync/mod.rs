@@ -1,0 +1,28 @@
+//! The `jstar_sync` shim: the one import surface for synchronisation in
+//! the workspace's lock-free kernels.
+//!
+//! Kernels write `use jstar_check::sync::{AtomicU64, Ordering, Mutex, ...}`
+//! instead of importing from `std::sync::atomic` / `parking_lot`. Without
+//! the `model-check` feature everything here is the real type (or a
+//! transparent, fully-inlined wrapper) — zero cost. With the feature, the
+//! same names resolve to instrumented types checked by `crate::Checker`.
+//!
+//! Contract relied on by callers (both variants uphold it):
+//!
+//! * every type here is valid when its memory is all-zero bits (so
+//!   `alloc_zeroed` arrays of shim atomics/cells are sound to use);
+//! * [`UnsafeCell`] exposes plain data only through [`UnsafeCell::with`] /
+//!   [`UnsafeCell::with_mut`] / [`UnsafeCell::get_mut`], which is what lets
+//!   the model attribute every access to a thread and race-check it;
+//! * spin/backoff loops call [`spin_loop`] / [`yield_now`] from here, so
+//!   the model can deschedule spinners instead of diverging.
+
+#[cfg(not(feature = "model-check"))]
+mod real;
+#[cfg(not(feature = "model-check"))]
+pub use real::*;
+
+#[cfg(feature = "model-check")]
+mod model;
+#[cfg(feature = "model-check")]
+pub use model::*;

@@ -1,0 +1,64 @@
+//! Model threads: `spawn`/`join` with happens-before edges, only usable
+//! inside a [`crate::Checker`] execution.
+
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{current, Execution};
+
+/// Handle to a model thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    exec: Arc<Execution>,
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread. The closure runs on a real OS thread, but only
+/// when the exploring scheduler hands it the baton; panics outside a
+/// model execution.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = current().expect("jstar_check::thread::spawn outside a model execution");
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let exec2 = Arc::clone(&exec);
+    let id = exec.spawn_thread(me, move |child| {
+        std::thread::spawn(move || {
+            exec2.bind(child);
+            // Park until first scheduled, so no user code runs early.
+            exec2.first_activation(child);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let msg = match r {
+                Ok(v) => {
+                    // Uncontended slot: the owner only reads after join's
+                    // happens-before edge.
+                    *result2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                    None
+                }
+                Err(p) if Execution::is_abort(p.as_ref()) => None,
+                Err(p) => Some(crate::exec::panic_message(p.as_ref())),
+            };
+            exec2.thread_finished(child, msg.as_deref());
+        })
+    });
+    JoinHandle { exec, id, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (deschedules) until the thread finishes, then returns its
+    /// value. Unlike `std`, a child panic aborts the whole model
+    /// execution rather than surfacing here.
+    pub fn join(self) -> T {
+        // The joiner is whichever model thread calls join, not
+        // necessarily the spawner.
+        let (_, me) = current().expect("join outside a model execution");
+        self.exec.join_thread(me, self.id);
+        self.result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("joined model thread left no result (panicked)")
+    }
+}

@@ -1,0 +1,227 @@
+//! Self-tests for the model checker, including the seeded-mutant guard
+//! against a vacuously-passing checker: a copy of the reservation
+//! claim/publish protocol with one ordering deliberately weakened must be
+//! caught, and every failure must replay deterministically from its seed.
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use jstar_check::sync::{spin_loop, AtomicU64, Mutex, Ordering, UnsafeCell};
+use jstar_check::{thread, Checker};
+
+const EMPTY: u64 = 0;
+const RESERVED: u64 = 1;
+const PUBLISHED: u64 = 2;
+
+/// A one-slot copy of the reservation claim/publish protocol: CAS the tag
+/// EMPTY→RESERVED, write the payload, store the tag PUBLISHED.
+struct Slot {
+    tag: AtomicU64,
+    val: UnsafeCell<u64>,
+}
+
+// SAFETY: `val` is only written by the single thread whose CAS won the
+// EMPTY→RESERVED claim, and only read by threads that observed
+// tag == PUBLISHED; with a Release publish that protocol orders every
+// access (which is exactly what the mutant test violates on purpose).
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            tag: AtomicU64::new(EMPTY),
+            val: UnsafeCell::new(0),
+        }
+    }
+
+    /// Claims and publishes with the given publish ordering — `Release`
+    /// is the correct protocol, `Relaxed` is the seeded mutant.
+    fn claim_publish(&self, publish: Ordering) -> bool {
+        if self
+            .tag
+            .compare_exchange(EMPTY, RESERVED, Ordering::Acquire, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        self.val.with_mut(|p| {
+            // SAFETY: the EMPTY→RESERVED CAS above makes this thread the
+            // slot's unique writer until it publishes.
+            unsafe { *p = 42 }
+        });
+        self.tag.store(PUBLISHED, publish);
+        true
+    }
+
+    /// Spins until published, then reads the payload.
+    fn await_value(&self) -> u64 {
+        loop {
+            if self.tag.load(Ordering::Acquire) == PUBLISHED {
+                // SAFETY: the Acquire load of PUBLISHED orders this read
+                // after the winner's payload write.
+                return self.val.with(|p| unsafe { *p });
+            }
+            spin_loop();
+        }
+    }
+}
+
+fn claim_scenario(publish: Ordering) -> impl Fn() + Sync {
+    move || {
+        let slot = Arc::new(Slot::new());
+        let s2 = Arc::clone(&slot);
+        let writer = thread::spawn(move || {
+            assert!(s2.claim_publish(publish));
+        });
+        assert_eq!(slot.await_value(), 42);
+        writer.join();
+    }
+}
+
+#[test]
+fn correct_claim_protocol_passes_exhaustively() {
+    let report = Checker::new().check(claim_scenario(Ordering::Release));
+    assert!(report.failure.is_none(), "unexpected: {:?}", report.failure);
+    assert!(report.complete, "bounded space must be fully explored");
+    assert!(
+        report.schedules > 1,
+        "more than one interleaving must exist"
+    );
+}
+
+#[test]
+fn seeded_mutant_relaxed_publish_is_caught() {
+    // The mutant: publishing with Relaxed drops the release edge, so the
+    // reader's payload read races the winner's payload write.
+    let report = Checker::new().check(claim_scenario(Ordering::Relaxed));
+    let failure = report
+        .failure
+        .expect("the weakened protocol must be caught");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data-race report, got: {}",
+        failure.message
+    );
+    assert!(
+        failure.seed.starts_with("jc1:"),
+        "seed must be printable: {}",
+        failure.seed
+    );
+}
+
+#[test]
+fn failures_replay_deterministically_from_their_seed() {
+    let checker = Checker::new();
+    let failure = checker
+        .check(claim_scenario(Ordering::Relaxed))
+        .failure
+        .expect("mutant must fail");
+    // Replaying the printed seed must reproduce the same failure.
+    for _ in 0..3 {
+        let replay = checker.replay(&failure.seed, claim_scenario(Ordering::Relaxed));
+        let rf = replay.failure.expect("replay must reproduce the failure");
+        assert_eq!(rf.message, failure.message);
+    }
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let a = Checker::new().check(claim_scenario(Ordering::Relaxed));
+    let b = Checker::new().check(claim_scenario(Ordering::Relaxed));
+    let (fa, fb) = (a.failure.unwrap(), b.failure.unwrap());
+    assert_eq!(
+        fa.seed, fb.seed,
+        "two full explorations must find the same shrunk seed"
+    );
+    assert_eq!(fa.message, fb.message);
+    assert_eq!(a.schedules, b.schedules);
+}
+
+#[test]
+fn atomic_rmw_is_a_single_indivisible_op() {
+    // Two increments through fetch_add can never be lost.
+    let report = Checker::new().check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.failure.is_none(), "unexpected: {:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn unsynchronized_cell_writes_race() {
+    let report = Checker::new().check(|| {
+        let c = Arc::new(RacyCell(UnsafeCell::new(0u64)));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.0.with_mut(|p| {
+                // SAFETY: not actually safe — this is the racy access the
+                // checker must flag before the write executes.
+                unsafe { *p += 1 }
+            });
+        });
+        c.0.with_mut(|p| {
+            // SAFETY: as above; intentionally racy.
+            unsafe { *p += 1 }
+        });
+        t.join();
+    });
+    let failure = report.failure.expect("unsynchronized writes must race");
+    assert!(
+        failure.message.contains("data race"),
+        "got: {}",
+        failure.message
+    );
+}
+
+struct RacyCell(UnsafeCell<u64>);
+// SAFETY: not actually upheld — the test exists to prove the checker
+// catches exactly this lie.
+unsafe impl Sync for RacyCell {}
+
+#[test]
+fn mutex_serialises_plain_data() {
+    let report = Checker::new().check(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        *m.lock() += 1;
+        t.join();
+        assert_eq!(*m.lock(), 2);
+    });
+    assert!(report.failure.is_none(), "unexpected: {:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn lock_order_inversion_deadlocks_are_found() {
+    let report = Checker::new().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        t.join();
+    });
+    let failure = report
+        .failure
+        .expect("ABBA locking must deadlock in some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+}

@@ -29,10 +29,12 @@ use crate::fxhash::{hash_seq, FxBuildHasher};
 use crate::orderby::{KeyPart, OrderKey};
 use crate::tuple::Tuple;
 use jstar_pool::{TaskBatch, ThreadPool};
-use parking_lot::Mutex;
+// Synchronisation comes from the jstar-check shim: real std/parking_lot
+// types in production, instrumented model-checked types under
+// `--features model-check` (see crates/jstar-check and CONCURRENCY.md).
+use jstar_check::sync::{AtomicUsize, Mutex, Ordering};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tuple sets throughout the Delta structures use the crate's Fx hasher:
 /// dedup hashes every staged tuple, so SipHash setup cost per insert is
@@ -1122,6 +1124,9 @@ impl ShardedInbox {
         // what it drains under the same lock, so an entry can never be
         // drained before its increment lands (an unlocked add here
         // could be overtaken by the subtract and wrap the counter).
+        // ord: Relaxed — the shard mutex orders the count against the
+        // drain; `len`/`is_empty` readers are advisory polls whose
+        // exactness comes from the step boundary's scope join.
         sh.len.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -1143,6 +1148,7 @@ impl ShardedInbox {
                     out.append(buf);
                 }
             }
+            // ord: Relaxed — under the shard mutex; see `push`.
             shard.len.fetch_sub(drained, Ordering::Relaxed);
         }
     }
@@ -1185,6 +1191,7 @@ impl ShardedInbox {
                     run.append(buf);
                 }
             }
+            // ord: Relaxed — under the shard mutex; see `push`.
             shard.len.fetch_sub(drained, Ordering::Relaxed);
             total += drained;
         }
@@ -1209,6 +1216,7 @@ impl ShardedInbox {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
+            // ord: Relaxed — advisory poll; see `push`.
             .map(|s| s.len.load(Ordering::Relaxed))
             .sum()
     }
@@ -1220,6 +1228,7 @@ impl ShardedInbox {
     pub fn is_empty(&self) -> bool {
         self.shards
             .iter()
+            // ord: Relaxed — advisory poll; see `push`.
             .all(|s| s.len.load(Ordering::Relaxed) == 0)
     }
 
@@ -1607,7 +1616,7 @@ mod tests {
         // epoch, and each epoch's runs must keep key groups intact.
         let inbox = std::sync::Arc::new(ShardedInbox::with_partitioning(4, 8, 2));
         let pool = jstar_pool::ThreadPool::new(4);
-        let total = std::sync::atomic::AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
         pool.scope(|s| {
             for thread in 0..4i64 {
                 let inbox = std::sync::Arc::clone(&inbox);
@@ -1626,7 +1635,7 @@ mod tests {
                 (0..inbox.partitions()).map(|_| Vec::new()).collect();
             for _ in 0..50 {
                 let n = inbox.swap_epoch(&mut runs);
-                total.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                total.fetch_add(n, Ordering::Relaxed);
                 for run in runs.iter_mut() {
                     run.clear();
                 }
@@ -1637,8 +1646,8 @@ mod tests {
         let mut runs: Vec<Vec<(OrderKey, Tuple)>> =
             (0..inbox.partitions()).map(|_| Vec::new()).collect();
         let n = inbox.swap_epoch(&mut runs);
-        total.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
-        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 8000);
+        total.fetch_add(n, Ordering::Relaxed);
+        assert_eq!(total.load(Ordering::Relaxed), 8000);
         assert!(inbox.is_empty());
     }
 
@@ -1863,5 +1872,62 @@ mod tests {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inbox.assert_quiescent()))
                 .is_err();
         assert!(panicked, "a staged tuple must trip the invariant");
+    }
+}
+
+/// Exhaustive interleaving checks for the inbox's epoch protocol. Run
+/// with `cargo test -p jstar-core --features model-check`.
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use crate::schema::TableId;
+    use crate::value::Value;
+    use jstar_check::{thread, Checker};
+    use std::sync::Arc;
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(TableId(0), vec![Value::Int(v)])
+    }
+
+    fn skey(s: i64) -> OrderKey {
+        OrderKey(vec![KeyPart::Strat(0), KeyPart::Seq(Value::Int(s))])
+    }
+
+    /// The pipelined coordinator's mid-step epoch close racing a worker
+    /// push: every entry must land in exactly one epoch — either the
+    /// closed one or the next — and the shard counter must never go
+    /// stale negative or lose an entry, in every interleaving.
+    #[test]
+    fn epoch_close_vs_concurrent_push_loses_nothing() {
+        let report = Checker::new().check(|| {
+            let inbox = Arc::new(ShardedInbox::with_partitioning(1, 2, 2));
+            let pusher = {
+                let inbox = Arc::clone(&inbox);
+                thread::spawn(move || {
+                    inbox.push(0, skey(1), tup(1));
+                    inbox.push(0, skey(2), tup(2));
+                })
+            };
+            let swapper = {
+                let inbox = Arc::clone(&inbox);
+                thread::spawn(move || {
+                    let mut runs: Vec<Vec<(OrderKey, Tuple)>> =
+                        (0..inbox.partitions()).map(|_| Vec::new()).collect();
+                    let n = inbox.swap_epoch(&mut runs);
+                    assert_eq!(n, runs.iter().map(Vec::len).sum::<usize>());
+                    n
+                })
+            };
+            pusher.join();
+            let closed = swapper.join();
+            // Whatever the closed epoch missed is still staged intact.
+            let mut runs: Vec<Vec<(OrderKey, Tuple)>> =
+                (0..inbox.partitions()).map(|_| Vec::new()).collect();
+            let rest = inbox.swap_epoch(&mut runs);
+            assert_eq!(closed + rest, 2);
+            assert!(inbox.is_empty());
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
     }
 }

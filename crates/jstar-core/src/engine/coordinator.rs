@@ -241,6 +241,7 @@ impl Engine {
             match plan {
                 ClassPlan::Forked { chunk } => {
                     state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
+                    // lint: allow(expect): the planner only emits Forked when a pool exists.
                     let pool = self.pool.as_ref().expect("forked plan implies a pool");
                     let key = &key;
                     let pipeline = &mut pipeline;
@@ -328,6 +329,7 @@ impl Engine {
                 && steps.is_multiple_of(self.config.checkpoint_every)
                 && self.config.checkpoint_path.is_some()
             {
+                // lint: allow(expect): is_some() is part of the guard condition above.
                 let dir = self.config.checkpoint_path.as_deref().expect("checked");
                 let t0 = Instant::now();
                 pipeline.absorb(state, &mut tree, self.pool.as_deref(), &mut lookahead);

@@ -323,6 +323,7 @@ impl Pipeline {
             return;
         }
         let merge_start = self.timing.then(Instant::now);
+        // lint: allow(expect): the early-return above guarantees a queued epoch.
         let epoch = self.ring.pop_front().expect("epoch closed above");
         self.absorb_one(epoch, state, tree, pool, lookahead, true);
         let merge_elapsed = merge_start.map(|t0| t0.elapsed());
@@ -399,6 +400,7 @@ impl Pipeline {
                 .is_some_and(|e| e.is_ready() || self.ring.len() >= self.depth)
             {
                 let ready = self.ring.front().is_some_and(|e| e.is_ready());
+                // lint: allow(expect): the while-let condition proved front() is Some.
                 let epoch = self.ring.pop_front().expect("front checked");
                 let spent = self.absorb_one(epoch, state, tree, Some(pool), lookahead, ready);
                 if self.timing {

@@ -204,6 +204,7 @@ impl Lookahead {
             None => false,
         };
         if invalidated {
+            // lint: allow(expect): `invalidated` is only true when prepared is Some.
             let (prepared, _) = self.prepared.take().expect("checked above");
             tree.restore_prepared(prepared, &mut |ti| {
                 stats.tables[ti]

@@ -95,6 +95,7 @@ impl TableStore for ConcurrentOrderedStore {
         // matches live on one probe walk.
         if let Some(k) = self.def.key_arity {
             if k > 0 && (0..k).all(|i| q.eq_value(i).is_some()) {
+                // lint: allow(expect): the all() guard proved every key field is bound.
                 let hash = hash_values((0..k).map(|i| q.eq_value(i).expect("bound")));
                 self.table.get().probe_primary(hash, &mut |t| {
                     if q.matches(t) {

@@ -127,6 +127,7 @@ impl TableStore for HashStore {
             let hash = hash_values(
                 self.index_fields
                     .iter()
+                    // lint: allow(expect): covers() verified these fields are bound.
                     .map(|&i| q.eq_value(i).expect("covered")),
             );
             let mut visit = |t: &Tuple| if q.matches(t) { f(t) } else { true };

@@ -47,9 +47,11 @@
 use super::{pk_conflict, InsertOutcome};
 use crate::schema::TableDef;
 use crate::tuple::Tuple;
-use std::cell::UnsafeCell;
+// Synchronisation comes from the jstar-check shim: real std/parking_lot
+// types in production, instrumented model-checked types under
+// `--features model-check` (see crates/jstar-check and CONCURRENCY.md).
+use jstar_check::sync::{AtomicPtr, AtomicU64, AtomicUsize, Ordering, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Tag states, packed into the low 2 bits of the tag word; the high 62
 /// bits hold the primary hash. Transitions: `EMPTY → RESERVED →
@@ -74,6 +76,15 @@ const PROBE_LIMIT: usize = 64;
 
 /// Maximum number of ×4-growth segments; far beyond addressable memory.
 const MAX_SEGMENTS: usize = 16;
+
+/// Floor for segment 0's capacity. Production keeps it generous (see
+/// [`ReservationTable::new`]); under `model-check` the floor drops to a
+/// handful of slots so each of the checker's thousands of explored
+/// executions allocates a toy table instead of megabytes.
+#[cfg(not(feature = "model-check"))]
+const MIN_INITIAL: usize = 1 << 17;
+#[cfg(feature = "model-check")]
+const MIN_INITIAL: usize = 1 << 4;
 
 /// Sentinel for "no next entry" in a secondary chain. Zero — so chain
 /// heads and slot payloads are valid in their all-zero state and
@@ -112,20 +123,22 @@ struct Segment {
 /// A zeroed `AtomicU64` slice via the calloc fast path: the kernel's
 /// zero pages back the allocation until a slot is actually claimed, so
 /// a generously-sized empty segment costs virtual address space, not
-/// resident memory or a memset.
+/// resident memory or a memset. The shim owns the reinterpret (its
+/// model atomics are wider than a `u64`, so only it knows when the
+/// in-place cast is legal).
 fn zeroed_atomics(n: usize) -> Box<[AtomicU64]> {
-    let plain: Box<[u64]> = vec![0u64; n].into_boxed_slice();
-    // SAFETY: AtomicU64 is documented to have the same in-memory
-    // representation as u64.
-    unsafe { Box::from_raw(Box::into_raw(plain) as *mut [AtomicU64]) }
+    jstar_check::sync::zeroed_atomic_u64_slice(n)
 }
 
 fn zeroed_payload(n: usize) -> Box<[Payload]> {
+    // lint: allow(expect): capacity is bounded by MAX_SEGMENTS growth —
+    // the layout cannot overflow before addressable memory runs out.
     let layout = std::alloc::Layout::array::<Payload>(n).expect("payload layout");
     // SAFETY: the all-zero bit pattern is a valid Payload (secondary 0,
     // next NIL, tuple uninitialised — only read once the tag says
-    // PUBLISHED), and alloc_zeroed returns zeroed memory of exactly
-    // this layout.
+    // PUBLISHED; the jstar-check shim types guarantee zero-validity as
+    // part of their contract), and alloc_zeroed returns zeroed memory
+    // of exactly this layout.
     unsafe {
         let ptr = std::alloc::alloc_zeroed(layout) as *mut Payload;
         if ptr.is_null() {
@@ -148,9 +161,14 @@ impl Segment {
 
     /// Records a freshly published slot in the claim journal.
     fn journal_push(&self, idx: usize) {
+        // ord: Relaxed — the cursor only reserves a unique journal cell;
+        // visibility of the entry itself rides on the Release store below.
         let j = self.cursor.fetch_add(1, Ordering::Relaxed);
         // Every claim takes a distinct slot, so at most `capacity`
         // entries are ever appended.
+        // ord: Release — orders the slot's publication (tag store above
+        // in program order) before the entry becomes readable to journal
+        // walkers that acquire it.
         self.journal[j].store(idx as u64 + 1, Ordering::Release);
     }
 }
@@ -173,6 +191,8 @@ impl Drop for Segment {
                 continue;
             }
             let idx = (entry - 1) as usize;
+            // SAFETY: see the block comment above — journaled ⇒ published
+            // ⇒ initialised, and `&mut self` gives exclusive access.
             unsafe { self.payload[idx].tuple.get_mut().assume_init_drop() };
         }
     }
@@ -244,7 +264,9 @@ impl ReservationTable {
     /// actually stores tuples. `with_index` allocates the secondary
     /// chain heads.
     pub fn new(capacity_hint: usize, with_index: bool) -> ReservationTable {
-        let initial = capacity_hint.clamp(1 << 17, 1 << 22).next_power_of_two();
+        let initial = capacity_hint
+            .clamp(MIN_INITIAL, 1 << 22)
+            .next_power_of_two();
         // Chain heads only spread chains across buckets; they need not
         // scale with the slot table (chain *length* is set by how many
         // tuples share an index key, not by head count).
@@ -264,6 +286,8 @@ impl ReservationTable {
     }
 
     fn segment(&self, k: usize) -> Option<&Segment> {
+        // ord: Acquire — pairs with the installer's AcqRel CAS so the
+        // segment's freshly allocated arrays are visible before use.
         let ptr = self.segments[k].load(Ordering::Acquire);
         // SAFETY: segments are only ever installed (never freed before
         // the table drops), so a non-null pointer stays valid for &self.
@@ -277,6 +301,10 @@ impl ReservationTable {
             return seg;
         }
         let fresh = Box::into_raw(Box::new(Segment::new(self.capacity_of(k))));
+        // ord: AcqRel on success — Release publishes the segment's arrays
+        // to other threads' Acquire loads, Acquire orders our own later
+        // slot accesses after the install. Acquire on failure — we adopt
+        // the winner's segment and must see its contents.
         match self.segments[k].compare_exchange(
             std::ptr::null_mut(),
             fresh,
@@ -301,7 +329,12 @@ impl ReservationTable {
     /// SAFETY (caller): an acquire load of the slot's tag must have
     /// shown state `PUBLISHED` or `TOMBSTONE`.
     unsafe fn tuple_of(payload: &Payload) -> &Tuple {
-        unsafe { (*payload.tuple.get()).assume_init_ref() }
+        payload.tuple.with(|p| {
+            // SAFETY: per the caller contract the claimant's release
+            // store of the tag happened-before our acquire load, so the
+            // MaybeUninit was fully written and is never written again.
+            unsafe { (*p).assume_init_ref() }
+        })
     }
 
     /// Waits out the claim→publish window of a reserved slot, returning
@@ -309,17 +342,19 @@ impl ReservationTable {
     fn await_published(tag: &AtomicU64) -> u64 {
         let mut spins = 0u32;
         loop {
+            // ord: Acquire — once the claimant's Release publish is
+            // observed, the payload writes it ordered are visible too.
             let t = tag.load(Ordering::Acquire);
             if t & STATE_MASK != RESERVED {
                 return t;
             }
             spins += 1;
             if spins < 64 {
-                std::hint::spin_loop();
+                jstar_check::sync::spin_loop();
             } else {
                 // The claimant was preempted mid-publish; yield rather
                 // than burn the core.
-                std::thread::yield_now();
+                jstar_check::sync::yield_now();
             }
         }
     }
@@ -338,9 +373,16 @@ impl ReservationTable {
             for i in 0..PROBE_LIMIT.min(seg.tags.len()) {
                 let idx = (start + i) & seg.mask;
                 let tag = &seg.tags[idx];
+                // ord: Acquire — a PUBLISHED tag must make the payload
+                // visible before `tuple_of` dereferences it.
                 let mut current = tag.load(Ordering::Acquire);
                 loop {
                     if current == EMPTY_TAG {
+                        // ord: Acquire/Acquire — claiming publishes
+                        // nothing (the payload is written *after* the
+                        // CAS), so no Release is needed; both outcomes
+                        // take Acquire because a lost race may leave a
+                        // published slot whose payload we go on to read.
                         match tag.compare_exchange(
                             EMPTY_TAG,
                             my_hash | RESERVED,
@@ -348,16 +390,19 @@ impl ReservationTable {
                             Ordering::Acquire,
                         ) {
                             Ok(_) => {
-                                // Claimed: publish. SAFETY: the CAS makes
-                                // this thread the unique writer of the
-                                // payload; no reader dereferences it
-                                // until the release store below.
                                 let payload = &seg.payload[idx];
-                                unsafe {
-                                    *payload.secondary.get() = secondary;
-                                    (*payload.tuple.get()).write(t);
-                                }
+                                // SAFETY: the claim CAS makes this thread
+                                // the slot's unique writer; no reader
+                                // dereferences the payload until the
+                                // Release store below.
+                                payload.secondary.with_mut(|p| unsafe { *p = secondary });
+                                payload.tuple.with_mut(|p| unsafe { (*p).write(t) });
+                                // ord: Release — publishes the payload
+                                // writes above; pairs with every reader's
+                                // Acquire load of this tag.
                                 tag.store(my_hash | PUBLISHED, Ordering::Release);
+                                // ord: Relaxed — len is a statistic, not
+                                // a synchronisation edge.
                                 self.len.fetch_add(1, Ordering::Relaxed);
                                 seg.journal_push(idx);
                                 if self.index_heads.is_some() {
@@ -421,6 +466,8 @@ impl ReservationTable {
             for i in 0..PROBE_LIMIT.min(seg.tags.len()) {
                 let idx = (start + i) & seg.mask;
                 let tag = &seg.tags[idx];
+                // ord: Acquire ×3 — as in `insert`: claims publish
+                // nothing, but an occupied slot's payload may be read.
                 if tag.load(Ordering::Acquire) != EMPTY_TAG
                     || tag
                         .compare_exchange(
@@ -433,15 +480,16 @@ impl ReservationTable {
                 {
                     continue;
                 }
-                // Claimed: publish, exactly as in `insert`. SAFETY: the
-                // CAS makes this thread the unique writer; no reader
-                // dereferences the payload before the release store.
                 let payload = &seg.payload[idx];
-                unsafe {
-                    *payload.secondary.get() = secondary;
-                    (*payload.tuple.get()).write(t);
-                }
+                // SAFETY: the claim CAS makes this thread the slot's
+                // unique writer; no reader dereferences the payload
+                // before the Release store below.
+                payload.secondary.with_mut(|p| unsafe { *p = secondary });
+                payload.tuple.with_mut(|p| unsafe { (*p).write(t) });
+                // ord: Release — publishes the payload writes; pairs
+                // with readers' Acquire tag loads.
                 tag.store(my_hash | PUBLISHED, Ordering::Release);
+                // ord: Relaxed — statistic only.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 seg.journal_push(idx);
                 if self.index_heads.is_some() {
@@ -457,13 +505,23 @@ impl ReservationTable {
     /// a release, so a reader that acquires the head sees the slot fully
     /// published.
     fn link_index(&self, secondary: u64, id: u64) {
+        // lint: allow(expect): callers gate on index_heads.is_some().
         let heads = self.index_heads.as_ref().expect("index allocated");
         let head = &heads[(secondary as usize) & self.index_mask];
         let (k, idx) = decode(id);
+        // lint: allow(expect): `id` encodes a slot this thread just
+        // published, so its segment is installed.
         let payload = &self.segment(k).expect("own segment").payload[idx];
+        // ord: Acquire — the predecessor slot we link in front of must
+        // be fully published before chain walkers can reach it via us.
         let mut current = head.load(Ordering::Acquire);
         loop {
+            // ord: Relaxed — `next` only becomes reachable through the
+            // head CAS below, whose Release publishes it.
             payload.next.store(current, Ordering::Relaxed);
+            // ord: AcqRel/Acquire — Release publishes our `next` write
+            // (and our already-published slot) to scanners' Acquire head
+            // loads; Acquire re-reads the new predecessor on retry.
             match head.compare_exchange_weak(current, id, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(actual) => current = actual,
@@ -499,6 +557,8 @@ impl ReservationTable {
             let start = primary as usize;
             for i in 0..PROBE_LIMIT.min(seg.tags.len()) {
                 let idx = (start + i) & seg.mask;
+                // ord: Acquire — pairs with the claimant's Release
+                // publish so `tuple_of` sees the full payload.
                 let tag = seg.tags[idx].load(Ordering::Acquire);
                 if tag == EMPTY_TAG {
                     return;
@@ -520,28 +580,38 @@ impl ReservationTable {
     /// returning `false`. Panics if the table was built without an
     /// index.
     pub fn scan_index(&self, secondary: u64, f: &mut dyn FnMut(&Tuple) -> bool) {
+        // lint: allow(expect): index-built stores only; the panic
+        // documents the API contract.
         let heads = self.index_heads.as_ref().expect("index allocated");
+        // ord: Acquire — pairs with link_index's Release CAS: the head
+        // entry's slot and its `next` write are visible.
         let mut id = heads[(secondary as usize) & self.index_mask].load(Ordering::Acquire);
         while id != NIL {
             let (k, idx) = decode(id);
+            // lint: allow(expect): chain ids are created after their
+            // slot's segment was installed.
             let seg = self.segment(k).expect("linked slot's segment exists");
             // Linked ⇒ published (links happen after publication); the
             // tag read only distinguishes live from tombstoned.
+            // ord: Acquire — as in probe_primary.
             let tag = seg.tags[idx].load(Ordering::Acquire);
             let payload = &seg.payload[idx];
             if tag & STATE_MASK == PUBLISHED
-                // SAFETY: acquire-observed published tag.
-                && unsafe { *payload.secondary.get() } == secondary
+                // SAFETY: acquire-observed published tag (both reads).
+                && payload.secondary.with(|p| unsafe { *p }) == secondary
                 && !f(unsafe { Self::tuple_of(payload) })
             {
                 return;
             }
+            // ord: Acquire — chain traversal: the next entry's slot must
+            // be visible before we dereference it.
             id = payload.next.load(Ordering::Acquire);
         }
     }
 
     /// Number of live (published, not tombstoned) tuples.
     pub fn len(&self) -> usize {
+        // ord: Relaxed — statistic only.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -551,13 +621,18 @@ impl ReservationTable {
     pub fn for_each(&self, f: &mut dyn FnMut(&Tuple) -> bool) {
         for k in 0..MAX_SEGMENTS {
             let Some(seg) = self.segment(k) else { return };
+            // ord: Acquire — cursor only bounds the walk; each entry's
+            // visibility rides on its own Release store (0 ⇒ skip).
             let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
             for j in 0..n {
+                // ord: Acquire — pairs with journal_push's Release, so
+                // the published slot behind the entry is visible.
                 let entry = seg.journal[j].load(Ordering::Acquire);
                 if entry == 0 {
                     continue; // append in flight — not yet visible
                 }
                 let idx = (entry - 1) as usize;
+                // ord: Acquire — as in probe_primary.
                 if seg.tags[idx].load(Ordering::Acquire) & STATE_MASK == PUBLISHED {
                     // SAFETY: acquire-observed published tag.
                     if !f(unsafe { Self::tuple_of(&seg.payload[idx]) }) {
@@ -577,6 +652,7 @@ impl ReservationTable {
         let mut n = 0;
         for k in 0..MAX_SEGMENTS {
             let Some(seg) = self.segment(k) else { break };
+            // ord: Acquire — as in for_each.
             n += seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
         }
         n
@@ -613,11 +689,13 @@ impl ReservationTable {
                 return;
             }
             let Some(seg) = self.segment(k) else { return };
+            // ord: Acquire — as in for_each.
             let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
             let start = lo.saturating_sub(base).min(n);
             let end = hi.saturating_sub(base).min(n);
             // Published tuple (if any) at journal position `j`.
             let tuple_at = |j: usize| -> Option<&Tuple> {
+                // ord: Acquire ×2 — as in for_each.
                 let entry = seg.journal[j].load(Ordering::Acquire);
                 if entry == 0 {
                     return None; // append in flight — not yet visible
@@ -647,6 +725,8 @@ impl ReservationTable {
             }
             for j in start..end {
                 if j + PF_SLOT < end {
+                    // ord: Relaxed — prefetch hint only; the real read
+                    // happens in tuple_at with Acquire.
                     let entry = seg.journal[j + PF_SLOT].load(Ordering::Relaxed);
                     if entry != 0 {
                         let idx = (entry - 1) as usize;
@@ -691,6 +771,7 @@ impl ReservationTable {
     pub fn retain(&self, keep: &dyn Fn(&Tuple) -> bool) {
         for k in 0..MAX_SEGMENTS {
             let Some(seg) = self.segment(k) else { return };
+            // ord: Acquire ×3 — as in for_each.
             let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
             for j in 0..n {
                 let entry = seg.journal[j].load(Ordering::Acquire);
@@ -705,6 +786,10 @@ impl ReservationTable {
                     // never touches the payload, so concurrent readers'
                     // references stay valid.
                     let t = unsafe { Self::tuple_of(&seg.payload[idx]) };
+                    // ord: AcqRel/Relaxed — success keeps the tombstone
+                    // ordered after our payload read; on failure another
+                    // thread already tombstoned this slot and there is
+                    // nothing new to observe.
                     if !keep(t)
                         && tag
                             .compare_exchange(
@@ -715,6 +800,7 @@ impl ReservationTable {
                             )
                             .is_ok()
                     {
+                        // ord: Relaxed ×2 — statistics only.
                         self.len.fetch_sub(1, Ordering::Relaxed);
                         self.dead.fetch_add(1, Ordering::Relaxed);
                     }
@@ -725,6 +811,7 @@ impl ReservationTable {
 
     /// Number of tombstoned (dead but still allocated) slots.
     pub fn tombstones(&self) -> usize {
+        // ord: Relaxed — statistic only.
         self.dead.load(Ordering::Relaxed)
     }
 }
@@ -756,6 +843,11 @@ impl SwappableTable {
     /// The current table.
     #[inline]
     pub fn get(&self) -> &ReservationTable {
+        // ord: Acquire — pairs with replace_quiescent's AcqRel swap so
+        // the fresh table's contents are visible even to threads whose
+        // only edge to the swap is this load (belt and braces: the
+        // quiescence contract already orders replacement).
+        //
         // SAFETY: the pointer is always a live Box installed by `new` or
         // `replace_quiescent`; replacement only happens when no reference
         // is outstanding (the quiescence contract), so dereferencing for
@@ -766,6 +858,9 @@ impl SwappableTable {
     /// Replaces the table, dropping the old one. Quiescent-point only —
     /// see the type docs.
     pub fn replace_quiescent(&self, fresh: ReservationTable) {
+        // ord: AcqRel — Release publishes the fresh table's contents to
+        // readers' Acquire loads; Acquire orders the old table's teardown
+        // after every prior access to it.
         let old = self
             .ptr
             .swap(Box::into_raw(Box::new(fresh)), Ordering::AcqRel);
@@ -990,7 +1085,7 @@ mod tests {
         let def = Arc::new(keyed_def());
         let table = Arc::new(ReservationTable::new(64, false));
         let pool = jstar_pool::ThreadPool::new(4);
-        let fresh = std::sync::atomic::AtomicUsize::new(0);
+        let fresh = AtomicUsize::new(0);
         pool.scope(|s| {
             for _ in 0..8 {
                 let table = Arc::clone(&table);
@@ -1001,13 +1096,13 @@ mod tests {
                         let t = kt(a, a, "v");
                         let p = primary_of(&def, &t);
                         if table.insert(&def, p, 0, t) == InsertOutcome::Fresh {
-                            fresh.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            fresh.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 });
             }
         });
-        assert_eq!(fresh.load(std::sync::atomic::Ordering::Relaxed), 500);
+        assert_eq!(fresh.load(Ordering::Relaxed), 500);
         assert_eq!(table.len(), 500);
     }
 
@@ -1106,5 +1201,154 @@ mod tests {
         for (k, off) in [(0usize, 0usize), (3, 17), (15, (1 << 30) - 1)] {
             assert_eq!(decode(encode(k, off)), (k, off));
         }
+    }
+}
+
+/// Exhaustive interleaving checks for the claim→publish protocol,
+/// explored by the jstar-check scheduler. Run with
+/// `cargo test -p jstar-core --features model-check`; CONCURRENCY.md
+/// has the happens-before argument these tests pin down.
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use crate::gamma::testutil::{keyed_def, kt, set_def};
+    use crate::schema::TableId;
+    use crate::value::Value;
+    use jstar_check::{thread, Checker};
+    use std::sync::Arc;
+
+    fn primary_of(def: &TableDef, t: &Tuple) -> u64 {
+        hash_values(t.key_fields(def))
+    }
+
+    /// Two threads race to insert the same keyed tuple: the
+    /// EMPTY → RESERVED claim CAS must elect exactly one winner in
+    /// every interleaving, and the loser must come back with
+    /// `Duplicate` after awaiting the winner's publish.
+    #[test]
+    fn claim_has_exactly_one_winner() {
+        let report = Checker::new().check(|| {
+            let def = Arc::new(keyed_def());
+            let table = Arc::new(ReservationTable::new(2, false));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let def = Arc::clone(&def);
+                    let table = Arc::clone(&table);
+                    thread::spawn(move || {
+                        let t = kt(1, 10, "x");
+                        let p = primary_of(&def, &t);
+                        table.insert(&def, p, 0, t)
+                    })
+                })
+                .collect();
+            let outcomes: Vec<_> = workers.into_iter().map(|w| w.join()).collect();
+            let fresh = outcomes
+                .iter()
+                .filter(|o| **o == InsertOutcome::Fresh)
+                .count();
+            assert_eq!(fresh, 1, "outcomes: {outcomes:?}");
+            assert!(outcomes
+                .iter()
+                .all(|o| matches!(o, InsertOutcome::Fresh | InsertOutcome::Duplicate)));
+            assert_eq!(table.len(), 1);
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
+    }
+
+    /// A probe racing a publish must either miss the tuple or see it
+    /// fully formed — never torn. The shim's race detector additionally
+    /// fails the run if the probe ever touches the payload cell without
+    /// the publish edge, so this pins the Acquire-tag / Release-publish
+    /// pairing, not just the assertion below.
+    #[test]
+    fn readers_never_observe_partial_tuples() {
+        let report = Checker::new().check(|| {
+            let def = Arc::new(keyed_def());
+            let table = Arc::new(ReservationTable::new(2, false));
+            let writer = {
+                let def = Arc::clone(&def);
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    let t = kt(3, 30, "v");
+                    table.insert(&def, primary_of(&def, &t), 0, t);
+                })
+            };
+            let reader = {
+                let def = Arc::clone(&def);
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    let probe = kt(3, 30, "v");
+                    let p = primary_of(&def, &probe);
+                    let mut seen = 0u32;
+                    table.probe_primary(p, &mut |t| {
+                        assert_eq!((t.int(0), t.int(1)), (3, 30));
+                        seen += 1;
+                        true
+                    });
+                    seen
+                })
+            };
+            writer.join();
+            assert!(reader.join() <= 1);
+            // join gave us the publish edge: the tuple is visible now.
+            let t = kt(3, 30, "v");
+            assert!(table.contains(primary_of(&def, &t), &t));
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
+    }
+
+    /// Compaction swap under the engine's quiescence contract: the
+    /// maintain thread rebuilds + swaps, then releases a worker through
+    /// a flag (modelling the coordinator's phase barrier). The worker
+    /// must see the fresh table fully built through that edge — pinning
+    /// that SwappableTable's AcqRel swap + Acquire get suffice and the
+    /// rebuild leaks no tombstones.
+    #[test]
+    fn quiescent_swap_publishes_the_fresh_table() {
+        let report = Checker::new().check(|| {
+            let def = Arc::new(set_def());
+            let swap = Arc::new(SwappableTable::new(ReservationTable::new(2, false)));
+            // Seed two tuples and tombstone one, as compaction finds it.
+            for i in 0..2i64 {
+                let t = Tuple::new(TableId(0), vec![Value::Int(i), Value::Int(i)]);
+                let p = primary_of(&def, &t);
+                swap.get().insert(&def, p, 0, t);
+            }
+            swap.get().retain(&|t| t.int(0) == 0);
+            let phase = Arc::new(AtomicUsize::new(0));
+            let maintainer = {
+                let def = Arc::clone(&def);
+                let swap = Arc::clone(&swap);
+                let phase = Arc::clone(&phase);
+                thread::spawn(move || {
+                    let ran = swap.compact_quiescent(&def, 0.25, false, |t| {
+                        (hash_values(t.key_fields(&def)), 0)
+                    });
+                    assert!(ran);
+                    phase.store(1, Ordering::Release);
+                })
+            };
+            let worker = {
+                let def = Arc::clone(&def);
+                let swap = Arc::clone(&swap);
+                let phase = Arc::clone(&phase);
+                thread::spawn(move || {
+                    while phase.load(Ordering::Acquire) == 0 {
+                        jstar_check::sync::spin_loop();
+                    }
+                    let table = swap.get();
+                    assert_eq!(table.len(), 1);
+                    assert_eq!(table.tombstones(), 0);
+                    let live = Tuple::new(TableId(0), vec![Value::Int(0), Value::Int(0)]);
+                    assert!(table.contains(primary_of(&def, &live), &live));
+                })
+            };
+            maintainer.join();
+            worker.join();
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
     }
 }

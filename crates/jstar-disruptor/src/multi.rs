@@ -12,7 +12,9 @@ use crate::ring::RingBuffer;
 use crate::sequence::Sequence;
 use crate::wait::{WaitStrategy, WaitStrategyKind};
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicI64, Ordering};
+// Shim atomics: real std types in production, instrumented model-checked
+// types under `--features model-check` (see crates/jstar-check).
+use jstar_check::sync::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Shared state of a multi-producer disruptor.
@@ -33,6 +35,8 @@ impl<T> MpShared<T> {
         let mask = self.ring.capacity() - 1;
         let mut seq = from;
         while seq <= upper_bound {
+            // ord: Acquire — pairs with the publishing producer's
+            // Release store so the slot's contents are visible.
             if self.available[(seq as usize) & mask].load(Ordering::Acquire) != seq {
                 return seq - 1;
             }
@@ -104,23 +108,30 @@ impl<T: Send + Sync> MultiProducer<T> {
     /// available.
     pub fn publish(&self, fill: impl FnOnce(&mut T)) {
         let shared = &self.shared;
+        // ord: AcqRel — the RMW makes each claim unique and totally
+        // ordered; Acquire additionally sorts our gate check after any
+        // prior producer's claim of the same wrap window.
         let seq = shared.claimed.fetch_add(1, Ordering::AcqRel) + 1;
         let wrap_point = seq - shared.ring.capacity() as i64;
         // Wait until every consumer has passed the slot we are lapping.
         while wrap_point > shared.min_gate() {
-            std::thread::yield_now();
+            jstar_check::sync::yield_now();
         }
         // SAFETY: the fetch-add gives this producer exclusive ownership of
         // `seq`, and the gate check above ensures no consumer still reads
         // the lapped slot.
         unsafe { fill(shared.ring.slot_mut(seq)) };
         let mask = shared.ring.capacity() - 1;
+        // ord: Release — publishes the slot fill above; pairs with the
+        // consumers' Acquire availability loads.
         shared.available[(seq as usize) & mask].store(seq, Ordering::Release);
         shared.wait.signal();
     }
 
     /// Highest claimed sequence so far (diagnostics).
     pub fn claimed(&self) -> i64 {
+        // ord: Acquire — symmetric with the claim RMW; diagnostics read
+        // a claim only after its predecessor effects.
         self.shared.claimed.load(Ordering::Acquire)
     }
 }
@@ -144,14 +155,19 @@ impl<T: Send + Sync> MultiConsumer<T> {
         loop {
             // Wait until slot `next` is published.
             let mut spins = 0u32;
+            // ord: Acquire — pairs with the producer's Release
+            // availability store; observing `next` makes the slot fill
+            // visible to the handler below.
             while shared.available[(next as usize) & mask].load(Ordering::Acquire) != next {
                 spins += 1;
                 if spins < 64 {
-                    std::hint::spin_loop();
+                    jstar_check::sync::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    jstar_check::sync::yield_now();
                 }
             }
+            // ord: Acquire — an upper bound for the availability scan;
+            // each slot's visibility still rides on its own entry.
             let upper = shared.highest_published(next, shared.claimed.load(Ordering::Acquire));
             for seq in next..=upper {
                 // SAFETY: availability == seq ⇒ published; our own gate
@@ -176,7 +192,7 @@ impl<T: Send + Sync> MultiConsumer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicI64 as TestAtomic;
+    use jstar_check::sync::AtomicI64 as TestAtomic;
 
     #[test]
     fn two_producers_one_consumer_nothing_lost() {
@@ -191,7 +207,9 @@ mod tests {
                     if v < 0 {
                         // Two producers send one sentinel each; stop at the
                         // second so all payloads are consumed first.
-                        if done.fetch_add(1, Ordering::SeqCst) == 1 {
+                        // ord: Relaxed (not SeqCst) — `done` is only ever
+                        // touched from this single consumer thread.
+                        if done.fetch_add(1, Ordering::Relaxed) == 1 {
                             return ControlFlow::Break(());
                         }
                         return ControlFlow::Continue(());
@@ -220,13 +238,15 @@ mod tests {
         let (producers, mut consumers) =
             MultiDisruptorBuilder::new(128, WaitStrategyKind::Yielding).build::<i64>(4, 1);
         let consumer = consumers.pop().unwrap();
-        let seen = parking_lot::Mutex::new(Vec::new());
+        let seen = jstar_check::sync::Mutex::new(Vec::new());
         let done = TestAtomic::new(0);
         std::thread::scope(|s| {
             s.spawn(|| {
                 consumer.run(|&v, seq| {
                     if v < 0 {
-                        if done.fetch_add(1, Ordering::SeqCst) == 3 {
+                        // ord: Relaxed (not SeqCst) — single consumer
+                        // thread owns this counter.
+                        if done.fetch_add(1, Ordering::Relaxed) == 3 {
                             return ControlFlow::Break(());
                         }
                         return ControlFlow::Continue(());
@@ -261,7 +281,9 @@ mod tests {
                 s.spawn(move || {
                     c.run(|&v, _| {
                         if v < 0 {
-                            if dones.fetch_add(1, Ordering::SeqCst) == 1 {
+                            // ord: Relaxed (not SeqCst) — per-consumer
+                            // counter, touched only by its own thread.
+                            if dones.fetch_add(1, Ordering::Relaxed) == 1 {
                                 return ControlFlow::Break(());
                             }
                             return ControlFlow::Continue(());
@@ -283,5 +305,57 @@ mod tests {
         for sum in &sums {
             assert_eq!(sum.load(Ordering::Relaxed), 2 * (1..=200i64).sum::<i64>());
         }
+    }
+}
+
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use jstar_check::{thread, Checker};
+
+    /// Two producers race the fetch-add claim while a consumer drains:
+    /// in every interleaving each sequence is claimed exactly once, the
+    /// consumer observes both payloads (in sequence order, whatever the
+    /// claim order was), and the per-slot availability handoff never
+    /// lets it read an unpublished slot.
+    #[test]
+    fn racing_producers_claim_uniquely() {
+        let report = Checker::new().check(|| {
+            let (mut producers, mut consumers) =
+                MultiDisruptorBuilder::new(4, WaitStrategyKind::BusySpin).build::<i64>(2, 1);
+            let consumer = consumers.pop().unwrap();
+            let cons = thread::spawn(move || {
+                let mut seen = Vec::new();
+                consumer.run(|&v, seq| {
+                    seen.push((seq, v));
+                    if seen.len() == 2 {
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
+                seen
+            });
+            let workers: Vec<_> = producers
+                .drain(..)
+                .enumerate()
+                .map(|(i, p)| {
+                    thread::spawn(move || {
+                        p.publish(|slot| *slot = i as i64 + 1);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            let seen = cons.join();
+            // Sequences 0 and 1, each claimed once, consumed in order.
+            assert_eq!((seen[0].0, seen[1].0), (0, 1));
+            // Both payloads arrive — claim order may differ by schedule.
+            let mut vals = [seen[0].1, seen[1].1];
+            vals.sort_unstable();
+            assert_eq!(vals, [1, 2]);
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
     }
 }

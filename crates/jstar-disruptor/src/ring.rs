@@ -1,6 +1,9 @@
 //! The pre-allocated ring of recycled event slots.
 
-use std::cell::UnsafeCell;
+// Shim cell: a plain `std::cell::UnsafeCell` in production, a
+// race-checked instrumented cell under `--features model-check` (see
+// crates/jstar-check).
+use jstar_check::sync::UnsafeCell;
 
 /// A power-of-two ring of slots addressed by sequence number.
 ///
@@ -51,7 +54,10 @@ impl<T> RingBuffer<T> {
     /// below the producer cursor) and will not be reclaimed (the caller's
     /// consumer sequence has not yet passed it).
     pub unsafe fn slot(&self, sequence: i64) -> &T {
-        unsafe { &*self.slots[self.index(sequence)].get() }
+        // SAFETY: per the caller contract the slot was published by a
+        // cursor Release the caller acquired, and no writer can reclaim
+        // it while the reference lives.
+        self.slots[self.index(sequence)].with(|p| unsafe { &*p })
     }
 
     /// Exclusive access to the slot for `sequence`.
@@ -61,7 +67,9 @@ impl<T> RingBuffer<T> {
     /// every consumer gate minus capacity and not yet published.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slot_mut(&self, sequence: i64) -> &mut T {
-        unsafe { &mut *self.slots[self.index(sequence)].get() }
+        // SAFETY: per the caller contract this thread holds the unique
+        // claim on `sequence`, so no other access overlaps the slot.
+        self.slots[self.index(sequence)].with_mut(|p| unsafe { &mut *p })
     }
 }
 
@@ -79,6 +87,8 @@ mod tests {
     #[test]
     fn sequences_wrap_to_same_slot() {
         let ring = RingBuffer::<u64>::new(8);
+        // SAFETY: single-threaded test — every claim is trivially unique
+        // and nothing is reclaimed concurrently.
         unsafe {
             *ring.slot_mut(3) = 42;
             assert_eq!(*ring.slot(3), 42);
@@ -92,6 +102,7 @@ mod tests {
     #[test]
     fn slots_start_default() {
         let ring = RingBuffer::<i64>::new(4);
+        // SAFETY: single-threaded test; no concurrent claims.
         unsafe {
             for s in 0..4 {
                 assert_eq!(*ring.slot(s), 0);

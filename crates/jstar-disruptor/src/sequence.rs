@@ -1,7 +1,9 @@
 //! Cache-padded sequence counters.
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicI64, Ordering};
+// Shim atomics: real std types in production, instrumented model-checked
+// types under `--features model-check` (see crates/jstar-check).
+use jstar_check::sync::{AtomicI64, Ordering};
 
 /// A monotonically increasing sequence counter, padded to its own cache
 /// line.
@@ -25,11 +27,15 @@ impl Sequence {
     /// Reads with acquire ordering: everything written before the
     /// corresponding `set` is visible.
     pub fn get(&self) -> i64 {
+        // ord: Acquire — pairs with `set`'s Release: observing a cursor
+        // value makes every slot write before that `set` visible.
         self.0.load(Ordering::Acquire)
     }
 
     /// Publishes a new value with release ordering.
     pub fn set(&self, v: i64) {
+        // ord: Release — publishes the slot writes that preceded this
+        // cursor advance; pairs with `get`'s Acquire.
         self.0.store(v, Ordering::Release);
     }
 }

@@ -6,7 +6,9 @@
 //! four, regenerating the Table 1 tuning exercise.
 
 use crate::sequence::Sequence;
-use parking_lot::{Condvar, Mutex};
+// Shim lock/condvar: parking_lot in production, instrumented modelled
+// types under `--features model-check` (see crates/jstar-check).
+use jstar_check::sync::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -125,9 +127,9 @@ impl WaitStrategy for YieldingWaitStrategy {
             }
             if spins > 0 {
                 spins -= 1;
-                std::hint::spin_loop();
+                jstar_check::sync::spin_loop();
             } else {
-                std::thread::yield_now();
+                jstar_check::sync::yield_now();
             }
         }
     }
@@ -143,7 +145,7 @@ impl WaitStrategy for BusySpinWaitStrategy {
             if available >= needed {
                 return available;
             }
-            std::hint::spin_loop();
+            jstar_check::sync::spin_loop();
         }
     }
 }
@@ -161,9 +163,9 @@ impl WaitStrategy for SleepingWaitStrategy {
             }
             stage += 1;
             if stage < 100 {
-                std::hint::spin_loop();
+                jstar_check::sync::spin_loop();
             } else if stage < 200 {
-                std::thread::yield_now();
+                jstar_check::sync::yield_now();
             } else {
                 std::thread::sleep(Duration::from_micros(50));
             }

@@ -1,0 +1,6 @@
+fn main() {
+    // Placeholder; the lint driver lands with the lib.
+    std::process::exit(jstar_lint::run(
+        std::env::args().nth(1).as_deref().unwrap_or("."),
+    ));
+}

@@ -1,7 +1,9 @@
 //! A counting latch used to implement fork/join scopes.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+// Synchronisation comes from the jstar-check shim: real std/parking_lot
+// types in production, instrumented model-checked types under
+// `--features model-check` (see crates/jstar-check and CONCURRENCY.md).
+use jstar_check::sync::{AtomicUsize, Condvar, Mutex, Ordering};
 
 /// A latch that counts outstanding tasks and lets one thread wait for the
 /// count to reach zero.
@@ -30,11 +32,16 @@ impl CountLatch {
 
     /// Registers one more outstanding task.
     pub fn increment(&self) {
+        // ord: Relaxed — registration precedes the task's queue
+        // submission, and the queue's own synchronisation publishes it;
+        // the latch only needs the count arithmetic to be atomic.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks one task as finished, waking waiters if the count hits zero.
     pub fn decrement(&self) {
+        // ord: Release — pairs with `count`'s Acquire load so everything
+        // the finished task wrote happens-before a waiter seeing zero.
         if self.count.fetch_sub(1, Ordering::Release) == 1 {
             // Last task out: take the lock so a concurrent `wait` cannot
             // observe the zero between its check and its sleep, then wake.
@@ -45,6 +52,8 @@ impl CountLatch {
 
     /// Returns the current count. Zero means all registered tasks finished.
     pub fn count(&self) -> usize {
+        // ord: Acquire — pairs with decrement's Release: observing zero
+        // makes every finished task's writes visible to the caller.
         self.count.load(Ordering::Acquire)
     }
 
@@ -154,5 +163,104 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+}
+
+/// Exhaustive interleaving checks for the latch protocol — the edge that
+/// publishes every scoped task's effects (foreground and background
+/// lane alike) to the scope owner. Run with
+/// `cargo test -p jstar-pool --features model-check`.
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use jstar_check::sync::UnsafeCell;
+    use jstar_check::{thread, Checker};
+    use std::sync::Arc;
+
+    /// One job result per lane, as `Scope::spawn` + `spawn_background_batch`
+    /// would produce them.
+    struct Jobs {
+        foreground: UnsafeCell<u64>,
+        background: UnsafeCell<u64>,
+        latch: CountLatch,
+    }
+    // SAFETY: the cells are written only by their task before its latch
+    // decrement and read only after the owner observes the latch clear;
+    // the decrement's Release / count's Acquire pairing orders them. The
+    // model tests below are exactly the proof of this claim.
+    unsafe impl Sync for Jobs {}
+
+    /// A condvar-parked waiter must see the worker's pre-decrement write
+    /// once `wait` returns — the race detector fails the run otherwise.
+    #[test]
+    fn wait_publishes_task_effects() {
+        let report = Checker::new().check(|| {
+            let jobs = Arc::new(Jobs {
+                foreground: UnsafeCell::new(0),
+                background: UnsafeCell::new(0),
+                latch: CountLatch::new(),
+            });
+            jobs.latch.increment();
+            let worker = {
+                let jobs = Arc::clone(&jobs);
+                thread::spawn(move || {
+                    // SAFETY: unique writer; published by the decrement.
+                    jobs.foreground.with_mut(|p| unsafe { *p = 7 });
+                    jobs.latch.decrement();
+                })
+            };
+            jobs.latch.wait();
+            // SAFETY: latch observed clear — the task's write is ordered
+            // before this read.
+            assert_eq!(jobs.foreground.with(|p| unsafe { *p }), 7);
+            worker.join();
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
+    }
+
+    /// The owner's polling join (`Scope::completed` → `is_clear`) must
+    /// publish both lanes' effects: a foreground and a background-lane
+    /// job each write their result before decrementing, and the owner
+    /// spins on `is_clear` instead of parking.
+    #[test]
+    fn polling_join_publishes_both_lanes() {
+        let report = Checker::new().check(|| {
+            let jobs = Arc::new(Jobs {
+                foreground: UnsafeCell::new(0),
+                background: UnsafeCell::new(0),
+                latch: CountLatch::new(),
+            });
+            jobs.latch.increment();
+            jobs.latch.increment();
+            let fg = {
+                let jobs = Arc::clone(&jobs);
+                thread::spawn(move || {
+                    // SAFETY: unique writer; published by the decrement.
+                    jobs.foreground.with_mut(|p| unsafe { *p = 1 });
+                    jobs.latch.decrement();
+                })
+            };
+            let bg = {
+                let jobs = Arc::clone(&jobs);
+                thread::spawn(move || {
+                    // SAFETY: unique writer; published by the decrement.
+                    jobs.background.with_mut(|p| unsafe { *p = 2 });
+                    jobs.latch.decrement();
+                })
+            };
+            while !jobs.latch.is_clear() {
+                jstar_check::sync::spin_loop();
+            }
+            // SAFETY: latch observed clear — both decrements' Release
+            // stores are acquired, ordering both writes before these
+            // reads.
+            assert_eq!(jobs.foreground.with(|p| unsafe { *p }), 1);
+            assert_eq!(jobs.background.with(|p| unsafe { *p }), 2);
+            fg.join();
+            bg.join();
+        });
+        report.assert_ok();
+        assert!(report.complete, "exploration hit a budget cap");
     }
 }

@@ -129,6 +129,7 @@ where
     });
     results
         .into_iter()
+        // lint: allow(expect): scope() joins every task before returning.
         .map(|r| r.expect("all chunks completed by scope exit"))
         .collect()
 }
@@ -162,6 +163,7 @@ where
     });
     results
         .into_iter()
+        // lint: allow(expect): scope() joins every task before returning.
         .map(|r| r.expect("all indices filled by scope exit"))
         .collect()
 }
@@ -209,6 +211,7 @@ where
     });
     results
         .into_iter()
+        // lint: allow(expect): scope() joins every task before returning.
         .map(|r| r.expect("all tasks completed by scope exit"))
         .collect()
 }

@@ -244,6 +244,7 @@ impl Shared {
         loop {
             let job = LOCAL.with(|slot| {
                 let borrow = slot.borrow();
+                // lint: allow(expect): worker_loop installed the TLS slot before looping.
                 let (_, worker, _) = borrow.as_ref().expect("worker registered above");
                 self.find_any_job(Some(worker))
             });
@@ -311,6 +312,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("jstar-worker-{i}"))
                     .spawn(move || shared.worker_loop(w, i))
+                    // lint: allow(expect): pool construction; spawn failure is fatal by design.
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -401,6 +403,7 @@ impl ThreadPool {
             s.spawn(|_| rb = Some(b()));
             a()
         });
+        // lint: allow(expect): scope() joins the spawned task before returning.
         (ra, rb.expect("spawned task completed by scope exit"))
     }
 }

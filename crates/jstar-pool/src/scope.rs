@@ -6,7 +6,9 @@ use std::mem;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+// Shim mutex: parking_lot in production, model-checked under
+// `--features model-check` (see crates/jstar-check).
+use jstar_check::sync::Mutex;
 
 use crate::latch::CountLatch;
 use crate::pool::{Job, ThreadPool};
@@ -199,7 +201,7 @@ impl<'scope> Scope<'scope> {
 #[cfg(test)]
 mod tests {
     use crate::ThreadPool;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use jstar_check::sync::{AtomicUsize, Ordering};
 
     #[test]
     fn tasks_can_borrow_stack_data() {
@@ -263,15 +265,14 @@ mod tests {
 
     #[test]
     fn foreground_spawns_preempt_background_tasks() {
-        use std::sync::atomic::AtomicBool;
         use std::sync::{Arc, Barrier};
         // One worker: queue a gate task to hold the worker, then a
         // background task and a foreground task while it is held. On
         // release the worker must take the foreground job first.
         let pool = ThreadPool::new(1);
         let gate = Arc::new(Barrier::new(2));
-        let fg_first = Arc::new(AtomicBool::new(false));
-        let fg_done = Arc::new(AtomicBool::new(false));
+        let fg_first = Arc::new(AtomicUsize::new(0));
+        let fg_done = Arc::new(AtomicUsize::new(0));
         pool.scope(|s| {
             let g = Arc::clone(&gate);
             s.spawn(move |_| {
@@ -281,11 +282,13 @@ mod tests {
             let fg_first2 = Arc::clone(&fg_first);
             s.spawn_background_batch([move |_: &crate::Scope<'_>| {
                 // Background job observes whether foreground ran first.
-                fg_first2.store(fg_done2.load(Ordering::SeqCst), Ordering::SeqCst);
+                // Acquire/Release (not SeqCst): a single flag handoff
+                // needs no total order across locations.
+                fg_first2.store(fg_done2.load(Ordering::Acquire), Ordering::Release);
             }]);
             let fg_done3 = Arc::clone(&fg_done);
             s.spawn(move |_| {
-                fg_done3.store(true, Ordering::SeqCst);
+                fg_done3.store(1, Ordering::Release);
             });
             gate.wait();
             // Do NOT help from this thread: helping would race the
@@ -294,8 +297,9 @@ mod tests {
                 s.wait_timeout(std::time::Duration::from_millis(1));
             }
         });
-        assert!(
-            fg_first.load(Ordering::SeqCst),
+        assert_eq!(
+            fg_first.load(Ordering::Acquire),
+            1,
             "the foreground spawn must run before the earlier background task"
         );
     }
@@ -331,13 +335,15 @@ mod tests {
                 let flag = &flag;
                 s.spawn(move |_| {
                     std::thread::sleep(std::time::Duration::from_millis(20));
-                    flag.fetch_add(1, Ordering::SeqCst);
+                    // Relaxed (not SeqCst): the scope's latch join is the
+                    // ordering edge; the counter only needs atomicity.
+                    flag.fetch_add(1, Ordering::Relaxed);
                 });
                 panic!("body panic");
             });
         }));
         assert!(r.is_err());
         // The spawned task must have completed before scope unwound.
-        assert_eq!(flag.load(Ordering::SeqCst), 1);
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
     }
 }
