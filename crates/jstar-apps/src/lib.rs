@@ -13,6 +13,7 @@
 //! | [`matmul`] | §6.4, Fig. 11 | naive N×N matrix multiplication, one task per output row |
 //! | [`shortest_path`] | §6.5, Fig. 5/12 | Dijkstra over a random graph, Delta tree as priority queue |
 //! | [`median`] | §6.6, Fig. 13 | iterative pivot-partition median of a large double array |
+//! | [`triangles`] | — | triangle counting via join rules, the delta-join showcase |
 //!
 //! The paper's 192 MB `large1000.csv` input and its testbed hardware are
 //! not available; [`pvwatts::generate_csv`] synthesises equivalent data at
@@ -23,3 +24,4 @@ pub mod median;
 pub mod pvwatts;
 pub mod ship;
 pub mod shortest_path;
+pub mod triangles;

@@ -283,18 +283,29 @@ pub fn run_jstar(
     n: usize,
     a: Arc<Vec<i64>>,
     b: Arc<Vec<i64>>,
-    mut config: EngineConfig,
+    config: EngineConfig,
 ) -> Result<Vec<i64>> {
+    run_jstar_report(n, a, b, config).map(|(c, _)| c)
+}
+
+/// Like [`run_jstar`], but also returns the engine's [`RunReport`] so
+/// the benches can read pipeline and scheduling counters.
+pub fn run_jstar_report(
+    n: usize,
+    a: Arc<Vec<i64>>,
+    b: Arc<Vec<i64>>,
+    mut config: EngineConfig,
+) -> Result<(Vec<i64>, RunReport)> {
     let app = build_program(n, a, b);
     config = config.store(app.matrix, MatrixStore::factory(n));
     let mut engine = Engine::new(Arc::clone(&app.program), config);
-    engine.run()?;
+    let report = engine.run()?;
     let store = engine.gamma().store(app.matrix);
     let m = store
         .as_any()
         .downcast_ref::<MatrixStore>()
         .expect("matrix store");
-    Ok(m.extract(MAT_C))
+    Ok((m.extract(MAT_C), report))
 }
 
 /// Naive ijk multiply — the paper's 7.5 s Java baseline.

@@ -524,13 +524,23 @@ pub fn build_program(data_len: usize, regions: usize) -> MedianApp {
 
 /// Runs the JStar median program. Returns the lower median.
 pub fn run_jstar(data: Arc<Vec<f64>>, regions: usize, config: EngineConfig) -> Result<f64> {
+    run_jstar_report(data, regions, config).map(|(m, _)| m)
+}
+
+/// Like [`run_jstar`], but also returns the engine's [`RunReport`] so
+/// the benches can read pipeline and scheduling counters.
+pub fn run_jstar_report(
+    data: Arc<Vec<f64>>,
+    regions: usize,
+    config: EngineConfig,
+) -> Result<(f64, RunReport)> {
     let app = build_program(data.len(), regions);
     let config = config.store(app.data, MedianArrayStore::factory(data));
     let mut engine = Engine::new(Arc::clone(&app.program), config);
-    engine.run()?;
+    let report = engine.run()?;
     let results = engine.collect_rel(MedianResult::query());
     match results.first() {
-        Some(r) => Ok(r.value),
+        Some(r) => Ok((r.value, report)),
         None => Err(JStarError::Other(
             "median program produced no result".into(),
         )),

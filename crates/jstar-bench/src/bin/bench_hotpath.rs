@@ -34,10 +34,24 @@
 //! the plain run — durability is sold as cheap, so the quiesce +
 //! serialize + rename cycle failing that bound is a regression, not a
 //! tuning choice.
+//!
+//! The `delta_join` section A/B-compares the triangle-counting app
+//! (wide join-rule classes) in per-tuple vs. batched delta-join mode,
+//! interleaved pairwise at 1/4/8 threads, and records the Gamma
+//! probe/build counters so the probe-count reduction is measured, not
+//! asserted. The `delta_join_parity` section runs the same pairwise A/B
+//! on fig8/fig11/fig12 — programs with *no* join rules, where mode
+//! selection must be free; under `--check-drain`, any parity median
+//! beyond 1.10x fails the run. The `depth2_soak` section runs the full
+//! app suite once at `pipeline_depth = 2`, recording per-app lookahead
+//! hit rates — the data the ROADMAP wants before flipping the default
+//! depth.
 
 use jstar_apps::matmul;
+use jstar_apps::median;
 use jstar_apps::pvwatts::{InputOrder, Variant};
 use jstar_apps::shortest_path;
+use jstar_apps::triangles;
 use jstar_bench::scale;
 use jstar_bench::workloads::*;
 use jstar_core::prelude::*;
@@ -234,6 +248,168 @@ fn main() {
         })
         .collect();
 
+    // Delta-join A/B: the triangle-counting app's Probe/Wedge strata
+    // pop as single wide classes over join rules, so the two execution
+    // modes differ only in how the class meets Gamma: one indexed probe
+    // per tuple vs. one batched pass grouped by join key. Pairs are
+    // interleaved (per-tuple then delta-join within each round) so both
+    // arms see the same ambient noise.
+    let tri_spec = triangles_spec();
+    let dj_config = |ti: usize, dj: bool| {
+        let mut c = config(ti);
+        if !dj {
+            c = c.delta_join_from(usize::MAX);
+        }
+        c
+    };
+    run_triangles(tri_spec, dj_config(0, false)); // warm-up, discarded
+    run_triangles(tri_spec, dj_config(0, true));
+    let mut tri_pt: Vec<Vec<Duration>> = vec![Vec::with_capacity(runs); THREADS.len()];
+    let mut tri_dj: Vec<Vec<Duration>> = vec![Vec::with_capacity(runs); THREADS.len()];
+    for _round in 0..runs {
+        for ti in 0..THREADS.len() {
+            tri_pt[ti].push(run_triangles(tri_spec, dj_config(ti, false)));
+            tri_dj[ti].push(run_triangles(tri_spec, dj_config(ti, true)));
+        }
+    }
+    // One counter run per (threads, mode): the probe/build counters are
+    // plain stats, always collected, so these runs are cheap and stay
+    // outside the timing cells.
+    struct DjRow {
+        threads: usize,
+        median_per_tuple: Duration,
+        median_delta_join: Duration,
+        ratio_dj_vs_pt: f64,
+        pt_gamma_probes: u64,
+        dj_gamma_probes: u64,
+        dj_probes: u64,
+        dj_classes: u64,
+        dj_build_tuples: u64,
+    }
+    let dj_rows: Vec<DjRow> = (0..THREADS.len())
+        .map(|ti| {
+            let (_, pt_report) =
+                triangles::run_jstar_report(tri_spec, dj_config(ti, false)).expect("triangles");
+            let (_, dj_report) =
+                triangles::run_jstar_report(tri_spec, dj_config(ti, true)).expect("triangles");
+            assert_eq!(
+                pt_report.delta_join_classes, 0,
+                "per-tuple arm must not batch"
+            );
+            assert!(
+                dj_report.delta_join_classes > 0,
+                "delta-join arm must batch"
+            );
+            let med_pt = median(&tri_pt[ti]);
+            let med_dj = median(&tri_dj[ti]);
+            DjRow {
+                threads: THREADS[ti],
+                median_per_tuple: med_pt,
+                median_delta_join: med_dj,
+                ratio_dj_vs_pt: if med_pt.as_secs_f64() > 0.0 {
+                    med_dj.as_secs_f64() / med_pt.as_secs_f64()
+                } else {
+                    1.0
+                },
+                pt_gamma_probes: pt_report.gamma_probes,
+                dj_gamma_probes: dj_report.gamma_probes,
+                dj_probes: dj_report.delta_join_probes,
+                dj_classes: dj_report.delta_join_classes,
+                dj_build_tuples: dj_report.delta_join_build_tuples,
+            }
+        })
+        .collect();
+
+    // Delta-join parity on the join-free exhibits: fig8/fig11/fig12
+    // have no join-plan rules, so enabling delta-join must cost nothing
+    // beyond the scheduler's per-class eligibility check. Matched
+    // interleaved pairs at the mid thread count, gated on the median
+    // pair ratio like the checkpoint section.
+    struct ParityRow {
+        workload: &'static str,
+        median_per_tuple: Duration,
+        median_delta_join: Duration,
+        ratio: f64,
+    }
+    let parity_ti = 1; // 4 threads — the mid cell
+    let mut parity_rows: Vec<ParityRow> = Vec::new();
+    {
+        let parity_config = |dj: bool| {
+            let mut c = config(parity_ti);
+            if !dj {
+                c = c.delta_join_from(usize::MAX);
+            }
+            c
+        };
+        let mut measure = |workload: &'static str, f: &mut dyn FnMut(EngineConfig) -> Duration| {
+            let mut pt: Vec<Duration> = Vec::with_capacity(runs);
+            let mut dj: Vec<Duration> = Vec::with_capacity(runs);
+            for _round in 0..runs {
+                pt.push(f(parity_config(false)));
+                dj.push(f(parity_config(true)));
+            }
+            let mut ratios: Vec<f64> = pt
+                .iter()
+                .zip(&dj)
+                .filter(|(p, _)| p.as_secs_f64() > 0.0)
+                .map(|(p, d)| d.as_secs_f64() / p.as_secs_f64())
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            parity_rows.push(ParityRow {
+                workload,
+                median_per_tuple: median(&pt),
+                median_delta_join: median(&dj),
+                ratio: ratios.get(ratios.len() / 2).copied().unwrap_or(1.0),
+            });
+        };
+        measure("fig8_pvwatts", &mut |c| {
+            run_pvwatts(&csv, THREADS[parity_ti].max(2), Variant::HashStore, c)
+        });
+        measure("fig11_matmul", &mut |c| run_matmul(n, &a, &b, c));
+        measure("fig12_dijkstra", &mut |c| run_dijkstra(spec, c));
+    }
+
+    // Depth-2 soak: every app once at pipeline_depth 2 with the
+    // lookahead armed, recording per-app hit rates. Hit/miss counters
+    // need record_steps, so these runs stay out of the timing cells.
+    struct SoakRow {
+        app: &'static str,
+        steps: u64,
+        lookahead_hits: u64,
+        lookahead_misses: u64,
+        hit_rate: f64,
+    }
+    let soak_config = || config(1).pipeline_depth(2).record_steps();
+    let soak_rows: Vec<SoakRow> = {
+        let soak = |app: &'static str, report: &jstar_core::engine::RunReport| SoakRow {
+            app,
+            steps: report.steps,
+            lookahead_hits: report.lookahead_hits,
+            lookahead_misses: report.lookahead_misses,
+            hit_rate: report.lookahead_hit_rate(),
+        };
+        let (_, r8) = jstar_apps::pvwatts::run_jstar(
+            Arc::clone(&csv),
+            THREADS[1].max(2),
+            Variant::HashStore,
+            soak_config(),
+        )
+        .expect("pvwatts runs");
+        let (_, r11) = matmul::run_jstar_report(n, Arc::clone(&a), Arc::clone(&b), soak_config())
+            .expect("matmul runs");
+        let (_, r12) = shortest_path::run_jstar_report(spec, soak_config()).expect("dijkstra runs");
+        let med_data = Arc::new(median::gen_data(median_len(), 99));
+        let (_, r13) = median::run_jstar_report(med_data, 24, soak_config()).expect("median runs");
+        let (_, rtri) = triangles::run_jstar_report(tri_spec, soak_config()).expect("triangles");
+        vec![
+            soak("fig8_pvwatts", &r8),
+            soak("fig11_matmul", &r11),
+            soak("fig12_dijkstra", &r12),
+            soak("fig13_median", &r13),
+            soak("triangles", &rtri),
+        ]
+    };
+
     // Checkpoint overhead: fig8 with periodic checkpointing on vs. off,
     // interleaved. The checkpoint path quiesces the Delta queue,
     // serializes every Gamma store and publishes via temp + rename —
@@ -318,7 +494,7 @@ fn main() {
     // Hand-rolled JSON (the workspace deliberately vendors no serde).
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jstar-hotpath/v2\",\n");
+    out.push_str("  \"schema\": \"jstar-hotpath/v3\",\n");
     out.push_str(&format!("  \"scale\": {},\n", json_f(scale())));
     out.push_str(&format!(
         "  \"hardware_threads\": {},\n",
@@ -377,6 +553,56 @@ fn main() {
             row.lookahead_hits,
             row.lookahead_misses,
             if i + 1 < sweep_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"delta_join\": [\n");
+    for (i, row) in dj_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"triangles\", \"threads\": {}, \
+             \"median_per_tuple_secs\": {}, \"median_delta_join_secs\": {}, \
+             \"ratio_dj_vs_pt\": {}, \"per_tuple_gamma_probes\": {}, \
+             \"delta_join_gamma_probes\": {}, \"delta_join_probes\": {}, \
+             \"delta_join_classes\": {}, \"delta_join_build_tuples\": {}}}{}\n",
+            row.threads,
+            json_f(row.median_per_tuple.as_secs_f64()),
+            json_f(row.median_delta_join.as_secs_f64()),
+            json_f(row.ratio_dj_vs_pt),
+            row.pt_gamma_probes,
+            row.dj_gamma_probes,
+            row.dj_probes,
+            row.dj_classes,
+            row.dj_build_tuples,
+            if i + 1 < dj_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"delta_join_parity\": [\n");
+    for (i, row) in parity_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"median_per_tuple_secs\": {}, \
+             \"median_delta_join_secs\": {}, \"ratio_dj_vs_pt\": {}}}{}\n",
+            row.workload,
+            THREADS[parity_ti],
+            json_f(row.median_per_tuple.as_secs_f64()),
+            json_f(row.median_delta_join.as_secs_f64()),
+            json_f(row.ratio),
+            if i + 1 < parity_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"depth2_soak\": [\n");
+    for (i, row) in soak_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"threads\": {}, \"depth\": 2, \"steps\": {}, \
+             \"lookahead_hits\": {}, \"lookahead_misses\": {}, \"hit_rate\": {}}}{}\n",
+            row.app,
+            THREADS[1],
+            row.steps,
+            row.lookahead_hits,
+            row.lookahead_misses,
+            json_f(row.hit_rate),
+            if i + 1 < soak_rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
@@ -448,6 +674,34 @@ fn main() {
         println!(
             "depth sweep ok: fig12 1-thread medians vs depth0 — {}",
             ratios.join(", ")
+        );
+
+        // Delta-join parity gate: on programs with no join rules, the
+        // batched mode must be indistinguishable from per-tuple firing
+        // — the scheduler's eligibility check is the only code the mode
+        // adds to their hot path, and it must stay free.
+        const DJ_TOLERANCE: f64 = 1.10;
+        for row in &parity_rows {
+            if row.ratio > DJ_TOLERANCE {
+                eprintln!(
+                    "FAIL: {} in delta-join mode is {:.3}x per-tuple mode (medians {:.4}s vs \
+                     {:.4}s, tolerance {DJ_TOLERANCE:.2}x) — mode selection is no longer free \
+                     on join-free programs",
+                    row.workload,
+                    row.ratio,
+                    row.median_delta_join.as_secs_f64(),
+                    row.median_per_tuple.as_secs_f64(),
+                );
+                std::process::exit(1);
+            }
+        }
+        let parity: Vec<String> = parity_rows
+            .iter()
+            .map(|r| format!("{} {:.3}", r.workload, r.ratio))
+            .collect();
+        println!(
+            "delta-join parity ok (pair-ratio medians vs per-tuple): {}",
+            parity.join(", ")
         );
 
         // Checkpoint-overhead gate: periodic durability must stay a

@@ -81,6 +81,14 @@ fn hotpath() {
         } else {
             "-".into()
         };
+        // Execution mode: how many popped classes took the batched
+        // delta-join pass instead of per-tuple firing, plus the Gamma
+        // probe counters the pass exists to shrink.
+        let exec_mode = if report.delta_join_classes > 0 {
+            format!("delta-join ({} classes)", report.delta_join_classes)
+        } else {
+            "per-tuple".into()
+        };
         vec![
             name,
             format!("{}", report.pipeline_depth),
@@ -96,6 +104,9 @@ fn hotpath() {
             format!("{:.1}", per_step_us(report.overlap_time)),
             format!("{:.1}", exec_step.as_nanos() as f64 / 1000.0),
             format!("{}/{}", report.inline_classes, report.forked_classes),
+            exec_mode,
+            report.gamma_probes.to_string(),
+            report.delta_join_probes.to_string(),
         ]
     }
     let csv = pvwatts_csv(InputOrder::Chronological);
@@ -141,9 +152,30 @@ fn hotpath() {
         shortest_path::run_jstar_report(spec, par_config(threads).pipeline_depth(2).record_steps())
             .expect("dijkstra runs");
     rows.push(row(format!("dijkstra parallel({threads}) depth2"), &report));
+    // Triangle counting in both execution modes: the A/B that puts the
+    // probe-count reduction of the batched delta-join pass on record.
+    let tri_spec = triangles_spec();
+    let (_, report) = jstar_apps::triangles::run_jstar_report(
+        tri_spec,
+        par_config(threads)
+            .delta_join_from(usize::MAX)
+            .record_steps(),
+    )
+    .expect("triangles runs");
+    rows.push(row(
+        format!("triangles parallel({threads}) per-tuple"),
+        &report,
+    ));
+    let (_, report) =
+        jstar_apps::triangles::run_jstar_report(tri_spec, par_config(threads).record_steps())
+            .expect("triangles runs");
+    rows.push(row(
+        format!("triangles parallel({threads}) delta-join"),
+        &report,
+    ));
     print_table(
-        "Hot path — Delta throughput, coordinator drain/execute split, pipeline overlap and \
-         lookahead (PvWatts hash store; Dijkstra)",
+        "Hot path — Delta throughput, coordinator drain/execute split, pipeline overlap, \
+         lookahead and execution mode (PvWatts hash store; Dijkstra; Triangles)",
         &[
             "engine",
             "depth",
@@ -159,6 +191,9 @@ fn hotpath() {
             "overlap µs/step",
             "execute µs/step",
             "inline/forked classes",
+            "exec mode",
+            "gamma probes",
+            "delta-join probes",
         ],
         &rows,
     );

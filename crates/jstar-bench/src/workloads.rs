@@ -7,6 +7,7 @@ use jstar_apps::matmul;
 use jstar_apps::median;
 use jstar_apps::pvwatts::{self, DisruptorConfig, InputOrder, Variant};
 use jstar_apps::shortest_path::{self, GraphSpec};
+use jstar_apps::triangles::{self, TriSpec};
 use jstar_core::prelude::*;
 use jstar_pool::ThreadPool;
 use std::sync::Arc;
@@ -34,6 +35,15 @@ pub fn dijkstra_spec() -> GraphSpec {
 /// Median array length. Scale 1 → 10M doubles (paper: 100M at scale 10).
 pub fn median_len() -> usize {
     scaled(10_000_000, 10_000)
+}
+
+/// Triangle-counting graph spec (the delta-join exhibit). Scale 1 →
+/// 20k vertices, ~80k undirected edges; the `Probe` and `Wedge` strata
+/// pop as single wide classes, so this is the workload where batched
+/// delta-join execution shows up directly in the Gamma probe counters.
+pub fn triangles_spec() -> TriSpec {
+    let n = scaled(20_000, 500) as u32;
+    TriSpec::new(n, 4 * n, 24, 0x7A1A)
 }
 
 /// Runs PvWatts under a variant/engine config; returns wall time.
@@ -82,6 +92,13 @@ pub fn run_matmul(
 pub fn run_dijkstra(spec: GraphSpec, config: EngineConfig) -> Duration {
     let (dist, d) = time_once(|| shortest_path::run_jstar(spec, config).expect("dijkstra runs"));
     assert_eq!(dist[0], 0);
+    d
+}
+
+/// Runs JStar triangle counting; returns wall time.
+pub fn run_triangles(spec: TriSpec, config: EngineConfig) -> Duration {
+    let (count, d) = time_once(|| triangles::run_jstar(spec, config).expect("triangles runs"));
+    assert!(count > 0, "the bench graph must contain triangles");
     d
 }
 
@@ -245,6 +262,7 @@ mod tests {
         let b = Arc::new(matmul::gen_matrix(n, 2));
         run_matmul(n, &a, &b, EngineConfig::sequential());
         run_dijkstra(GraphSpec::new(200, 200, 4, 1), EngineConfig::sequential());
+        run_triangles(TriSpec::new(100, 400, 4, 1), EngineConfig::sequential());
         let data = Arc::new(median::gen_data(1_000, 1));
         run_median(&data, 4, EngineConfig::sequential());
     }

@@ -119,6 +119,17 @@ pub struct EngineConfig {
     /// (default 2 — the newest plus one fallback in case the newest is
     /// torn or corrupted). 0 is treated as 1.
     pub checkpoint_keep: usize,
+    /// Minimum extracted-class size at which rules carrying a
+    /// [`crate::rule::JoinPlan`] switch from per-tuple firing to
+    /// **delta-join** execution: the class is grouped by its join-key
+    /// values and Gamma is probed once per distinct key instead of once
+    /// per tuple (semi-naive evaluation with the class as the delta).
+    /// Below the threshold the batching bookkeeping costs more than the
+    /// probes it saves. `usize::MAX` disables delta-join entirely;
+    /// opaque (closure-body) rules always run per tuple regardless.
+    /// Results are identical in both modes — set semantics and the Law
+    /// of Causality make intra-class execution order unobservable.
+    pub delta_join_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -147,6 +158,7 @@ impl Default for EngineConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             checkpoint_keep: 2,
+            delta_join_threshold: 32,
         }
     }
 }
@@ -265,6 +277,15 @@ impl EngineConfig {
     /// as 1).
     pub fn checkpoint_keep(mut self, keep: usize) -> Self {
         self.checkpoint_keep = keep;
+        self
+    }
+
+    /// Sets the class size at which join-plan rules switch to batched
+    /// delta-join execution; `usize::MAX` forces per-tuple firing
+    /// everywhere (the A/B knob the benches use). See
+    /// [`EngineConfig::delta_join_threshold`].
+    pub fn delta_join_from(mut self, class_size: usize) -> Self {
+        self.delta_join_threshold = class_size;
         self
     }
 

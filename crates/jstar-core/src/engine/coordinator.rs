@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 use super::config::EngineConfig;
 use super::pipeline::Pipeline;
 use super::report::RunReport;
-use super::runtime::{process_class_chunk, process_tuple, put_tuple, QueryPlan, RunState};
+use super::runtime::{
+    process_class_chunk, process_class_delta_join, process_tuple, put_tuple, QueryPlan, RunState,
+};
 use super::schedule::{ClassPlan, Lookahead, Scheduler};
 use crate::error::JStarError;
 
@@ -182,7 +184,18 @@ impl Engine {
 
         let mut tree = DeltaQueue::new(self.config.delta);
         let mut pipeline = Pipeline::new(state, &self.config);
-        let scheduler = Scheduler::new(self.config.inline_class_threshold);
+        // Which tables trigger at least one join-plan rule — the static
+        // half of the delta-join eligibility check (the dynamic half is
+        // the per-class size/uniformity test).
+        let join_tables: Vec<bool> = (0..state.program.defs().len())
+            .map(|ti| {
+                state.program.rules_by_trigger()[ti]
+                    .iter()
+                    .any(|&ri| state.program.rules()[ri].plan.is_some())
+            })
+            .collect();
+        let scheduler = Scheduler::new(self.config.inline_class_threshold)
+            .with_delta_join(self.config.delta_join_threshold, join_tables);
         let mut lookahead = Lookahead::new(pipeline.lookahead_enabled());
         let mut steps: u64 = 0;
         let mut checkpoints: u64 = 0;
@@ -236,52 +249,65 @@ impl Engine {
             let exec_start = timing.then(Instant::now);
 
             // ── Phase 3: execute (∥ absorb + next extract when pipelined) ──
-            let plan = speculative_plan
-                .unwrap_or_else(|| scheduler.plan(self.pool.as_deref(), class_size));
-            match plan {
-                ClassPlan::Forked { chunk } => {
-                    state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
-                    // lint: allow(expect): the planner only emits Forked when a pool exists.
-                    let pool = self.pool.as_ref().expect("forked plan implies a pool");
-                    let key = &key;
-                    let pipeline = &mut pipeline;
-                    let tree = &mut tree;
-                    let lookahead = &mut lookahead;
-                    pool.scope(|s| {
-                        // All chunks submitted as one batch: a single
-                        // wakeup, no per-task notify storm.
-                        s.spawn_batch(class.chunks(chunk).map(|piece| {
-                            move |_: &jstar_pool::Scope<'_>| {
-                                process_class_chunk(state, key, piece);
+            if scheduler.delta_join(&class) {
+                // Batched semi-naive execution: the whole class is the
+                // delta, and join-plan rules probe Gamma once per
+                // distinct join key instead of once per tuple. Like the
+                // inline arm this runs without the pipeline overlap
+                // window — the join fan-out keeps the pool busy itself.
+                state
+                    .stats
+                    .delta_join_classes
+                    .fetch_add(1, Ordering::Relaxed);
+                process_class_delta_join(state, &key, &class, self.pool.as_deref());
+            } else {
+                let plan = speculative_plan
+                    .unwrap_or_else(|| scheduler.plan(self.pool.as_deref(), class_size));
+                match plan {
+                    ClassPlan::Forked { chunk } => {
+                        state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
+                        // lint: allow(expect): the planner only emits Forked when a pool exists.
+                        let pool = self.pool.as_ref().expect("forked plan implies a pool");
+                        let key = &key;
+                        let pipeline = &mut pipeline;
+                        let tree = &mut tree;
+                        let lookahead = &mut lookahead;
+                        pool.scope(|s| {
+                            // All chunks submitted as one batch: a single
+                            // wakeup, no per-task notify storm.
+                            s.spawn_batch(class.chunks(chunk).map(|piece| {
+                                move |_: &jstar_pool::Scope<'_>| {
+                                    process_class_chunk(state, key, piece);
+                                }
+                            }));
+                            if pipeline.pipelined() {
+                                // Speculate on the next step while this one
+                                // runs (no-op below depth 2), then join the
+                                // class from inside the scope, interleaving
+                                // epoch absorption with helping — the
+                                // drain/execute overlap.
+                                lookahead.prepare(
+                                    tree,
+                                    &scheduler,
+                                    Some(pool),
+                                    pipeline.absorbed_seq(),
+                                );
+                                pipeline.overlap(s, state, tree, pool, lookahead, &scheduler);
                             }
-                        }));
-                        if pipeline.pipelined() {
-                            // Speculate on the next step while this one
-                            // runs (no-op below depth 2), then join the
-                            // class from inside the scope, interleaving
-                            // epoch absorption with helping — the
-                            // drain/execute overlap.
-                            lookahead.prepare(
-                                tree,
-                                &scheduler,
-                                Some(pool),
-                                pipeline.absorbed_seq(),
-                            );
-                            pipeline.overlap(s, state, tree, pool, lookahead, &scheduler);
-                        }
-                    });
-                }
-                ClassPlan::Inline { sort } => {
-                    // Narrow class or sequential engine: fork/join
-                    // overhead exceeds the work, execute on the
-                    // coordinator. The sequential engine additionally
-                    // sorts for a deterministic intra-class order.
-                    state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
-                    if sort {
-                        class.sort();
+                        });
                     }
-                    for t in class {
-                        process_tuple(state, &key, t);
+                    ClassPlan::Inline { sort } => {
+                        // Narrow class or sequential engine: fork/join
+                        // overhead exceeds the work, execute on the
+                        // coordinator. The sequential engine additionally
+                        // sorts for a deterministic intra-class order.
+                        state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
+                        if sort {
+                            class.sort();
+                        }
+                        for t in class {
+                            process_tuple(state, &key, t);
+                        }
                     }
                 }
             }
@@ -396,6 +422,15 @@ impl Engine {
             lookahead_misses: state.stats.lookahead_misses.load(Ordering::Relaxed),
             checkpoints,
             checkpoint_time,
+            delta_join_classes: state.stats.delta_join_classes.load(Ordering::Relaxed),
+            delta_join_probes: state.stats.delta_join_probes.load(Ordering::Relaxed),
+            delta_join_build_tuples: state.stats.delta_join_build_tuples.load(Ordering::Relaxed),
+            gamma_probes: state
+                .stats
+                .tables
+                .iter()
+                .map(|t| t.queries.load(Ordering::Relaxed))
+                .sum(),
             output: state.output.lock().clone(),
         })
     }

@@ -129,6 +129,41 @@
 //! measurement; the effective (clamped) depth of a run is reported in
 //! [`RunReport::pipeline_depth`].
 //!
+//! ## Execution modes: per-tuple vs batched delta-join
+//!
+//! The execute phase chooses **how a class meets Gamma**, per class:
+//!
+//! * **Per-tuple** (the default, always correct): every fresh tuple of
+//!   the class fires every rule on its table; a rule that joins its
+//!   trigger against a Gamma table pays one indexed probe per tuple.
+//! * **Delta-join** (`runtime::process_class_delta_join`): when every
+//!   rule triggered by the class's table carries an inspectable
+//!   [`crate::rule::JoinPlan`] — registered through
+//!   `ProgramBuilder::rule_rel_join`, which records which trigger
+//!   fields equate to which probe-table fields — and the class has at
+//!   least [`EngineConfig::delta_join_threshold`] tuples, the whole
+//!   class is treated as the semi-naive *delta*: fresh tuples are
+//!   grouped by their join-key values in one deterministic pass, Gamma
+//!   is probed **once per distinct key**, and each match is filtered
+//!   and emitted against every group member. Distinct-key groups fan
+//!   out across the pool like class chunks do. Rules without plans in
+//!   an otherwise-eligible class still run per-tuple after the batched
+//!   rules.
+//!
+//! The static half of the choice (does every rule on this table have a
+//! plan?) is computed once per run; the dynamic half (is this class
+//! wide enough, and single-table?) is `schedule::Scheduler::delta_join`.
+//! Mode selection is invisible in results: both modes insert the class
+//! into Gamma before firing and emit through the same staging path, so
+//! by set semantics the staged tuple set — and therefore the pop
+//! schedule — is bit-identical (property-tested in
+//! `tests/prop_engine.rs::delta_join_matches_per_tuple`).
+//! [`RunReport::delta_join_classes`], [`RunReport::delta_join_probes`],
+//! [`RunReport::delta_join_build_tuples`] and
+//! [`RunReport::gamma_probes`] put the probe-count reduction on record;
+//! `bench_hotpath`'s `delta_join` section A/B-measures it and gates
+//! that the mode costs nothing on join-free programs.
+//!
 //! ## Hot-path architecture
 //!
 //! The put→Delta→Gamma pipeline adds **zero coordinator-side contention**

@@ -79,6 +79,23 @@ pub struct RunReport {
     /// [`super::EngineConfig::record_steps`], because checkpoints are
     /// rare enough that the two clock reads per checkpoint are free.
     pub checkpoint_time: Duration,
+    /// Classes executed in batched **delta-join** mode: the class
+    /// cleared [`super::EngineConfig::delta_join_threshold`] and its
+    /// trigger table had at least one join-plan rule, so those rules
+    /// ran as one grouped Gamma pass instead of one probe per tuple.
+    pub delta_join_classes: u64,
+    /// Batched Gamma probes issued by delta-join execution — one per
+    /// (rule × distinct join-key group). Compare against
+    /// [`RunReport::delta_join_build_tuples`]: per-tuple mode would
+    /// have issued one probe per build tuple instead.
+    pub delta_join_probes: u64,
+    /// Trigger tuples folded into delta-join build tables (the
+    /// "delta" side of the semi-naive join).
+    pub delta_join_build_tuples: u64,
+    /// Total Gamma queries issued by rule bodies across all tables —
+    /// per-tuple probes and batched delta-join probes alike, so an A/B
+    /// run shows the probe-count reduction directly.
+    pub gamma_probes: u64,
     /// Collected `println` output (order not significant).
     pub output: Vec<String>,
 }

@@ -8,11 +8,14 @@ use crate::gamma::{Gamma, InsertOutcome};
 use crate::orderby::{OrderKey, ResolvedComponent, ResolvedOrderBy};
 use crate::program::Program;
 use crate::query::Query;
+use crate::rule::{JoinPlan, Rule};
 use crate::stats::EngineStats;
 use crate::tuple::Tuple;
+use crate::value::Value;
 use jstar_pool::ThreadPool;
 use parking_lot::Mutex;
 use std::cmp::Ordering as CmpOrdering;
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -259,6 +262,167 @@ pub(super) fn process_class_chunk(state: &RunState, key: &OrderKey, chunk: &[Tup
     for (t, outcome) in chunk.iter().zip(&outcomes) {
         if matches!(outcome, InsertOutcome::Fresh) {
             fire_rules(state, key, t);
+        }
+    }
+}
+
+/// Executes a whole extracted class in **delta-join** mode — semi-naive
+/// evaluation with the class as the delta.
+///
+/// Phase A inserts the class into Gamma in one batch and keeps the fresh
+/// tuples (in class order). Phase B runs each triggered rule over the
+/// fresh set: rules carrying a [`JoinPlan`] are executed as one batched
+/// join — the fresh tuples are grouped by their join-key values and
+/// Gamma is probed **once per distinct key** instead of once per tuple,
+/// with the distinct-key groups fanned out across pool workers — while
+/// opaque rules fall back to per-tuple firing over the same fresh set.
+///
+/// This is a valid serialization of the per-tuple schedule: parallel
+/// per-tuple execution already inserts each chunk before firing its
+/// rules and interleaves chunks arbitrarily, so intra-class visibility
+/// is unspecified in both modes, and set semantics plus the Law of
+/// Causality make the emitted tuple set identical (prop-tested
+/// bit-identical downstream schedules).
+pub(super) fn process_class_delta_join(
+    state: &RunState,
+    key: &OrderKey,
+    class: &[Tuple],
+    pool: Option<&ThreadPool>,
+) {
+    let table = class[0].table();
+    let ti = table.index();
+    let rules_here = &state.program.rules_by_trigger()[ti];
+
+    // ── Phase A: whole-class Gamma insert, fresh tuples kept in class
+    // order (the deterministic build side of the join).
+    let mut fresh: Vec<&Tuple> = Vec::with_capacity(class.len());
+    if state.no_gamma[ti] {
+        fresh.extend(class.iter());
+    } else {
+        let mut outcomes = Vec::with_capacity(class.len());
+        state.gamma.insert_batch(table, class, &mut outcomes);
+        let (mut nf, mut nd) = (0u64, 0u64);
+        for (t, outcome) in class.iter().zip(&outcomes) {
+            match outcome {
+                InsertOutcome::Fresh => {
+                    nf += 1;
+                    fresh.push(t);
+                }
+                InsertOutcome::Duplicate => nd += 1,
+                InsertOutcome::KeyConflict => {
+                    state.record_error(JStarError::KeyViolation {
+                        table: state.program.def(table).name.clone(),
+                        detail: format!("insert of {t} violates the -> key invariant"),
+                    });
+                }
+            }
+        }
+        let stats = &state.stats.tables[ti];
+        if nf > 0 {
+            stats.gamma_fresh.fetch_add(nf, Ordering::Relaxed);
+        }
+        if nd > 0 {
+            stats.gamma_dups.fetch_add(nd, Ordering::Relaxed);
+        }
+    }
+    if fresh.is_empty() {
+        return;
+    }
+    state.stats.tables[ti].triggers.fetch_add(
+        fresh.len() as u64 * rules_here.len() as u64,
+        Ordering::Relaxed,
+    );
+
+    // ── Phase B: each triggered rule over the fresh set, in rule order.
+    for &ri in rules_here {
+        let rule = &state.program.rules()[ri];
+        match &rule.plan {
+            Some(plan) => run_join_rule(state, key, rule, plan, &fresh, pool),
+            None => {
+                // Opaque body: per-tuple firing is its only defined
+                // execution (same context reuse as `fire_rules`).
+                let ctx = RuleCtx::new(state, key, &rule.name);
+                for t in &fresh {
+                    (rule.body)(&ctx, t);
+                }
+            }
+        }
+    }
+}
+
+/// One join-plan rule over a class's fresh tuples: group by join-key
+/// values, then one indexed Gamma probe per distinct key.
+fn run_join_rule(
+    state: &RunState,
+    key: &OrderKey,
+    rule: &Rule,
+    plan: &JoinPlan,
+    fresh: &[&Tuple],
+    pool: Option<&ThreadPool>,
+) {
+    state
+        .stats
+        .delta_join_build_tuples
+        .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+
+    // Build side: group the delta by its join-key values. A BTreeMap —
+    // `Value` is `Ord` but not `Hash` (f64 columns), and ordered
+    // iteration keeps the probe order deterministic.
+    let mut grouped: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+    for &t in fresh {
+        let k: Vec<Value> = plan.keys.iter().map(|&(tf, _)| t.get(tf).clone()).collect();
+        grouped.entry(k).or_default().push(t);
+    }
+    let groups: Vec<(Vec<Value>, Vec<&Tuple>)> = grouped.into_iter().collect();
+
+    let probe_ti = plan.probe_table.index();
+    let probe_one = |group_key: &[Value], members: &[&Tuple]| {
+        let mut q = Query::on(plan.probe_table);
+        for (&(_, pf), v) in plan.keys.iter().zip(group_key) {
+            q.add_eq(pf, v.clone());
+        }
+        // Same accounting as the per-tuple query path, but once per
+        // distinct key instead of once per trigger tuple — the probe
+        // reduction the RunReport counters expose.
+        let use_index = state.plans[probe_ti].query_uses_index(&q);
+        let pstats = &state.stats.tables[probe_ti];
+        pstats.queries.fetch_add(1, Ordering::Relaxed);
+        if use_index {
+            pstats.queries_indexed.fetch_add(1, Ordering::Relaxed);
+        }
+        state
+            .stats
+            .delta_join_probes
+            .fetch_add(1, Ordering::Relaxed);
+        let ctx = RuleCtx::new(state, key, &rule.name);
+        state.gamma.query_hinted(&q, use_index, &mut |p| {
+            for &t in members {
+                if (plan.filter)(t, p) {
+                    (plan.emit)(&ctx, t, p);
+                }
+            }
+            true
+        });
+    };
+
+    match pool {
+        Some(pool) if groups.len() > 1 => {
+            let chunk = jstar_pool::adaptive_chunk(pool, groups.len()).max(1);
+            let probe_one = &probe_one;
+            pool.scope(|s| {
+                s.spawn_batch(groups.chunks(chunk).map(|piece| {
+                    move |_: &jstar_pool::Scope<'_>| {
+                        for (k, members) in piece {
+                            probe_one(k, members);
+                        }
+                    }
+                }));
+            });
+        }
+        _ => {
+            for (k, members) in &groups {
+                probe_one(k, members);
+            }
         }
     }
 }

@@ -34,6 +34,7 @@
 use crate::delta::{DeltaQueue, PreparedClass};
 use crate::orderby::OrderKey;
 use crate::stats::EngineStats;
+use crate::tuple::Tuple;
 use jstar_pool::ThreadPool;
 use std::sync::atomic::Ordering;
 
@@ -53,13 +54,50 @@ pub(super) struct Scheduler {
     /// Classes at or below this width run inline (see
     /// [`super::EngineConfig::inline_class_threshold`]).
     inline_threshold: usize,
+    /// Minimum class size for batched delta-join execution (see
+    /// [`super::EngineConfig::delta_join_threshold`]); `usize::MAX`
+    /// until [`Scheduler::with_delta_join`] arms it.
+    delta_join_threshold: usize,
+    /// Per-table flag: does any rule triggered by this table carry a
+    /// [`crate::rule::JoinPlan`]? Tables without one never take the
+    /// delta-join arm, whatever the class size.
+    join_tables: Vec<bool>,
 }
 
 impl Scheduler {
     pub(super) fn new(inline_threshold: usize) -> Scheduler {
         Scheduler {
             inline_threshold: inline_threshold.max(1),
+            delta_join_threshold: usize::MAX,
+            join_tables: Vec::new(),
         }
+    }
+
+    /// Arms delta-join mode: classes of at least `threshold` tuples
+    /// whose (uniform) trigger table has a join-plan rule execute as
+    /// one batched Gamma pass.
+    pub(super) fn with_delta_join(mut self, threshold: usize, join_tables: Vec<bool>) -> Scheduler {
+        self.delta_join_threshold = threshold;
+        self.join_tables = join_tables;
+        self
+    }
+
+    /// True when `class` should execute in batched delta-join mode:
+    /// it clears the threshold, is uniform over one table, and that
+    /// table triggers at least one join-plan rule. Mixed-table classes
+    /// (one order key spanning tables) always take the per-tuple path —
+    /// correctness never depends on this answer, only probe counts.
+    pub(super) fn delta_join(&self, class: &[Tuple]) -> bool {
+        let Some(first) = class.first() else {
+            return false;
+        };
+        class.len() >= self.delta_join_threshold
+            && self
+                .join_tables
+                .get(first.table().index())
+                .copied()
+                .unwrap_or(false)
+            && class.iter().all(|t| t.table() == first.table())
     }
 
     /// Plans the execution of a class of `class_size` tuples.
@@ -289,5 +327,24 @@ mod tests {
         let s = Scheduler::new(0); // clamped to 1
         assert_eq!(s.plan(Some(&pool), 1), ClassPlan::Inline { sort: false });
         assert!(matches!(s.plan(Some(&pool), 2), ClassPlan::Forked { .. }));
+    }
+
+    #[test]
+    fn delta_join_requires_threshold_uniform_table_and_plan_rule() {
+        use crate::schema::TableId;
+        use crate::value::Value;
+        let row = |ti: u32, v: i64| Tuple::new(TableId(ti), vec![Value::Int(v)]);
+        // Table 0 has a join-plan rule, table 1 does not.
+        let s = Scheduler::new(4).with_delta_join(3, vec![true, false]);
+        let wide: Vec<Tuple> = (0..3).map(|v| row(0, v)).collect();
+        assert!(s.delta_join(&wide));
+        assert!(!s.delta_join(&wide[..2]), "below threshold");
+        let other: Vec<Tuple> = (0..3).map(|v| row(1, v)).collect();
+        assert!(!s.delta_join(&other), "no join-plan rule on that table");
+        let mixed = vec![row(0, 0), row(0, 1), row(1, 2)];
+        assert!(!s.delta_join(&mixed), "mixed-table classes stay per-tuple");
+        assert!(!s.delta_join(&[]), "empty class");
+        // Unarmed scheduler (usize::MAX threshold) never batches.
+        assert!(!Scheduler::new(4).delta_join(&wide));
     }
 }

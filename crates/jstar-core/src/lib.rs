@@ -104,8 +104,10 @@ pub mod prelude {
         Stats, SumReducer,
     };
     pub use crate::relation::{
-        Binder, ColumnSpec, Field, FieldValue, PreparedQuery, Relation, TableHandle, TypedQuery,
+        Binder, ColumnSpec, ConstraintKind, ConstraintShape, Field, FieldValue, JoinOn,
+        PreparedQuery, Relation, TableHandle, TypedQuery,
     };
+    pub use crate::rule::JoinPlan;
     pub use crate::schema::{TableDef, TableId};
     pub use crate::tuple::Tuple;
     pub use crate::value::{Value, ValueType};

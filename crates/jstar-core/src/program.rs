@@ -25,8 +25,9 @@ use crate::causality::{check_rule, CausalityModel, ObligationResult};
 use crate::engine::RuleCtx;
 use crate::error::{JStarError, Result};
 use crate::orderby::{OrderComponent, OrderKey, ResolvedOrderBy};
-use crate::relation::{Relation, TableHandle};
-use crate::rule::{Rule, RuleBody};
+use crate::query::Query;
+use crate::relation::{JoinOn, Relation, TableHandle};
+use crate::rule::{JoinPlan, Rule, RuleBody};
 use crate::schema::{TableDef, TableDefBuilder, TableId};
 use crate::stats::DependencyGraph;
 use crate::strata::{StrataBuilder, StrataOrder};
@@ -150,6 +151,7 @@ impl ProgramBuilder {
             trigger,
             body: Arc::new(body) as RuleBody,
             model: None,
+            plan: None,
         });
     }
 
@@ -166,6 +168,7 @@ impl ProgramBuilder {
             trigger,
             body: Arc::new(body) as RuleBody,
             model: Some(model),
+            plan: None,
         });
     }
 
@@ -201,6 +204,7 @@ impl ProgramBuilder {
             body: Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| body(ctx, R::from_tuple(t)))
                 as RuleBody,
             model: None,
+            plan: None,
         });
     }
 
@@ -219,6 +223,96 @@ impl ProgramBuilder {
             body: Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| body(ctx, R::from_tuple(t)))
                 as RuleBody,
             model: Some(model),
+            plan: None,
+        });
+    }
+
+    /// Adds a typed **join rule** — a rule whose body is expressible as
+    /// (join → filter → emit): for each trigger row `R`, probe `S`'s
+    /// Gamma table where every `on` key pair is equal, keep the
+    /// `(trigger, probed)` pairs passing `filter`, and run `emit` on
+    /// each survivor.
+    ///
+    /// Unlike [`ProgramBuilder::rule_rel`], the registered rule carries
+    /// an inspectable [`crate::rule::JoinPlan`] alongside the
+    /// synthesized per-tuple body. That shape is what lets the engine
+    /// execute a whole extracted class as **one batched hash join**
+    /// against Gamma (grouping the class by its join-key values and
+    /// probing once per distinct key) when the class clears
+    /// [`crate::engine::EngineConfig::delta_join_threshold`]; below the
+    /// threshold, or wherever batching is disabled, the per-tuple body
+    /// runs instead. Both paths are built from the same plan parts, so
+    /// they emit identical tuples.
+    ///
+    /// Strict validation flags the missing causality model; use
+    /// [`ProgramBuilder::rule_rel_join_with_model`] to attach one.
+    pub fn rule_rel_join<R: Relation, S: Relation>(
+        &mut self,
+        name: &str,
+        on: JoinOn<R, S>,
+        filter: impl Fn(&R, &S) -> bool + Send + Sync + 'static,
+        emit: impl Fn(&RuleCtx<'_>, &R, &S) + Send + Sync + 'static,
+    ) {
+        self.push_join_rule(name, on, filter, emit, None);
+    }
+
+    /// [`ProgramBuilder::rule_rel_join`] with a causality model attached
+    /// for static checking.
+    pub fn rule_rel_join_with_model<R: Relation, S: Relation>(
+        &mut self,
+        name: &str,
+        on: JoinOn<R, S>,
+        model: CausalityModel,
+        filter: impl Fn(&R, &S) -> bool + Send + Sync + 'static,
+        emit: impl Fn(&RuleCtx<'_>, &R, &S) + Send + Sync + 'static,
+    ) {
+        self.push_join_rule(name, on, filter, emit, Some(model));
+    }
+
+    fn push_join_rule<R: Relation, S: Relation>(
+        &mut self,
+        name: &str,
+        on: JoinOn<R, S>,
+        filter: impl Fn(&R, &S) -> bool + Send + Sync + 'static,
+        emit: impl Fn(&RuleCtx<'_>, &R, &S) + Send + Sync + 'static,
+        model: Option<CausalityModel>,
+    ) {
+        let trigger = self.relation::<R>().id();
+        let probe_table = self.relation::<S>().id();
+        let plan = Arc::new(JoinPlan {
+            probe_table,
+            keys: on.into_pairs(),
+            filter: Arc::new(move |t: &Tuple, p: &Tuple| {
+                filter(&R::from_tuple(t), &S::from_tuple(p))
+            }),
+            emit: Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple, p: &Tuple| {
+                emit(ctx, &R::from_tuple(t), &S::from_tuple(p))
+            }),
+        });
+        // The per-tuple fallback body is synthesized from the same plan
+        // parts, so both execution modes share one definition of the
+        // rule's meaning and cannot drift apart.
+        let body = {
+            let plan = Arc::clone(&plan);
+            Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| {
+                let mut q = Query::on(plan.probe_table);
+                for &(tf, pf) in &plan.keys {
+                    q.add_eq(pf, t.get(tf).clone());
+                }
+                ctx.query_for_each(&q, |p| {
+                    if (plan.filter)(t, p) {
+                        (plan.emit)(ctx, t, p);
+                    }
+                    true
+                });
+            }) as RuleBody
+        };
+        self.rules.push(Rule {
+            name: name.to_string(),
+            trigger,
+            body,
+            model,
+            plan: Some(plan),
         });
     }
 
@@ -633,5 +727,39 @@ mod tests {
         assert_eq!(g.rules, vec![("a-to-b".to_string(), 0, vec![1])]);
         let dot = g.to_dot(None);
         assert!(dot.contains("a-to-b"));
+    }
+
+    #[test]
+    fn join_rules_carry_plans_and_opaque_rules_do_not() {
+        crate::jstar_table! {
+            /// table Lhs(int k, int v) orderby (Lhs)
+            Lhs(int k, int v) orderby (Lhs)
+        }
+        crate::jstar_table! {
+            /// table Rhs(int k, int w) orderby (Rhs)
+            Rhs(int k, int w) orderby (Rhs)
+        }
+        let mut p = ProgramBuilder::new();
+        p.rule_rel("opaque", |_, _: Lhs| {});
+        p.rule_rel_join(
+            "joined",
+            crate::relation::JoinOn::new().eq(Lhs::k, Rhs::k),
+            |l: &Lhs, r: &Rhs| l.v < r.w,
+            |_, _: &Lhs, _: &Rhs| {},
+        );
+        let prog = p.build().unwrap();
+        assert!(
+            prog.rules()[0].plan.is_none(),
+            "closure bodies stay opaque and per-tuple"
+        );
+        let plan = prog.rules()[1]
+            .plan
+            .as_ref()
+            .expect("join rules expose an inspectable plan");
+        assert_eq!(plan.probe_table, prog.table_id("Rhs").unwrap());
+        assert_eq!(plan.keys, vec![(0, 0)]);
+        // The non-key columns only feed the filter; their tokens still
+        // carry the right indices for anyone extending the join.
+        assert_eq!((Lhs::v.index(), Rhs::w.index()), (1, 1));
     }
 }

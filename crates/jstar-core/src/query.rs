@@ -82,6 +82,14 @@ impl Query {
         self
     }
 
+    /// Adds `field == value` in place — the non-consuming twin of
+    /// [`Query::eq`] for callers assembling a query inside a loop, such
+    /// as the delta-join runtime building one probe per distinct key
+    /// group of an extracted class.
+    pub fn add_eq(&mut self, field: usize, value: Value) {
+        self.eq.push((field, value));
+    }
+
     /// Adds `field < value`.
     pub fn lt(mut self, field: usize, value: impl Into<Value>) -> Query {
         self.ranges.push(FieldRange {

@@ -18,6 +18,46 @@ use std::sync::Arc;
 /// engine, hence `Send + Sync`.
 pub type RuleBody = Arc<dyn Fn(&RuleCtx<'_>, &Tuple) + Send + Sync>;
 
+/// Residual predicate of a [`JoinPlan`]: keeps a `(trigger, probed)` pair.
+pub type JoinFilter = Arc<dyn Fn(&Tuple, &Tuple) -> bool + Send + Sync>;
+
+/// Emission step of a [`JoinPlan`]: called once per surviving
+/// `(trigger, probed)` pair; `put`s result tuples through the context.
+pub type JoinEmit = Arc<dyn Fn(&RuleCtx<'_>, &Tuple, &Tuple) + Send + Sync>;
+
+/// An inspectable (join → filter → emit) plan for a rule body.
+///
+/// Rules registered through
+/// [`crate::program::ProgramBuilder::rule_rel_join`] expose their
+/// constraint structure instead of hiding it inside an opaque closure:
+/// for each trigger tuple, probe `probe_table` where every `keys` pair
+/// `(trigger_field, probe_field)` is equal, keep pairs passing `filter`,
+/// and run `emit` on each. The engine uses the shape to switch a whole
+/// extracted class to **delta-join execution** (one batched hash-join
+/// pass per class instead of one indexed probe per tuple) when the class
+/// clears [`crate::engine::EngineConfig::delta_join_threshold`]; the
+/// synthesized per-tuple body remains the below-threshold fallback, and
+/// both produce the same emissions.
+pub struct JoinPlan {
+    /// The Gamma table probed per trigger tuple.
+    pub probe_table: TableId,
+    /// Equi-join pairs: trigger field `.0` equates to probed field `.1`.
+    pub keys: Vec<(usize, usize)>,
+    /// Residual predicate over `(trigger, probed)` pairs.
+    pub filter: JoinFilter,
+    /// Emission per surviving pair.
+    pub emit: JoinEmit,
+}
+
+impl std::fmt::Debug for JoinPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinPlan")
+            .field("probe_table", &self.probe_table)
+            .field("keys", &self.keys)
+            .finish()
+    }
+}
+
 /// A JStar rule.
 pub struct Rule {
     /// Diagnostic name.
@@ -30,6 +70,10 @@ pub struct Rule {
     /// model are reported as unproved by strict validation, mirroring the
     /// compiler warning the paper describes.
     pub model: Option<CausalityModel>,
+    /// Inspectable (join → filter → emit) shape, when the rule was
+    /// registered through a join-aware path. `None` marks an opaque
+    /// closure body, which the engine always executes per tuple.
+    pub plan: Option<Arc<JoinPlan>>,
 }
 
 impl std::fmt::Debug for Rule {
@@ -38,6 +82,7 @@ impl std::fmt::Debug for Rule {
             .field("name", &self.name)
             .field("trigger", &self.trigger)
             .field("has_model", &self.model.is_some())
+            .field("plan", &self.plan)
             .finish()
     }
 }

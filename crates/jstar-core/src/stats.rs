@@ -8,8 +8,7 @@
 //! parallelism profile), and DOT export of the rule dependency graph
 //! annotated with the counters (the paper's Fig. 7-style views).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use jstar_check::sync::{AtomicU64, Mutex, Ordering};
 
 /// Counters for one table.
 #[derive(Debug, Default)]
@@ -51,6 +50,8 @@ pub struct TableStatsSnapshot {
 
 impl TableStats {
     pub fn snapshot(&self) -> TableStatsSnapshot {
+        // ord: Relaxed — monotonic statistics counters; each value is
+        // independently meaningful and nothing synchronises through them.
         TableStatsSnapshot {
             puts: self.puts.load(Ordering::Relaxed),
             delta_inserts: self.delta_inserts.load(Ordering::Relaxed),
@@ -116,6 +117,16 @@ pub struct EngineStats {
     /// ordered at or below the prepared class (the tuples were returned
     /// to the Delta queue and re-extracted).
     pub lookahead_misses: AtomicU64,
+    /// Classes executed in batched delta-join mode (class size cleared
+    /// [`crate::engine::EngineConfig::delta_join_threshold`] and the
+    /// trigger table had a join-plan rule).
+    pub delta_join_classes: AtomicU64,
+    /// Batched Gamma probes issued by delta-join execution — one per
+    /// (rule × distinct join-key group).
+    pub delta_join_probes: AtomicU64,
+    /// Trigger tuples folded into delta-join build tables (the delta
+    /// side of the semi-naive join).
+    pub delta_join_build_tuples: AtomicU64,
     /// Per-step log; only populated when
     /// [`crate::engine::EngineConfig::record_steps`] is set.
     pub step_log: Mutex<Vec<StepRecord>>,
@@ -137,11 +148,16 @@ impl EngineStats {
             forked_classes: AtomicU64::new(0),
             lookahead_hits: AtomicU64::new(0),
             lookahead_misses: AtomicU64::new(0),
+            delta_join_classes: AtomicU64::new(0),
+            delta_join_probes: AtomicU64::new(0),
+            delta_join_build_tuples: AtomicU64::new(0),
             step_log: Mutex::new(Vec::new()),
         }
     }
 
     pub fn record_step(&self, class_size: usize) {
+        // ord: Relaxed — statistics counters, no cross-thread ordering
+        // is derived from them.
         self.steps.fetch_add(1, Ordering::Relaxed);
         self.tuples_processed
             .fetch_add(class_size as u64, Ordering::Relaxed);
@@ -150,14 +166,14 @@ impl EngineStats {
     }
 
     pub fn log_step(&self, rec: StepRecord) {
-        self.step_log.lock().unwrap().push(rec);
+        self.step_log.lock().push(rec);
     }
 
     /// Histogram of equivalence-class sizes from the step log, as
     /// `(bucket_upper_bound, count)` pairs with power-of-two buckets.
     /// This is the "available parallelism" profile.
     pub fn class_size_histogram(&self) -> Vec<(usize, usize)> {
-        let log = self.step_log.lock().unwrap();
+        let log = self.step_log.lock();
         let mut buckets: Vec<(usize, usize)> = Vec::new();
         for rec in log.iter() {
             let mut bound = 1usize;
@@ -176,7 +192,7 @@ impl EngineStats {
     /// Mean class size over the logged steps — a rough measure of how much
     /// parallelism the all-minimums strategy can exploit.
     pub fn mean_class_size(&self) -> f64 {
-        let log = self.step_log.lock().unwrap();
+        let log = self.step_log.lock();
         if log.is_empty() {
             return 0.0;
         }
@@ -190,7 +206,7 @@ impl EngineStats {
     /// ("allow users to visually see the possible parallelism structure in
     /// their programs"). One row per step, bar length ∝ class size.
     pub fn render_parallelism_profile(&self, max_rows: usize) -> String {
-        let log = self.step_log.lock().unwrap();
+        let log = self.step_log.lock();
         if log.is_empty() {
             return "(no step log — enable EngineConfig::record_steps)".into();
         }

@@ -8,9 +8,34 @@
 //! "parallel execution is deterministic" (§4–5) — restated as a property.
 
 use jstar_core::delta::DeltaKind;
+use jstar_core::jstar_table;
 use jstar_core::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+jstar_table! {
+    /// Probe-side dimension table for the join-program generator.
+    #[derive(Copy, Eq)]
+    pub Dim(int k, int w) orderby (Dim)
+}
+
+jstar_table! {
+    /// Trigger of the first join stage; one wide equivalence class.
+    #[derive(Copy, Eq)]
+    pub Src(int k, int v) orderby (Src)
+}
+
+jstar_table! {
+    /// Output of stage 1, trigger of stage 2.
+    #[derive(Copy, Eq)]
+    pub Mid(int k2, int s) orderby (Mid)
+}
+
+jstar_table! {
+    /// Final join output.
+    #[derive(Copy, Eq)]
+    pub Out(int a, int b) orderby (Out)
+}
 
 /// A randomly shaped layered rule program:
 ///
@@ -119,6 +144,58 @@ fn relaxation_program(n: i64, degree: i64, weight_mod: i64) -> Arc<Program> {
         }
     });
     p.put(Tuple::new(estimate, vec![Value::Int(0), Value::Int(0)]));
+    Arc::new(p.build().unwrap())
+}
+
+/// A two-stage join program whose trigger classes are wide (no `seq`
+/// columns), so the batched delta-join pass has something to batch:
+///
+/// * `Dim` is the probe-side table (popped first, no rules);
+/// * `Src ⋈ Dim` on `k` with a residual filter feeds `Mid`;
+/// * `Mid ⋈ Dim` on the derived key feeds `Out`;
+/// * an *opaque* rule also triggers on `Src`, so delta-join classes mix
+///   planned and per-tuple rule execution in one pop.
+fn join_program(dims: i64, srcs: i64, key_mod: i64, filt: i64) -> Arc<Program> {
+    let mut p = ProgramBuilder::new();
+    p.relation::<Dim>();
+    p.relation::<Src>();
+    p.relation::<Mid>();
+    p.relation::<Out>();
+    p.order(&["Dim", "Src", "Mid", "Out"]);
+    p.rule_rel_join(
+        "stage1",
+        JoinOn::new().eq(Src::k, Dim::k),
+        move |s: &Src, d: &Dim| (s.v + d.w).rem_euclid(filt) != 0,
+        move |ctx, s: &Src, d: &Dim| {
+            ctx.put_rel(Mid {
+                k2: (s.v * 3 + d.w).rem_euclid(key_mod),
+                s: s.v + d.w,
+            });
+        },
+    );
+    p.rule_rel_join(
+        "stage2",
+        JoinOn::new().eq(Mid::k2, Dim::k),
+        |_m: &Mid, _d: &Dim| true,
+        |ctx, m: &Mid, d: &Dim| {
+            ctx.put_rel(Out { a: m.s, b: d.w });
+        },
+    );
+    p.rule_rel("mirror", |ctx, s: Src| {
+        ctx.put_rel(Out { a: s.v, b: -1 });
+    });
+    for i in 0..dims {
+        p.put_rel(Dim {
+            k: i.rem_euclid(key_mod),
+            w: i,
+        });
+    }
+    for i in 0..srcs {
+        p.put_rel(Src {
+            k: (i * 7).rem_euclid(key_mod),
+            v: i,
+        });
+    }
     Arc::new(p.build().unwrap())
 }
 
@@ -454,6 +531,79 @@ proptest! {
                 threads,
                 depth
             );
+        }
+    }
+
+    /// Semi-naive delta-join execution is a pure execution-strategy
+    /// change: for random two-stage join programs, the batched mode
+    /// (grouped Gamma probes per class) produces **bit-identical pop
+    /// schedules** to per-tuple firing — same step count, same tuple
+    /// count, same Gamma fixpoint, same content hash — sequentially and
+    /// at every thread count, with the opaque `mirror` rule riding in
+    /// the same trigger classes.
+    #[test]
+    fn delta_join_matches_per_tuple(
+        dims in 1i64..30,
+        srcs in 1i64..40,
+        key_mod in 1i64..12,
+        filt in 1i64..6,
+        threads in 2usize..6,
+        threshold in 1usize..8,
+    ) {
+        let prog = join_program(dims, srcs, key_mod, filt);
+
+        let mut base = Engine::new(
+            Arc::clone(&prog),
+            EngineConfig::sequential().delta_join_from(usize::MAX),
+        );
+        let base_report = base.run().unwrap();
+        prop_assert_eq!(base_report.delta_join_classes, 0, "per-tuple baseline");
+        let want = canonical_gamma(&base);
+        let want_hash = base.content_hash();
+
+        let configs = [
+            EngineConfig::sequential().delta_join_from(threshold),
+            EngineConfig::parallel(threads).delta_join_from(threshold),
+            EngineConfig::parallel(threads)
+                .pipeline_depth(2)
+                .parallel_merge_from(1)
+                .delta_join_from(threshold),
+        ];
+        for (i, config) in configs.into_iter().enumerate() {
+            let mut eng = Engine::new(Arc::clone(&prog), config);
+            let report = eng.run().unwrap();
+            let got = canonical_gamma(&eng);
+            prop_assert_eq!(&got, &want, "gamma contents diverged (config {})", i);
+            prop_assert_eq!(
+                report.steps,
+                base_report.steps,
+                "pop schedules diverged (config {})",
+                i
+            );
+            prop_assert_eq!(
+                report.tuples_processed,
+                base_report.tuples_processed,
+                "tuple counts diverged (config {})",
+                i
+            );
+            prop_assert_eq!(
+                eng.content_hash(),
+                want_hash,
+                "content hash diverged (config {})",
+                i
+            );
+            // The Src class is one wide equivalence class of `srcs`
+            // distinct tuples, so batching must engage whenever it
+            // clears the threshold.
+            if srcs as usize >= threshold {
+                prop_assert!(
+                    report.delta_join_classes > 0,
+                    "delta-join never engaged (config {}): {:?}",
+                    i,
+                    report
+                );
+                prop_assert!(report.delta_join_build_tuples >= srcs as u64);
+            }
         }
     }
 

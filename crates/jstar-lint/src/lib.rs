@@ -64,8 +64,6 @@ pub const R2_ALLOWLIST: &[&str] = &[
     "crates/jstar-core/src/engine/runtime.rs",
     "crates/jstar-core/src/engine/schedule.rs",
     "crates/jstar-core/src/gamma/concurrent.rs",
-    "crates/jstar-core/src/relation.rs",
-    "crates/jstar-core/src/stats.rs",
     "crates/jstar-pool/src/batch.rs",
     "crates/jstar-pool/src/parfor.rs",
     "crates/jstar-pool/src/pool.rs",
@@ -77,6 +75,8 @@ pub const R2_ALLOWLIST: &[&str] = &[
 pub const SHIM_MANDATED: &[&str] = &[
     "crates/jstar-core/src/delta.rs",
     "crates/jstar-core/src/gamma/reservation.rs",
+    "crates/jstar-core/src/relation.rs",
+    "crates/jstar-core/src/stats.rs",
     "crates/jstar-disruptor/src/lib.rs",
     "crates/jstar-disruptor/src/multi.rs",
     "crates/jstar-disruptor/src/ring.rs",

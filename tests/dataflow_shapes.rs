@@ -23,7 +23,7 @@ fn pvwatts_runs_in_two_parallel_phases() {
     let mut engine = Engine::new(Arc::clone(&app.program), config);
     engine.run().unwrap();
 
-    let log = engine.stats().step_log.lock().unwrap().clone();
+    let log = engine.stats().step_log.lock().clone();
     // Phase 1: one step with the 4 reader requests (one par class).
     // Phase 2: one step with the 12 SumMonth tuples.
     assert_eq!(log.len(), 2, "{log:?}");
@@ -47,7 +47,7 @@ fn matmul_is_a_single_wave_of_row_tasks() {
         .record_steps();
     let mut engine = Engine::new(Arc::clone(&app.program), config);
     engine.run().unwrap();
-    let log = engine.stats().step_log.lock().unwrap().clone();
+    let log = engine.stats().step_log.lock().clone();
     // Step 1: the MultRequest; step 2: all n rows at once.
     assert_eq!(log.len(), 2, "{log:?}");
     assert_eq!(log[1].class_size, n);
@@ -60,7 +60,7 @@ fn dijkstra_advances_in_distance_order() {
     let config = shortest_path::optimised_config(&app, EngineConfig::parallel(4).record_steps());
     let mut engine = Engine::new(Arc::clone(&app.program), config);
     engine.run().unwrap();
-    let log = engine.stats().step_log.lock().unwrap().clone();
+    let log = engine.stats().step_log.lock().clone();
     // After the generation wave, Estimate steps carry keys
     // "(S?, d, S?)" with non-decreasing d.
     let distances: Vec<i64> = log
