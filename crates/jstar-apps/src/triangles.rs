@@ -1,22 +1,25 @@
-//! Triangle counting over a random undirected graph — the delta-join
-//! showcase workload.
+//! Triangle counting over a random undirected graph — the multi-way
+//! join showcase workload.
 //!
-//! The program lists each triangle `a < b < c` exactly once via two
-//! relational join rules:
+//! The program lists each triangle `a < b < c` exactly once via **one
+//! two-stage join rule**: the trigger `Probe(a, b)` extends through
+//! `Edge(b, c)` (stage 1, residual `b < c`) and closes through
+//! `Edge(c, a)` (stage 2) in a single descent — no intermediate wedge
+//! relation is materialised. The rule is registered through
+//! [`ProgramBuilder::rule_rel_join2`], so it carries an inspectable
+//! two-stage [`JoinPlan`] and every `Probe` stratum drains through the
+//! engine's batched delta-join pass. Under the default
+//! [`JoinStrategy::Leapfrog`] that pass is one coordinated sorted-merge
+//! walk over the `Edge` indexes per class; under
+//! [`JoinStrategy::HashProbe`] it is the PR 8 behaviour of one hash
+//! probe per distinct key. The `wco_join` section of `bench_hotpath`
+//! A/B-compares the strategies on this program and records the
+//! probe/seek counters.
 //!
-//! 1. `Probe(a, b) ⋈ Edge(b, c)` with `b < c` emits the wedge
-//!    `Wedge(a, b, c)` — a path `a–b–c` with strictly increasing
-//!    endpoints, and
-//! 2. `Wedge(a, b, c) ⋈ Edge(c, a)` closes the wedge into
-//!    `Triangle(a, b, c)` (edges are stored in both directions, so the
-//!    closing edge exists iff `a ~ c`).
-//!
-//! Both rules are registered through [`ProgramBuilder::rule_rel_join`],
-//! so they carry inspectable [`JoinPlan`]s and every `Probe`/`Wedge`
-//! stratum drains through the engine's batched delta-join pass: one
-//! grouped Gamma probe per distinct join key instead of one probe per
-//! tuple. The `delta_join` section of `bench_hotpath` A/B-compares the
-//! two modes on this program and records the probe counters.
+//! The same count is also available *after* the run as a read-side
+//! query: [`count_via_join3`] evaluates
+//! `join3::<Edge, Edge, Edge>()` with a leapfrog intersection over the
+//! stored half-edges — the query-layer face of the same walk.
 
 use jstar_core::jstar_table;
 use jstar_core::prelude::*;
@@ -38,16 +41,10 @@ jstar_table! {
 }
 
 jstar_table! {
-    /// One probe per undirected edge `a < b`; the trigger of the wedge
-    /// join. All probes share a single equivalence class.
+    /// One probe per undirected edge `a < b`; the trigger of the
+    /// triangle join. All probes share a single equivalence class.
     #[derive(Copy, Eq)]
     pub Probe(int a, int b) orderby (Probe)
-}
-
-jstar_table! {
-    /// An open path `a–b–c` with `a < b < c`.
-    #[derive(Copy, Eq)]
-    pub Wedge(int a, int b, int c) orderby (Wedge)
 }
 
 jstar_table! {
@@ -145,7 +142,6 @@ pub struct TrianglesApp {
     pub load: TableId,
     pub edge: TableId,
     pub probe: TableId,
-    pub wedge: TableId,
     pub tri: TableId,
 }
 
@@ -156,11 +152,10 @@ pub fn build_program(spec: TriSpec) -> TrianglesApp {
     let load = p.relation::<Load>().id();
     let edge = p.relation::<Edge>().id();
     let probe = p.relation::<Probe>().id();
-    let wedge = p.relation::<Wedge>().id();
     let tri = p.relation::<Triangle>().id();
     // Strictly increasing strata: every put points forward, so the Law
     // of Causality holds by construction (no recursion anywhere).
-    p.order(&["Load", "Edge", "Probe", "Wedge", "Tri"]);
+    p.order(&["Load", "Edge", "Probe", "Tri"]);
 
     // Graph loading: each task stores its slice of the edge list both
     // ways and seeds one Probe per undirected edge. Opaque rule — no
@@ -185,34 +180,23 @@ pub fn build_program(spec: TriSpec) -> TrianglesApp {
         }
     });
 
-    // Wedge rule: extend the edge a–b (a < b) by a higher neighbour of
-    // b. Join key b = e.from; the residual b < e.to orders the path.
-    p.rule_rel_join(
-        "wedges",
+    // The whole triangle in one rule: extend the edge a–b (a < b) by a
+    // higher neighbour c of b (stage 1, residual b < c), then require
+    // the closing edge c→a (stage 2 — both directions are stored, so it
+    // exists iff a ~ c). Stage 2's leading key comes from stage 1's
+    // tuple, which is what the leapfrog walk seeks on.
+    p.rule_rel_join2(
+        "triangles",
         JoinOn::new().eq(Probe::b, Edge::from),
-        |p: &Probe, e: &Edge| p.b < e.to,
-        |ctx, p: &Probe, e: &Edge| {
-            ctx.put_rel(Wedge {
+        JoinOn2::new()
+            .eq_p(Edge::to, Edge::from)
+            .eq_t(Probe::a, Edge::to),
+        |p: &Probe, e1: &Edge, _e2: &Edge| p.b < e1.to,
+        |ctx, p: &Probe, e1: &Edge, _e2: &Edge| {
+            ctx.put_rel(Triangle {
                 a: p.a,
                 b: p.b,
-                c: e.to,
-            });
-        },
-    );
-
-    // Closing rule: the wedge a–b–c is a triangle iff the edge c→a
-    // exists (both directions are stored, so this needs no residual).
-    p.rule_rel_join(
-        "close-triangles",
-        JoinOn::new()
-            .eq(Wedge::c, Edge::from)
-            .eq(Wedge::a, Edge::to),
-        |_w: &Wedge, _e: &Edge| true,
-        |ctx, w: &Wedge, _e: &Edge| {
-            ctx.put_rel(Triangle {
-                a: w.a,
-                b: w.b,
-                c: w.c,
+                c: e1.to,
             });
         },
     );
@@ -226,7 +210,6 @@ pub fn build_program(spec: TriSpec) -> TrianglesApp {
         load,
         edge,
         probe,
-        wedge,
         tri,
     }
 }
@@ -251,7 +234,7 @@ pub fn run_jstar(spec: TriSpec, config: EngineConfig) -> Result<u64> {
 }
 
 /// Like [`run_jstar`], but also returns the engine's [`RunReport`] so
-/// the benches can read the delta-join and Gamma probe counters.
+/// the benches can read the join probe/seek counters.
 pub fn run_jstar_report(spec: TriSpec, config: EngineConfig) -> Result<(u64, RunReport)> {
     let app = build_program(spec);
     let config = optimised_config(&app, config);
@@ -263,6 +246,27 @@ pub fn run_jstar_report(spec: TriSpec, config: EngineConfig) -> Result<(u64, Run
         true
     });
     Ok((count, report))
+}
+
+/// Counts triangles *after* a run as a read-side query: one ternary
+/// `join3::<Edge, Edge, Edge>()` over the stored half-edges, evaluated
+/// by [`Engine::join3_rel`]'s leapfrog walk. Each triangle appears in
+/// six half-edge orientations; the `x < y < z` filter keeps exactly
+/// one.
+pub fn count_via_join3(engine: &Engine) -> u64 {
+    let mut count = 0u64;
+    engine.join3_rel(
+        join3::<Edge, Edge, Edge>()
+            .on_ab(Edge::to, Edge::from)
+            .on_bc(Edge::to, Edge::from)
+            .on_ac(Edge::from, Edge::to),
+        |a: Edge, b: Edge, _c: Edge| {
+            if a.from < a.to && a.to < b.to {
+                count += 1;
+            }
+        },
+    );
+    count
 }
 
 #[cfg(test)]
@@ -333,10 +337,15 @@ mod tests {
         let spec = small_spec();
         let want = triangles_baseline(&spec);
 
-        let (dj_count, dj) =
-            run_jstar_report(spec, EngineConfig::sequential().delta_join_from(4)).unwrap();
-        let (pt_count, pt) =
-            run_jstar_report(spec, EngineConfig::sequential().delta_join_from(usize::MAX)).unwrap();
+        // Pin the PR 8 hash-probe strategy: this test is about the
+        // batched-vs-per-tuple axis, not the walk.
+        let hash = |threshold| {
+            EngineConfig::sequential()
+                .join_strategy(JoinStrategy::HashProbe)
+                .delta_join_from(threshold)
+        };
+        let (dj_count, dj) = run_jstar_report(spec, hash(4)).unwrap();
+        let (pt_count, pt) = run_jstar_report(spec, hash(usize::MAX)).unwrap();
 
         assert_eq!(dj_count, want);
         assert_eq!(pt_count, want);
@@ -353,15 +362,81 @@ mod tests {
     }
 
     #[test]
+    fn leapfrog_walk_beats_hash_probes_and_counts_seeks() {
+        let spec = small_spec();
+        let want = triangles_baseline(&spec);
+
+        let (lf_count, lf) = run_jstar_report(
+            spec,
+            EngineConfig::sequential().delta_join_from(4), // Leapfrog is the default
+        )
+        .unwrap();
+        let (hp_count, hp) = run_jstar_report(
+            spec,
+            EngineConfig::sequential()
+                .join_strategy(JoinStrategy::HashProbe)
+                .delta_join_from(4),
+        )
+        .unwrap();
+
+        assert_eq!(lf_count, want);
+        assert_eq!(hp_count, want);
+        assert!(lf.delta_join_classes > 0, "walk engaged: {lf:?}");
+        assert!(lf.join_cursor_opens > 0, "cursors opened: {lf:?}");
+        assert_eq!(hp.join_cursor_opens, 0, "hash mode opens no cursors");
+        assert_eq!(lf.delta_join_probes, 0, "walk mode issues no hash probes");
+        assert!(
+            lf.gamma_probes + lf.join_seeks < hp.gamma_probes,
+            "merged walk does less store searching: lf probes={} seeks={} vs hp probes={}",
+            lf.gamma_probes,
+            lf.join_seeks,
+            hp.gamma_probes
+        );
+    }
+
+    #[test]
     fn join_rules_expose_plans() {
         let app = build_program(small_spec());
         let rules = app.program.rules();
         assert!(rules[0].plan.is_none(), "load-graph is opaque");
-        let wedge_plan = rules[1].plan.as_ref().expect("wedges has a plan");
-        assert_eq!(wedge_plan.probe_table, app.edge);
-        assert_eq!(wedge_plan.keys, vec![(1, 0)]);
-        let close_plan = rules[2].plan.as_ref().expect("close-triangles has a plan");
-        assert_eq!(close_plan.keys, vec![(2, 0), (0, 1)]);
+        let plan = rules[1].plan.as_ref().expect("triangles has a plan");
+        assert_eq!(plan.stages.len(), 2, "one rule, two probe stages");
+        assert_eq!(plan.stages[0].probe_table, app.edge);
+        assert_eq!(
+            plan.stages[0].keys,
+            vec![((0, 1), 0)],
+            "Probe.b = Edge.from"
+        );
+        assert_eq!(plan.stages[1].probe_table, app.edge);
+        assert_eq!(
+            plan.stages[1].keys,
+            vec![((1, 1), 0), ((0, 0), 1)],
+            "e1.to = e2.from (the walked column), Probe.a = e2.to (residual)"
+        );
+        assert_eq!(
+            plan.first_stage().trigger_keys().collect::<Vec<_>>(),
+            vec![(1, 0)]
+        );
+    }
+
+    #[test]
+    fn read_side_join3_matches_rule_count() {
+        let spec = small_spec();
+        let want = triangles_baseline(&spec);
+        let app = build_program(spec);
+        let config = optimised_config(&app, EngineConfig::sequential());
+        let mut engine = Engine::new(Arc::clone(&app.program), config);
+        engine.run().unwrap();
+        let opens = |e: &Engine| {
+            e.stats()
+                .join_cursor_opens
+                .load(std::sync::atomic::Ordering::Relaxed)
+        };
+        let before = opens(&engine);
+        assert_eq!(count_via_join3(&engine), want);
+        // The read-side walk opened three cursors and charged them to
+        // the same counters the rule-side walk uses.
+        assert_eq!(opens(&engine), before + 3);
     }
 
     #[test]

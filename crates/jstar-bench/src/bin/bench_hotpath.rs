@@ -35,17 +35,25 @@
 //! serialize + rename cycle failing that bound is a regression, not a
 //! tuning choice.
 //!
-//! The `delta_join` section A/B-compares the triangle-counting app
-//! (wide join-rule classes) in per-tuple vs. batched delta-join mode,
-//! interleaved pairwise at 1/4/8 threads, and records the Gamma
-//! probe/build counters so the probe-count reduction is measured, not
-//! asserted. The `delta_join_parity` section runs the same pairwise A/B
-//! on fig8/fig11/fig12 — programs with *no* join rules, where mode
-//! selection must be free; under `--check-drain`, any parity median
-//! beyond 1.10x fails the run. The `depth2_soak` section runs the full
-//! app suite once at `pipeline_depth = 2`, recording per-app lookahead
-//! hit rates — the data the ROADMAP wants before flipping the default
-//! depth.
+//! The `delta_join` and `wco_join` sections share one three-arm
+//! triangle-counting measurement, interleaved per round at 1/4/8
+//! threads: per-tuple nested-loop firing, batched delta-join with hash
+//! probes (the PR 8 path), and batched delta-join lowered onto the
+//! leapfrog merged-cursor walk (the default). `delta_join` keeps its
+//! v3 shape from the per-tuple and hash arms; `wco_join` reports all
+//! three arms with the Gamma probe / join seek / cursor-open counters,
+//! so the "coordinated walk searches less than per-key probing" claim
+//! is measured, not asserted — under `--check-drain` the leapfrog
+//! arm's `gamma_probes + join_seeks` must stay strictly below the hash
+//! arm's `gamma_probes` at every thread count. The `delta_join_parity`
+//! section runs pairwise per-tuple vs. delta-join A/B on
+//! fig8/fig11/fig12 — programs with *no* join rules, where mode
+//! selection must be free; `wco_join_parity` does the same for the
+//! join-strategy knob (hash vs. leapfrog on join-free programs); under
+//! `--check-drain`, any parity median beyond 1.10x fails the run. The
+//! `depth2_soak` section runs the full app suite once at
+//! `pipeline_depth = 2`, recording per-app lookahead hit rates — the
+//! data the ROADMAP wants before flipping the default depth.
 
 use jstar_apps::matmul;
 use jstar_apps::median;
@@ -248,31 +256,49 @@ fn main() {
         })
         .collect();
 
-    // Delta-join A/B: the triangle-counting app's Probe/Wedge strata
-    // pop as single wide classes over join rules, so the two execution
-    // modes differ only in how the class meets Gamma: one indexed probe
-    // per tuple vs. one batched pass grouped by join key. Pairs are
-    // interleaved (per-tuple then delta-join within each round) so both
-    // arms see the same ambient noise.
+    // Three-arm triangle A/B: the app's Probe stratum pops as one wide
+    // class over a two-stage join rule, so the arms differ only in how
+    // that class meets Gamma — per-tuple nested-loop firing (one
+    // indexed probe per tuple per stage), batched delta-join with one
+    // hash probe per distinct key (the PR 8 path), and the batched
+    // class lowered onto the leapfrog merged-cursor walk (one
+    // coordinated index walk per class, the default). Arms are
+    // interleaved within each round so all three see the same ambient
+    // noise; the `delta_join` section keeps its v3 shape from the
+    // first two arms, `wco_join` reports all three.
+    #[derive(Clone, Copy, PartialEq)]
+    enum TriArm {
+        PerTuple,
+        HashDj,
+        LeapfrogDj,
+    }
+    const TRI_ARMS: [TriArm; 3] = [TriArm::PerTuple, TriArm::HashDj, TriArm::LeapfrogDj];
     let tri_spec = triangles_spec();
-    let dj_config = |ti: usize, dj: bool| {
+    let tri_config = |ti: usize, arm: TriArm| {
         let mut c = config(ti);
-        if !dj {
-            c = c.delta_join_from(usize::MAX);
+        match arm {
+            TriArm::PerTuple => c = c.delta_join_from(usize::MAX),
+            TriArm::HashDj => c = c.join_strategy(JoinStrategy::HashProbe),
+            TriArm::LeapfrogDj => {} // delta-join + leapfrog are the defaults
         }
         c
     };
-    run_triangles(tri_spec, dj_config(0, false)); // warm-up, discarded
-    run_triangles(tri_spec, dj_config(0, true));
-    let mut tri_pt: Vec<Vec<Duration>> = vec![Vec::with_capacity(runs); THREADS.len()];
-    let mut tri_dj: Vec<Vec<Duration>> = vec![Vec::with_capacity(runs); THREADS.len()];
+    for &arm in &TRI_ARMS {
+        run_triangles(tri_spec, tri_config(0, arm)); // warm-up, discarded
+    }
+    // tri_cells[threads][arm]: the arm loop is innermost so each
+    // cell's three arms run back-to-back under the same ambient
+    // conditions.
+    let mut tri_cells: Vec<Vec<Vec<Duration>>> =
+        vec![vec![Vec::with_capacity(runs); TRI_ARMS.len()]; THREADS.len()];
     for _round in 0..runs {
-        for ti in 0..THREADS.len() {
-            tri_pt[ti].push(run_triangles(tri_spec, dj_config(ti, false)));
-            tri_dj[ti].push(run_triangles(tri_spec, dj_config(ti, true)));
+        for (ti, row) in tri_cells.iter_mut().enumerate() {
+            for (cell, &arm) in row.iter_mut().zip(&TRI_ARMS) {
+                cell.push(run_triangles(tri_spec, tri_config(ti, arm)));
+            }
         }
     }
-    // One counter run per (threads, mode): the probe/build counters are
+    // One counter run per (threads, arm): the probe/seek counters are
     // plain stats, always collected, so these runs are cheap and stay
     // outside the timing cells.
     struct DjRow {
@@ -286,39 +312,80 @@ fn main() {
         dj_classes: u64,
         dj_build_tuples: u64,
     }
-    let dj_rows: Vec<DjRow> = (0..THREADS.len())
-        .map(|ti| {
-            let (_, pt_report) =
-                triangles::run_jstar_report(tri_spec, dj_config(ti, false)).expect("triangles");
-            let (_, dj_report) =
-                triangles::run_jstar_report(tri_spec, dj_config(ti, true)).expect("triangles");
-            assert_eq!(
-                pt_report.delta_join_classes, 0,
-                "per-tuple arm must not batch"
-            );
-            assert!(
-                dj_report.delta_join_classes > 0,
-                "delta-join arm must batch"
-            );
-            let med_pt = median(&tri_pt[ti]);
-            let med_dj = median(&tri_dj[ti]);
-            DjRow {
-                threads: THREADS[ti],
-                median_per_tuple: med_pt,
-                median_delta_join: med_dj,
-                ratio_dj_vs_pt: if med_pt.as_secs_f64() > 0.0 {
-                    med_dj.as_secs_f64() / med_pt.as_secs_f64()
-                } else {
-                    1.0
-                },
-                pt_gamma_probes: pt_report.gamma_probes,
-                dj_gamma_probes: dj_report.gamma_probes,
-                dj_probes: dj_report.delta_join_probes,
-                dj_classes: dj_report.delta_join_classes,
-                dj_build_tuples: dj_report.delta_join_build_tuples,
+    struct WcoRow {
+        threads: usize,
+        median_per_tuple: Duration,
+        median_hash: Duration,
+        median_leapfrog: Duration,
+        ratio_lf_vs_pt: f64,
+        ratio_lf_vs_hash: f64,
+        pt_gamma_probes: u64,
+        hash_gamma_probes: u64,
+        hash_dj_probes: u64,
+        lf_gamma_probes: u64,
+        lf_join_seeks: u64,
+        lf_cursor_opens: u64,
+    }
+    let mut dj_rows: Vec<DjRow> = Vec::with_capacity(THREADS.len());
+    let mut wco_rows: Vec<WcoRow> = Vec::with_capacity(THREADS.len());
+    for (ti, &tri_threads) in THREADS.iter().enumerate() {
+        let (_, pt_report) =
+            triangles::run_jstar_report(tri_spec, tri_config(ti, TriArm::PerTuple))
+                .expect("triangles");
+        let (_, hash_report) =
+            triangles::run_jstar_report(tri_spec, tri_config(ti, TriArm::HashDj))
+                .expect("triangles");
+        let (_, lf_report) =
+            triangles::run_jstar_report(tri_spec, tri_config(ti, TriArm::LeapfrogDj))
+                .expect("triangles");
+        assert_eq!(
+            pt_report.delta_join_classes, 0,
+            "per-tuple arm must not batch"
+        );
+        assert!(
+            hash_report.delta_join_classes > 0 && lf_report.delta_join_classes > 0,
+            "delta-join arms must batch"
+        );
+        assert_eq!(
+            lf_report.delta_join_probes, 0,
+            "the leapfrog walk must not hash-probe"
+        );
+        let med_pt = median(&tri_cells[ti][0]);
+        let med_hash = median(&tri_cells[ti][1]);
+        let med_lf = median(&tri_cells[ti][2]);
+        let ratio = |num: Duration, den: Duration| {
+            if den.as_secs_f64() > 0.0 {
+                num.as_secs_f64() / den.as_secs_f64()
+            } else {
+                1.0
             }
-        })
-        .collect();
+        };
+        dj_rows.push(DjRow {
+            threads: tri_threads,
+            median_per_tuple: med_pt,
+            median_delta_join: med_hash,
+            ratio_dj_vs_pt: ratio(med_hash, med_pt),
+            pt_gamma_probes: pt_report.gamma_probes,
+            dj_gamma_probes: hash_report.gamma_probes,
+            dj_probes: hash_report.delta_join_probes,
+            dj_classes: hash_report.delta_join_classes,
+            dj_build_tuples: hash_report.delta_join_build_tuples,
+        });
+        wco_rows.push(WcoRow {
+            threads: tri_threads,
+            median_per_tuple: med_pt,
+            median_hash: med_hash,
+            median_leapfrog: med_lf,
+            ratio_lf_vs_pt: ratio(med_lf, med_pt),
+            ratio_lf_vs_hash: ratio(med_lf, med_hash),
+            pt_gamma_probes: pt_report.gamma_probes,
+            hash_gamma_probes: hash_report.gamma_probes,
+            hash_dj_probes: hash_report.delta_join_probes,
+            lf_gamma_probes: lf_report.gamma_probes,
+            lf_join_seeks: lf_report.join_seeks,
+            lf_cursor_opens: lf_report.join_cursor_opens,
+        });
+    }
 
     // Delta-join parity on the join-free exhibits: fig8/fig11/fig12
     // have no join-plan rules, so enabling delta-join must cost nothing
@@ -359,6 +426,55 @@ fn main() {
                 workload,
                 median_per_tuple: median(&pt),
                 median_delta_join: median(&dj),
+                ratio: ratios.get(ratios.len() / 2).copied().unwrap_or(1.0),
+            });
+        };
+        measure("fig8_pvwatts", &mut |c| {
+            run_pvwatts(&csv, THREADS[parity_ti].max(2), Variant::HashStore, c)
+        });
+        measure("fig11_matmul", &mut |c| run_matmul(n, &a, &b, c));
+        measure("fig12_dijkstra", &mut |c| run_dijkstra(spec, c));
+    }
+
+    // Join-strategy parity on the same join-free exhibits: the
+    // leapfrog default only changes how *join-plan* classes execute,
+    // so on programs with no join rules the strategy knob must be
+    // invisible. Matched interleaved pairs (hash then leapfrog within
+    // each round), gated on the median pair ratio like the delta-join
+    // section above.
+    struct WcoParityRow {
+        workload: &'static str,
+        median_hash: Duration,
+        median_leapfrog: Duration,
+        ratio: f64,
+    }
+    let mut wco_parity_rows: Vec<WcoParityRow> = Vec::new();
+    {
+        let strategy_config = |lf: bool| {
+            config(parity_ti).join_strategy(if lf {
+                JoinStrategy::Leapfrog
+            } else {
+                JoinStrategy::HashProbe
+            })
+        };
+        let mut measure = |workload: &'static str, f: &mut dyn FnMut(EngineConfig) -> Duration| {
+            let mut hash: Vec<Duration> = Vec::with_capacity(runs);
+            let mut lf: Vec<Duration> = Vec::with_capacity(runs);
+            for _round in 0..runs {
+                hash.push(f(strategy_config(false)));
+                lf.push(f(strategy_config(true)));
+            }
+            let mut ratios: Vec<f64> = hash
+                .iter()
+                .zip(&lf)
+                .filter(|(h, _)| h.as_secs_f64() > 0.0)
+                .map(|(h, l)| l.as_secs_f64() / h.as_secs_f64())
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            wco_parity_rows.push(WcoParityRow {
+                workload,
+                median_hash: median(&hash),
+                median_leapfrog: median(&lf),
                 ratio: ratios.get(ratios.len() / 2).copied().unwrap_or(1.0),
             });
         };
@@ -494,7 +610,7 @@ fn main() {
     // Hand-rolled JSON (the workspace deliberately vendors no serde).
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jstar-hotpath/v3\",\n");
+    out.push_str("  \"schema\": \"jstar-hotpath/v4\",\n");
     out.push_str(&format!("  \"scale\": {},\n", json_f(scale())));
     out.push_str(&format!(
         "  \"hardware_threads\": {},\n",
@@ -574,6 +690,50 @@ fn main() {
             row.dj_classes,
             row.dj_build_tuples,
             if i + 1 < dj_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"wco_join\": [\n");
+    for (i, row) in wco_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"triangles\", \"threads\": {}, \
+             \"median_per_tuple_secs\": {}, \"median_hash_secs\": {}, \
+             \"median_leapfrog_secs\": {}, \"ratio_lf_vs_pt\": {}, \
+             \"ratio_lf_vs_hash\": {}, \"per_tuple_gamma_probes\": {}, \
+             \"hash_gamma_probes\": {}, \"hash_delta_join_probes\": {}, \
+             \"leapfrog_gamma_probes\": {}, \"leapfrog_join_seeks\": {}, \
+             \"leapfrog_cursor_opens\": {}}}{}\n",
+            row.threads,
+            json_f(row.median_per_tuple.as_secs_f64()),
+            json_f(row.median_hash.as_secs_f64()),
+            json_f(row.median_leapfrog.as_secs_f64()),
+            json_f(row.ratio_lf_vs_pt),
+            json_f(row.ratio_lf_vs_hash),
+            row.pt_gamma_probes,
+            row.hash_gamma_probes,
+            row.hash_dj_probes,
+            row.lf_gamma_probes,
+            row.lf_join_seeks,
+            row.lf_cursor_opens,
+            if i + 1 < wco_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"wco_join_parity\": [\n");
+    for (i, row) in wco_parity_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"median_hash_secs\": {}, \
+             \"median_leapfrog_secs\": {}, \"ratio_lf_vs_hash\": {}}}{}\n",
+            row.workload,
+            THREADS[parity_ti],
+            json_f(row.median_hash.as_secs_f64()),
+            json_f(row.median_leapfrog.as_secs_f64()),
+            json_f(row.ratio),
+            if i + 1 < wco_parity_rows.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     out.push_str("  ],\n");
@@ -702,6 +862,64 @@ fn main() {
         println!(
             "delta-join parity ok (pair-ratio medians vs per-tuple): {}",
             parity.join(", ")
+        );
+
+        // WCO-join search gate: the leapfrog walk's whole claim is
+        // that one coordinated index walk per class searches less than
+        // one hash probe per distinct key. The counters are
+        // deterministic, so this is exact: at every thread count the
+        // leapfrog arm's probes + counted seeks must stay strictly
+        // below the hash arm's probes.
+        for row in &wco_rows {
+            if row.lf_gamma_probes + row.lf_join_seeks >= row.hash_gamma_probes {
+                eprintln!(
+                    "FAIL: triangles at {} threads — leapfrog gamma_probes {} + join_seeks {} \
+                     is not below the hash arm's gamma_probes {} — the merged-cursor walk no \
+                     longer searches less than per-key probing",
+                    row.threads, row.lf_gamma_probes, row.lf_join_seeks, row.hash_gamma_probes,
+                );
+                std::process::exit(1);
+            }
+        }
+        let searches: Vec<String> = wco_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}t {}+{} < {}",
+                    r.threads, r.lf_gamma_probes, r.lf_join_seeks, r.hash_gamma_probes
+                )
+            })
+            .collect();
+        println!(
+            "wco-join search ok (leapfrog probes+seeks vs hash probes): {}",
+            searches.join(", ")
+        );
+
+        // Join-strategy parity gate: on programs with no join rules
+        // the leapfrog default must be indistinguishable from hash
+        // probing — the strategy only selects how join-plan classes
+        // execute, and these programs have none.
+        for row in &wco_parity_rows {
+            if row.ratio > DJ_TOLERANCE {
+                eprintln!(
+                    "FAIL: {} under the leapfrog strategy is {:.3}x the hash strategy (medians \
+                     {:.4}s vs {:.4}s, tolerance {DJ_TOLERANCE:.2}x) — strategy selection is no \
+                     longer free on join-free programs",
+                    row.workload,
+                    row.ratio,
+                    row.median_leapfrog.as_secs_f64(),
+                    row.median_hash.as_secs_f64(),
+                );
+                std::process::exit(1);
+            }
+        }
+        let wco_parity: Vec<String> = wco_parity_rows
+            .iter()
+            .map(|r| format!("{} {:.3}", r.workload, r.ratio))
+            .collect();
+        println!(
+            "wco-join strategy parity ok (pair-ratio medians vs hash): {}",
+            wco_parity.join(", ")
         );
 
         // Checkpoint-overhead gate: periodic durability must stay a

@@ -107,6 +107,8 @@ fn hotpath() {
             exec_mode,
             report.gamma_probes.to_string(),
             report.delta_join_probes.to_string(),
+            report.join_seeks.to_string(),
+            report.join_cursor_opens.to_string(),
         ]
     }
     let csv = pvwatts_csv(InputOrder::Chronological);
@@ -152,8 +154,11 @@ fn hotpath() {
         shortest_path::run_jstar_report(spec, par_config(threads).pipeline_depth(2).record_steps())
             .expect("dijkstra runs");
     rows.push(row(format!("dijkstra parallel({threads}) depth2"), &report));
-    // Triangle counting in both execution modes: the A/B that puts the
-    // probe-count reduction of the batched delta-join pass on record.
+    // Triangle counting in all three execution modes: per-tuple
+    // nested-loop firing, batched delta-join with hash probes, and the
+    // batched class on the leapfrog merged-cursor walk. The gamma
+    // probe / join seek / cursor-open columns put the search-count
+    // reduction of each step on record.
     let tri_spec = triangles_spec();
     let (_, report) = jstar_apps::triangles::run_jstar_report(
         tri_spec,
@@ -166,11 +171,22 @@ fn hotpath() {
         format!("triangles parallel({threads}) per-tuple"),
         &report,
     ));
+    let (_, report) = jstar_apps::triangles::run_jstar_report(
+        tri_spec,
+        par_config(threads)
+            .join_strategy(JoinStrategy::HashProbe)
+            .record_steps(),
+    )
+    .expect("triangles runs");
+    rows.push(row(
+        format!("triangles parallel({threads}) delta-join hash"),
+        &report,
+    ));
     let (_, report) =
         jstar_apps::triangles::run_jstar_report(tri_spec, par_config(threads).record_steps())
             .expect("triangles runs");
     rows.push(row(
-        format!("triangles parallel({threads}) delta-join"),
+        format!("triangles parallel({threads}) delta-join leapfrog"),
         &report,
     ));
     print_table(
@@ -194,6 +210,8 @@ fn hotpath() {
             "exec mode",
             "gamma probes",
             "delta-join probes",
+            "join seeks",
+            "cursor opens",
         ],
         &rows,
     );

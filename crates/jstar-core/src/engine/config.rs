@@ -130,6 +130,23 @@ pub struct EngineConfig {
     /// Results are identical in both modes — set semantics and the Law
     /// of Causality make intra-class execution order unobservable.
     pub delta_join_threshold: usize,
+    /// How delta-join classes probe Gamma — see [`JoinStrategy`]. The
+    /// default is the leapfrog cursor walk; [`JoinStrategy::HashProbe`]
+    /// keeps the PR 8 one-probe-per-distinct-key pass (the A/B knob the
+    /// benches use). Emissions are identical under either strategy.
+    pub join_strategy: JoinStrategy,
+}
+
+/// The probe strategy of batched delta-join execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// One hash/indexed Gamma probe per distinct join key (PR 8).
+    HashProbe,
+    /// One coordinated sorted-merge walk per class: open a column
+    /// cursor on each probe table once, then leapfrog the class's
+    /// sorted key groups against it with seek/next motions. Fewer
+    /// store probes on wide classes; identical emissions.
+    Leapfrog,
 }
 
 impl Default for EngineConfig {
@@ -159,6 +176,7 @@ impl Default for EngineConfig {
             checkpoint_path: None,
             checkpoint_keep: 2,
             delta_join_threshold: 32,
+            join_strategy: JoinStrategy::Leapfrog,
         }
     }
 }
@@ -286,6 +304,13 @@ impl EngineConfig {
     /// [`EngineConfig::delta_join_threshold`].
     pub fn delta_join_from(mut self, class_size: usize) -> Self {
         self.delta_join_threshold = class_size;
+        self
+    }
+
+    /// Selects the delta-join probe strategy (leapfrog cursor walk vs
+    /// per-key hash probing). See [`JoinStrategy`].
+    pub fn join_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.join_strategy = strategy;
         self
     }
 

@@ -9,7 +9,7 @@ use crate::error::Result;
 use crate::gamma::{Gamma, StoreKind};
 use crate::orderby::OrderKey;
 use crate::program::Program;
-use crate::relation::{Relation, TableHandle, TypedQuery};
+use crate::relation::{Join, Join3, Relation, TableHandle, TypedQuery};
 use crate::schema::TableId;
 use crate::stats::{EngineStats, StepRecord};
 use crate::tuple::Tuple;
@@ -25,7 +25,7 @@ use super::report::RunReport;
 use super::runtime::{
     process_class_chunk, process_class_delta_join, process_tuple, put_tuple, QueryPlan, RunState,
 };
-use super::schedule::{ClassPlan, Lookahead, Scheduler};
+use super::schedule::{slice_pieces, ClassPlan, Lookahead, PreparedExec, Scheduler};
 use crate::error::JStarError;
 
 /// A configured instance of a JStar program, ready to run.
@@ -130,6 +130,7 @@ impl Engine {
             errors: Mutex::new(Vec::new()),
             stats: EngineStats::new(n),
             pool: pool.clone(),
+            join_strategy: config.join_strategy,
         });
         Engine {
             state,
@@ -226,10 +227,12 @@ impl Engine {
             // ── Phase 2: extract ────────────────────────────────────
             // A surviving speculation *is* the minimal class (every
             // merge since it was prepared ordered strictly after it),
-            // with its execution plan already built — the fan-out
-            // launches with zero extraction work. Otherwise pop.
-            let (key, mut class, speculative_plan) = match lookahead.take(&state.stats) {
-                Some((prepared, plan)) => (prepared.key, prepared.tuples, Some(plan)),
+            // with its execution shape already built — forked classes
+            // arrive pre-sliced into chunk jobs, so the fan-out
+            // launches with zero extraction, planning, or boundary
+            // work. Otherwise pop.
+            let (key, mut class, speculative_exec) = match lookahead.take(&state.stats) {
+                Some((prepared, exec)) => (prepared.key, prepared.tuples, Some(exec)),
                 None => match tree.pop_min_class() {
                     Some((key, class)) => (key, class, None),
                     None => break,
@@ -244,70 +247,84 @@ impl Engine {
                     break;
                 }
             }
-            let class_size = class.len();
+            // A pre-sliced speculation's tuples live in its pieces.
+            let class_size = class.len()
+                + speculative_exec
+                    .as_ref()
+                    .map_or(0, PreparedExec::sliced_len);
             state.stats.record_step(class_size);
             let exec_start = timing.then(Instant::now);
 
             // ── Phase 3: execute (∥ absorb + next extract when pipelined) ──
-            if scheduler.delta_join(&class) {
-                // Batched semi-naive execution: the whole class is the
-                // delta, and join-plan rules probe Gamma once per
-                // distinct join key instead of once per tuple. Like the
-                // inline arm this runs without the pipeline overlap
-                // window — the join fan-out keeps the pool busy itself.
-                state
-                    .stats
-                    .delta_join_classes
-                    .fetch_add(1, Ordering::Relaxed);
-                process_class_delta_join(state, &key, &class, self.pool.as_deref());
-            } else {
-                let plan = speculative_plan
-                    .unwrap_or_else(|| scheduler.plan(self.pool.as_deref(), class_size));
-                match plan {
-                    ClassPlan::Forked { chunk } => {
-                        state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
-                        // lint: allow(expect): the planner only emits Forked when a pool exists.
-                        let pool = self.pool.as_ref().expect("forked plan implies a pool");
-                        let key = &key;
-                        let pipeline = &mut pipeline;
-                        let tree = &mut tree;
-                        let lookahead = &mut lookahead;
-                        pool.scope(|s| {
-                            // All chunks submitted as one batch: a single
-                            // wakeup, no per-task notify storm.
-                            s.spawn_batch(class.chunks(chunk).map(|piece| {
-                                move |_: &jstar_pool::Scope<'_>| {
-                                    process_class_chunk(state, key, piece);
-                                }
-                            }));
-                            if pipeline.pipelined() {
-                                // Speculate on the next step while this one
-                                // runs (no-op below depth 2), then join the
-                                // class from inside the scope, interleaving
-                                // epoch absorption with helping — the
-                                // drain/execute overlap.
-                                lookahead.prepare(
-                                    tree,
-                                    &scheduler,
-                                    Some(pool),
-                                    pipeline.absorbed_seq(),
-                                );
-                                pipeline.overlap(s, state, tree, pool, lookahead, &scheduler);
+            // Fresh pops decide their shape here; a speculation decided
+            // (and pre-sliced) it inside the previous execute window.
+            let exec = match speculative_exec {
+                Some(exec) => exec,
+                None if scheduler.delta_join(&class) => PreparedExec::DeltaJoin,
+                None => match scheduler.plan(self.pool.as_deref(), class_size) {
+                    ClassPlan::Inline { sort } => PreparedExec::Inline { sort },
+                    ClassPlan::Forked { chunk } => PreparedExec::Forked {
+                        pieces: slice_pieces(std::mem::take(&mut class), chunk),
+                    },
+                },
+            };
+            match exec {
+                PreparedExec::DeltaJoin => {
+                    // Batched semi-naive execution: the whole class is the
+                    // delta, and join-plan rules walk Gamma once per
+                    // class instead of once per tuple. Like the inline
+                    // arm this runs without the pipeline overlap window —
+                    // the join fan-out keeps the pool busy itself.
+                    state
+                        .stats
+                        .delta_join_classes
+                        .fetch_add(1, Ordering::Relaxed);
+                    process_class_delta_join(state, &key, &class, self.pool.as_deref());
+                }
+                PreparedExec::Forked { pieces } => {
+                    state.stats.forked_classes.fetch_add(1, Ordering::Relaxed);
+                    // lint: allow(expect): the planner only emits Forked when a pool exists.
+                    let pool = self.pool.as_ref().expect("forked plan implies a pool");
+                    let key = &key;
+                    let pieces = &pieces;
+                    let pipeline = &mut pipeline;
+                    let tree = &mut tree;
+                    let lookahead = &mut lookahead;
+                    pool.scope(|s| {
+                        // All chunks submitted as one batch: a single
+                        // wakeup, no per-task notify storm.
+                        s.spawn_batch(pieces.iter().map(|piece| {
+                            move |_: &jstar_pool::Scope<'_>| {
+                                process_class_chunk(state, key, piece);
                             }
-                        });
+                        }));
+                        if pipeline.pipelined() {
+                            // Speculate on the next step while this one
+                            // runs (no-op below depth 2), then join the
+                            // class from inside the scope, interleaving
+                            // epoch absorption with helping — the
+                            // drain/execute overlap.
+                            lookahead.prepare(
+                                tree,
+                                &scheduler,
+                                Some(pool),
+                                pipeline.absorbed_seq(),
+                            );
+                            pipeline.overlap(s, state, tree, pool, lookahead, &scheduler);
+                        }
+                    });
+                }
+                PreparedExec::Inline { sort } => {
+                    // Narrow class or sequential engine: fork/join
+                    // overhead exceeds the work, execute on the
+                    // coordinator. The sequential engine additionally
+                    // sorts for a deterministic intra-class order.
+                    state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
+                    if sort {
+                        class.sort();
                     }
-                    ClassPlan::Inline { sort } => {
-                        // Narrow class or sequential engine: fork/join
-                        // overhead exceeds the work, execute on the
-                        // coordinator. The sequential engine additionally
-                        // sorts for a deterministic intra-class order.
-                        state.stats.inline_classes.fetch_add(1, Ordering::Relaxed);
-                        if sort {
-                            class.sort();
-                        }
-                        for t in class {
-                            process_tuple(state, &key, t);
-                        }
+                    for t in class {
+                        process_tuple(state, &key, t);
                     }
                 }
             }
@@ -431,6 +448,8 @@ impl Engine {
                 .iter()
                 .map(|t| t.queries.load(Ordering::Relaxed))
                 .sum(),
+            join_seeks: state.stats.join_seeks.load(Ordering::Relaxed),
+            join_cursor_opens: state.stats.join_cursor_opens.load(Ordering::Relaxed),
             output: state.output.lock().clone(),
         })
     }
@@ -617,5 +636,145 @@ impl Engine {
     /// Collected output lines so far.
     pub fn output(&self) -> Vec<String> {
         self.state.output.lock().clone()
+    }
+
+    /// Evaluates a typed two-relation join over Gamma with one
+    /// leapfrog sorted-merge walk: `join::<Edge, Edge>().on(..)`.
+    ///
+    /// Both relations' column views are opened once (each counted as a
+    /// query plus a cursor open), then intersected on the first `on`
+    /// pair with coordinated seek/next motions — the fixed variable
+    /// order of the typed builder, no optimizer. Further `on` pairs are
+    /// residual equality checks inside matched groups. Panics when no
+    /// `on` pair was declared (a cross join has nothing to merge on).
+    pub fn join_rel<A: Relation, B: Relation>(&self, j: Join<A, B>, mut f: impl FnMut(A, B)) {
+        assert!(
+            !j.on.is_empty(),
+            "join::<A, B>() requires at least one on() pair"
+        );
+        let ta = self.handle::<A>().id();
+        let tb = self.handle::<B>().id();
+        let (fa, fb) = j.on[0];
+        let stats = &self.state.stats;
+        stats.tables[ta.index()]
+            .queries
+            .fetch_add(1, Ordering::Relaxed);
+        stats.tables[tb.index()]
+            .queries
+            .fetch_add(1, Ordering::Relaxed);
+        stats.join_cursor_opens.fetch_add(2, Ordering::Relaxed);
+        let ia = self.state.gamma.open_cursor(ta, fa);
+        let ib = self.state.gamma.open_cursor(tb, fb);
+        let mut ca = ia.cursor();
+        let mut cb = ib.cursor();
+        while let (Some(ka), Some(kb)) = (ca.key().cloned(), cb.key().cloned()) {
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => ca.seek(&kb),
+                std::cmp::Ordering::Greater => cb.seek(&ka),
+                std::cmp::Ordering::Equal => {
+                    if let (Some(ga), Some(gb)) = (ca.group(), cb.group()) {
+                        for at in ga {
+                            for bt in gb {
+                                if j.on[1..].iter().all(|&(af, bf)| at.get(af) == bt.get(bf)) {
+                                    f(A::from_tuple(at), B::from_tuple(bt));
+                                }
+                            }
+                        }
+                    }
+                    ca.next();
+                    cb.next();
+                }
+            }
+        }
+        let seeks = ca.seeks() + cb.seeks();
+        if seeks > 0 {
+            stats.join_seeks.fetch_add(seeks, Ordering::Relaxed);
+        }
+    }
+
+    /// Evaluates a typed three-relation join over Gamma:
+    /// `join3::<Edge, Edge, Edge>().on_ab(..).on_bc(..)`.
+    ///
+    /// `A` and `B` leapfrog on the first `on_ab` pair exactly as in
+    /// [`Engine::join_rel`]; each matched `(a, b)` row then seeks a
+    /// shared `C` cursor — keyed by the first `on_bc` pair, or the
+    /// first `on_ac` pair when no `b`–`c` key exists — with every
+    /// remaining pair checked as a residual equality. Panics without an
+    /// `on_ab` pair or without any `C`-side constraint.
+    pub fn join3_rel<A: Relation, B: Relation, C: Relation>(
+        &self,
+        j: Join3<A, B, C>,
+        mut f: impl FnMut(A, B, C),
+    ) {
+        assert!(!j.ab.is_empty(), "join3 requires at least one on_ab() pair");
+        assert!(
+            !(j.bc.is_empty() && j.ac.is_empty()),
+            "join3 requires an on_bc() or on_ac() pair to key C"
+        );
+        let ta = self.handle::<A>().id();
+        let tb = self.handle::<B>().id();
+        let tc = self.handle::<C>().id();
+        let (fa, fb) = j.ab[0];
+        // C's cursor column: prefer a b-sourced key (available at every
+        // matched pair), else an a-sourced one.
+        let (c_from_b, c_src, fc) = match j.bc.first() {
+            Some(&(bf, cf)) => (true, bf, cf),
+            None => (false, j.ac[0].0, j.ac[0].1),
+        };
+        let stats = &self.state.stats;
+        for t in [ta, tb, tc] {
+            stats.tables[t.index()]
+                .queries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        stats.join_cursor_opens.fetch_add(3, Ordering::Relaxed);
+        let ia = self.state.gamma.open_cursor(ta, fa);
+        let ib = self.state.gamma.open_cursor(tb, fb);
+        let ic = self.state.gamma.open_cursor(tc, fc);
+        let mut ca = ia.cursor();
+        let mut cb = ib.cursor();
+        let mut cc = ic.cursor();
+        while let (Some(ka), Some(kb)) = (ca.key().cloned(), cb.key().cloned()) {
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => ca.seek(&kb),
+                std::cmp::Ordering::Greater => cb.seek(&ka),
+                std::cmp::Ordering::Equal => {
+                    let (ga, gb) = match (ca.group(), cb.group()) {
+                        (Some(ga), Some(gb)) => (ga.to_vec(), gb.to_vec()),
+                        _ => break,
+                    };
+                    for at in &ga {
+                        for bt in &gb {
+                            if !j.ab[1..].iter().all(|&(af, bf)| at.get(af) == bt.get(bf)) {
+                                continue;
+                            }
+                            let target = if c_from_b {
+                                bt.get(c_src)
+                            } else {
+                                at.get(c_src)
+                            };
+                            let target = target.clone();
+                            if let Some(gc) = cc.seek_exact(&target) {
+                                for ct in gc {
+                                    let bc_ok =
+                                        j.bc.iter().all(|&(bf, cf)| bt.get(bf) == ct.get(cf));
+                                    let ac_ok =
+                                        j.ac.iter().all(|&(af, cf)| at.get(af) == ct.get(cf));
+                                    if bc_ok && ac_ok {
+                                        f(A::from_tuple(at), B::from_tuple(bt), C::from_tuple(ct));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ca.next();
+                    cb.next();
+                }
+            }
+        }
+        let seeks = ca.seeks() + cb.seeks() + cc.seeks();
+        if seeks > 0 {
+            stats.join_seeks.fetch_add(seeks, Ordering::Relaxed);
+        }
     }
 }

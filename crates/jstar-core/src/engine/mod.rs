@@ -213,7 +213,7 @@ mod schedule;
 #[cfg(test)]
 mod tests;
 
-pub use config::{EngineConfig, LifetimeHint, MAX_PIPELINE_DEPTH};
+pub use config::{EngineConfig, JoinStrategy, LifetimeHint, MAX_PIPELINE_DEPTH};
 pub use coordinator::{Engine, RestoreOutcome};
 pub use ctx::RuleCtx;
 pub use report::RunReport;

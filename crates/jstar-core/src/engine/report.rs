@@ -93,9 +93,21 @@ pub struct RunReport {
     /// "delta" side of the semi-naive join).
     pub delta_join_build_tuples: u64,
     /// Total Gamma queries issued by rule bodies across all tables —
-    /// per-tuple probes and batched delta-join probes alike, so an A/B
-    /// run shows the probe-count reduction directly.
+    /// per-tuple probes, batched delta-join probes and leapfrog cursor
+    /// opens alike, so an A/B run shows the probe-count reduction
+    /// directly.
     pub gamma_probes: u64,
+    /// Galloping cursor repositionings performed by leapfrog join
+    /// walks (`join::<..>()` reads and delta-join classes under
+    /// [`super::JoinStrategy::Leapfrog`]). Single-step `next` advances
+    /// are free and not counted, so `gamma_probes + join_seeks` is the
+    /// walk's total store-search cost — the number to compare against
+    /// the hash-probe strategy's `gamma_probes`.
+    pub join_seeks: u64,
+    /// Sorted column views opened for leapfrog join walks — one per
+    /// (walk × relation), each also counted in
+    /// [`RunReport::gamma_probes`].
+    pub join_cursor_opens: u64,
     /// Collected `println` output (order not significant).
     pub output: Vec<String>,
 }

@@ -2,9 +2,10 @@
 //! worker thread sees, and the put → Delta / Gamma → trigger path that
 //! both the coordinator and the rule contexts drive.
 
+use super::config::JoinStrategy;
 use crate::delta::ShardedInbox;
 use crate::error::JStarError;
-use crate::gamma::{Gamma, InsertOutcome};
+use crate::gamma::{ColumnCursor, ColumnIndex, Gamma, InsertOutcome};
 use crate::orderby::{OrderKey, ResolvedComponent, ResolvedOrderBy};
 use crate::program::Program;
 use crate::query::Query;
@@ -102,6 +103,7 @@ pub(crate) struct RunState {
     pub(super) errors: Mutex<Vec<JStarError>>,
     pub(super) stats: EngineStats,
     pub(super) pool: Option<Arc<ThreadPool>>,
+    pub(super) join_strategy: JoinStrategy,
 }
 
 impl RunState {
@@ -350,8 +352,26 @@ pub(super) fn process_class_delta_join(
     }
 }
 
-/// One join-plan rule over a class's fresh tuples: group by join-key
-/// values, then one indexed Gamma probe per distinct key.
+/// One join-plan rule over a class's fresh tuples.
+///
+/// The build side is always the same: the delta is grouped by its
+/// stage-0 join-key values (a BTreeMap — `Value` is `Ord` but not
+/// `Hash`, and **sorted** group order is what the leapfrog walk
+/// leapfrogs over). The probe side follows
+/// [`super::EngineConfig::join_strategy`]:
+///
+/// * [`JoinStrategy::Leapfrog`] — open one sorted column cursor per
+///   stage (one store pass each), then walk the sorted groups against
+///   the stage-0 cursor with seek/next motions, descending through
+///   later stages with per-row cursor seeks. Store work per class is
+///   `stages` cursor opens plus the counted gallops, instead of one
+///   probe per distinct key.
+/// * [`JoinStrategy::HashProbe`] — the PR 8 pass: one indexed Gamma
+///   probe per distinct stage-0 key, later stages probed per row
+///   combination.
+///
+/// Emissions are identical; set semantics and the Law of Causality make
+/// the difference unobservable downstream (prop-tested).
 fn run_join_rule(
     state: &RunState,
     key: &OrderKey,
@@ -365,44 +385,202 @@ fn run_join_rule(
         .delta_join_build_tuples
         .fetch_add(fresh.len() as u64, Ordering::Relaxed);
 
-    // Build side: group the delta by its join-key values. A BTreeMap —
-    // `Value` is `Ord` but not `Hash` (f64 columns), and ordered
-    // iteration keeps the probe order deterministic.
+    let stage0 = plan.first_stage();
     let mut grouped: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
     for &t in fresh {
-        let k: Vec<Value> = plan.keys.iter().map(|&(tf, _)| t.get(tf).clone()).collect();
+        let k: Vec<Value> = stage0
+            .keys
+            .iter()
+            .map(|&((_, tf), _)| t.get(tf).clone())
+            .collect();
         grouped.entry(k).or_default().push(t);
     }
     let groups: Vec<(Vec<Value>, Vec<&Tuple>)> = grouped.into_iter().collect();
 
-    let probe_ti = plan.probe_table.index();
+    // A keyless stage is a cross join — nothing for a cursor to seek on.
+    let leapfrog = state.join_strategy == JoinStrategy::Leapfrog
+        && plan.stages.iter().all(|s| !s.keys.is_empty());
+    if leapfrog {
+        run_join_rule_leapfrog(state, key, rule, plan, &groups, pool);
+    } else {
+        run_join_rule_hash(state, key, rule, plan, &groups, pool);
+    }
+}
+
+/// Leapfrog probe side: one shared sorted cursor per stage, walked by
+/// every worker with private positions.
+fn run_join_rule_leapfrog(
+    state: &RunState,
+    key: &OrderKey,
+    rule: &Rule,
+    plan: &JoinPlan,
+    groups: &[(Vec<Value>, Vec<&Tuple>)],
+    pool: Option<&ThreadPool>,
+) {
+    // One column view per stage, opened once per (rule × class) and
+    // shared by every worker. Each open is one store pass, counted as a
+    // query against the probed table so `gamma_probes` stays honest.
+    let stage_indexes: Vec<Arc<ColumnIndex>> = plan
+        .stages
+        .iter()
+        .map(|s| {
+            let sti = s.probe_table.index();
+            state.stats.tables[sti]
+                .queries
+                .fetch_add(1, Ordering::Relaxed);
+            state
+                .stats
+                .join_cursor_opens
+                .fetch_add(1, Ordering::Relaxed);
+            state.gamma.open_cursor(s.probe_table, s.keys[0].1)
+        })
+        .collect();
+
+    let walk = |piece: &[(Vec<Value>, Vec<&Tuple>)]| {
+        let mut cursors: Vec<ColumnCursor> = stage_indexes.iter().map(|i| i.cursor()).collect();
+        let ctx = RuleCtx::new(state, key, &rule.name);
+        for (group_key, members) in piece {
+            // The sorted group keys sweep the stage-0 cursor mostly
+            // with free next()s; only real jumps count as seeks.
+            let candidates: Vec<Tuple> = match cursors[0].seek_exact(&group_key[0]) {
+                Some(g) => g
+                    .iter()
+                    .filter(|p| stage0_residual_ok(&plan.stages[0].keys, p, group_key))
+                    .cloned()
+                    .collect(),
+                None => continue,
+            };
+            if plan.stages.len() == 1 {
+                for p in &candidates {
+                    for &t in members.iter() {
+                        let rows = [t, p];
+                        if (plan.filter)(&rows) {
+                            (plan.emit)(&ctx, &rows);
+                        }
+                    }
+                }
+            } else {
+                for &t in members.iter() {
+                    for p in &candidates {
+                        let mut rows = vec![t.clone(), p.clone()];
+                        leapfrog_descend(plan, &mut cursors, 1, &mut rows, &ctx);
+                    }
+                }
+            }
+        }
+        let seeks: u64 = cursors.iter().map(|c| c.seeks()).sum();
+        if seeks > 0 {
+            state.stats.join_seeks.fetch_add(seeks, Ordering::Relaxed);
+        }
+    };
+
+    match pool {
+        Some(pool) if groups.len() > 1 => {
+            let chunk = jstar_pool::adaptive_chunk(pool, groups.len()).max(1);
+            let walk = &walk;
+            pool.scope(|s| {
+                s.spawn_batch(
+                    groups
+                        .chunks(chunk)
+                        .map(|piece| move |_: &jstar_pool::Scope<'_>| walk(piece)),
+                );
+            });
+        }
+        _ => walk(groups),
+    }
+}
+
+/// True when `p` satisfies every stage-0 key pair beyond the first (the
+/// cursor already matched pair 0); the group key holds the source
+/// values in pair order.
+fn stage0_residual_ok(keys: &[((usize, usize), usize)], p: &Tuple, group_key: &[Value]) -> bool {
+    keys.iter()
+        .zip(group_key)
+        .skip(1)
+        .all(|(&(_, pf), v)| p.get(pf) == v)
+}
+
+/// Stages ≥ 1 of a leapfrog walk: seek this stage's shared cursor to
+/// the row-sourced key, check residual pairs by direct field equality
+/// (no store probes), recurse. `rows[k]` is stage `k`'s matched tuple
+/// (row 0 the trigger), so key sources resolve by plain indexing.
+fn leapfrog_descend(
+    plan: &JoinPlan,
+    cursors: &mut [ColumnCursor],
+    stage_idx: usize,
+    rows: &mut Vec<Tuple>,
+    ctx: &RuleCtx<'_>,
+) {
+    if stage_idx == plan.stages.len() {
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        if (plan.filter)(&refs) {
+            (plan.emit)(ctx, &refs);
+        }
+        return;
+    }
+    let stage = &plan.stages[stage_idx];
+    let ((srow, sf), _) = stage.keys[0];
+    let target = rows[srow].get(sf).clone();
+    let candidates: Vec<Tuple> = match cursors[stage_idx].seek_exact(&target) {
+        Some(g) => g
+            .iter()
+            .filter(|p| {
+                stage
+                    .keys
+                    .iter()
+                    .skip(1)
+                    .all(|&((r, f), pf)| p.get(pf) == rows[r].get(f))
+            })
+            .cloned()
+            .collect(),
+        None => return,
+    };
+    for p in candidates {
+        rows.push(p);
+        leapfrog_descend(plan, cursors, stage_idx + 1, rows, ctx);
+        rows.pop();
+    }
+}
+
+/// Hash probe side (PR 8): one indexed Gamma probe per distinct
+/// stage-0 key, later stages probed once per partial row combination.
+fn run_join_rule_hash(
+    state: &RunState,
+    key: &OrderKey,
+    rule: &Rule,
+    plan: &JoinPlan,
+    groups: &[(Vec<Value>, Vec<&Tuple>)],
+    pool: Option<&ThreadPool>,
+) {
+    let stage0 = plan.first_stage();
     let probe_one = |group_key: &[Value], members: &[&Tuple]| {
-        let mut q = Query::on(plan.probe_table);
-        for (&(_, pf), v) in plan.keys.iter().zip(group_key) {
+        let mut q = Query::on(stage0.probe_table);
+        for (&(_, pf), v) in stage0.keys.iter().zip(group_key) {
             q.add_eq(pf, v.clone());
         }
         // Same accounting as the per-tuple query path, but once per
         // distinct key instead of once per trigger tuple — the probe
         // reduction the RunReport counters expose.
-        let use_index = state.plans[probe_ti].query_uses_index(&q);
-        let pstats = &state.stats.tables[probe_ti];
-        pstats.queries.fetch_add(1, Ordering::Relaxed);
-        if use_index {
-            pstats.queries_indexed.fetch_add(1, Ordering::Relaxed);
-        }
-        state
-            .stats
-            .delta_join_probes
-            .fetch_add(1, Ordering::Relaxed);
         let ctx = RuleCtx::new(state, key, &rule.name);
-        state.gamma.query_hinted(&q, use_index, &mut |p| {
+        if plan.stages.len() == 1 {
+            hash_probe(state, &q, &mut |p| {
+                for &t in members {
+                    let rows = [t, p];
+                    if (plan.filter)(&rows) {
+                        (plan.emit)(&ctx, &rows);
+                    }
+                }
+            });
+        } else {
+            let mut candidates = Vec::new();
+            hash_probe(state, &q, &mut |p| candidates.push(p.clone()));
             for &t in members {
-                if (plan.filter)(t, p) {
-                    (plan.emit)(&ctx, t, p);
+                for p in &candidates {
+                    let mut rows = vec![t.clone(), p.clone()];
+                    hash_descend(state, plan, 1, &mut rows, &ctx);
                 }
             }
-            true
-        });
+        }
     };
 
     match pool {
@@ -420,9 +598,57 @@ fn run_join_rule(
             });
         }
         _ => {
-            for (k, members) in &groups {
+            for (k, members) in groups {
                 probe_one(k, members);
             }
         }
+    }
+}
+
+/// One counted, index-hinted Gamma probe.
+fn hash_probe(state: &RunState, q: &Query, f: &mut dyn FnMut(&Tuple)) {
+    let ti = q.table.index();
+    let use_index = state.plans[ti].query_uses_index(q);
+    let pstats = &state.stats.tables[ti];
+    pstats.queries.fetch_add(1, Ordering::Relaxed);
+    if use_index {
+        pstats.queries_indexed.fetch_add(1, Ordering::Relaxed);
+    }
+    state
+        .stats
+        .delta_join_probes
+        .fetch_add(1, Ordering::Relaxed);
+    state.gamma.query_hinted(q, use_index, &mut |p| {
+        f(p);
+        true
+    });
+}
+
+/// Stages ≥ 1 of the hash strategy: one probe per partial row.
+fn hash_descend(
+    state: &RunState,
+    plan: &JoinPlan,
+    stage_idx: usize,
+    rows: &mut Vec<Tuple>,
+    ctx: &RuleCtx<'_>,
+) {
+    if stage_idx == plan.stages.len() {
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        if (plan.filter)(&refs) {
+            (plan.emit)(ctx, &refs);
+        }
+        return;
+    }
+    let stage = &plan.stages[stage_idx];
+    let mut q = Query::on(stage.probe_table);
+    for &((row, f), pf) in &stage.keys {
+        q.add_eq(pf, rows[row].get(f).clone());
+    }
+    let mut candidates = Vec::new();
+    hash_probe(state, &q, &mut |p| candidates.push(p.clone()));
+    for p in candidates {
+        rows.push(p);
+        hash_descend(state, plan, stage_idx + 1, rows, ctx);
+        rows.pop();
     }
 }

@@ -23,11 +23,15 @@
 //! additionally runs the [`Lookahead`] inside that window: the *next*
 //! minimal class is extracted from the Delta queue and planned
 //! speculatively ([`Scheduler::plan_speculative`] — chunked for the
-//! idle pool the fan-out will actually see at launch), so when the
-//! current class joins, the next step starts with zero extraction or
-//! planning work on the critical path. Every epoch merged meanwhile is
+//! idle pool the fan-out will actually see at launch). The plan is
+//! carried all the way to execution shape ([`PreparedExec`]): the
+//! delta-join gate is decided and a forked class's tuples are
+//! **pre-sliced into chunk jobs** during the window, so a committed
+//! speculation submits its batch with zero extraction, planning, or
+//! chunking work at the step boundary. Every epoch merged meanwhile is
 //! validated against the prepared key; a merge ordering at or below it
-//! rolls the speculation back (see [`crate::delta::PreparedClass`]),
+//! rolls the speculation back — the pieces are reassembled in order
+//! and returned to the queue (see [`crate::delta::PreparedClass`]) —
 //! which keeps the pop schedule bit-identical to the non-speculating
 //! engine.
 
@@ -133,6 +137,58 @@ impl Scheduler {
     }
 }
 
+/// How an extracted class will execute, with the tuples staged in the
+/// shape execution wants — the commit-side counterpart of
+/// [`ClassPlan`]. For speculative classes the whole shape is built
+/// inside the previous execute window; for fresh pops the coordinator
+/// builds it at the step boundary from [`Scheduler::plan`].
+#[derive(Debug)]
+pub(super) enum PreparedExec {
+    /// Batched delta-join pass over the whole class (the tuples stay in
+    /// the class vector).
+    DeltaJoin,
+    /// Run on the coordinator; `sort` requests the sequential engine's
+    /// deterministic intra-class order (the tuples stay in the class
+    /// vector).
+    Inline { sort: bool },
+    /// Pre-sliced chunk jobs, ready to submit to the pool as one batch.
+    /// The tuples live **here** (the class vector is empty); an
+    /// invalidated speculation reassembles them in order before
+    /// restoring the queue.
+    Forked { pieces: Vec<Vec<Tuple>> },
+}
+
+impl PreparedExec {
+    /// Tuples held in pre-sliced pieces (zero for the shapes that keep
+    /// the class vector intact) — added to the class vector's length to
+    /// recover the class width.
+    pub(super) fn sliced_len(&self) -> usize {
+        match self {
+            PreparedExec::Forked { pieces } => pieces.iter().map(Vec::len).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// Slices a class into owned chunk jobs of `chunk` tuples (the last
+/// piece takes the remainder), preserving order — concatenating the
+/// pieces reproduces the class exactly, which is what returns an
+/// invalidated speculation to the queue. Splits from the tail so each
+/// piece is one short pointer memcpy, not a quadratic shuffle.
+pub(super) fn slice_pieces(mut tuples: Vec<Tuple>, chunk: usize) -> Vec<Vec<Tuple>> {
+    let chunk = chunk.max(1);
+    let mut pieces = Vec::with_capacity(tuples.len().div_ceil(chunk));
+    while tuples.len() > chunk {
+        let boundary = ((tuples.len() - 1) / chunk) * chunk;
+        pieces.push(tuples.split_off(boundary));
+    }
+    if !tuples.is_empty() {
+        pieces.push(tuples);
+    }
+    pieces.reverse();
+    pieces
+}
+
 /// After this many consecutive misses the lookahead pauses: the
 /// workload is invalidating every speculation (a priority-queue shape
 /// whose merges keep ordering below the next class), so each prepare
@@ -167,7 +223,7 @@ pub(super) struct Lookahead {
     /// False below `pipeline_depth` 2: every method is a no-op and the
     /// engine behaves exactly like the non-speculating pipeline.
     enabled: bool,
-    prepared: Option<(PreparedClass, ClassPlan)>,
+    prepared: Option<(PreparedClass, PreparedExec)>,
     /// Consecutive misses since the last hit (or unpause).
     miss_streak: u32,
     /// Remaining prepare opportunities to skip while paused.
@@ -184,9 +240,12 @@ impl Lookahead {
         }
     }
 
-    /// Speculatively extracts and plans the next minimal class, if none
-    /// is already prepared (and the lookahead is not pausing after a
-    /// miss streak). Called from inside the execute window — right
+    /// Speculatively extracts the next minimal class and builds its
+    /// full execution shape, if none is already prepared (and the
+    /// lookahead is not pausing after a miss streak): the delta-join
+    /// gate is decided here, and a forked class's tuples are pre-sliced
+    /// into chunk jobs — all inside the execute window, so committing
+    /// the speculation costs the step boundary nothing. Called right
     /// after the current class's chunks are spawned, and again after
     /// every absorbed epoch, so an invalidated speculation is
     /// immediately rebuilt from the updated queue.
@@ -208,9 +267,18 @@ impl Lookahead {
             // Pause over: probe the workload again with a fresh streak.
             self.miss_streak = 0;
         }
-        if let Some(prepared) = tree.prepare_min_class(epoch_mark) {
-            let plan = scheduler.plan_speculative(pool, prepared.tuples.len());
-            self.prepared = Some((prepared, plan));
+        if let Some(mut prepared) = tree.prepare_min_class(epoch_mark) {
+            let exec = if scheduler.delta_join(&prepared.tuples) {
+                PreparedExec::DeltaJoin
+            } else {
+                match scheduler.plan_speculative(pool, prepared.tuples.len()) {
+                    ClassPlan::Inline { sort } => PreparedExec::Inline { sort },
+                    ClassPlan::Forked { chunk } => PreparedExec::Forked {
+                        pieces: slice_pieces(std::mem::take(&mut prepared.tuples), chunk),
+                    },
+                }
+            };
+            self.prepared = Some((prepared, exec));
         }
     }
 
@@ -243,12 +311,8 @@ impl Lookahead {
         };
         if invalidated {
             // lint: allow(expect): `invalidated` is only true when prepared is Some.
-            let (prepared, _) = self.prepared.take().expect("checked above");
-            tree.restore_prepared(prepared, &mut |ti| {
-                stats.tables[ti]
-                    .delta_inserts
-                    .fetch_sub(1, Ordering::Relaxed);
-            });
+            let (prepared, exec) = self.prepared.take().expect("checked above");
+            restore(tree, stats, prepared, exec);
             stats.lookahead_misses.fetch_add(1, Ordering::Relaxed);
             self.miss_streak += 1;
             if self.miss_streak >= MISS_STREAK_PAUSE {
@@ -265,12 +329,8 @@ impl Lookahead {
     /// does); the hit/miss bookkeeping is untouched because nothing was
     /// learned about the workload.
     pub(super) fn flush(&mut self, tree: &mut DeltaQueue, stats: &EngineStats) {
-        if let Some((prepared, _)) = self.prepared.take() {
-            tree.restore_prepared(prepared, &mut |ti| {
-                stats.tables[ti]
-                    .delta_inserts
-                    .fetch_sub(1, Ordering::Relaxed);
-            });
+        if let Some((prepared, exec)) = self.prepared.take() {
+            restore(tree, stats, prepared, exec);
         }
     }
 
@@ -278,7 +338,7 @@ impl Lookahead {
     /// a hit (which also clears any miss streak). `None` when nothing
     /// is prepared (lookahead disabled, pausing, no window opened, or
     /// the speculation was invalidated).
-    pub(super) fn take(&mut self, stats: &EngineStats) -> Option<(PreparedClass, ClassPlan)> {
+    pub(super) fn take(&mut self, stats: &EngineStats) -> Option<(PreparedClass, PreparedExec)> {
         let taken = self.prepared.take();
         if taken.is_some() {
             stats.lookahead_hits.fetch_add(1, Ordering::Relaxed);
@@ -286,6 +346,29 @@ impl Lookahead {
         }
         taken
     }
+}
+
+/// Returns a dead speculation's tuples to the queue. A pre-sliced
+/// forked shape is reassembled in order first, so the restore (and the
+/// subsequent pop) sees exactly the class that was extracted.
+fn restore(
+    tree: &mut DeltaQueue,
+    stats: &EngineStats,
+    mut prepared: PreparedClass,
+    exec: PreparedExec,
+) {
+    if let PreparedExec::Forked { pieces } = exec {
+        debug_assert!(
+            prepared.tuples.is_empty(),
+            "forked speculation keeps its tuples in the pieces"
+        );
+        prepared.tuples = pieces.into_iter().flatten().collect();
+    }
+    tree.restore_prepared(prepared, &mut |ti| {
+        stats.tables[ti]
+            .delta_inserts
+            .fetch_sub(1, Ordering::Relaxed);
+    });
 }
 
 #[cfg(test)]
@@ -346,5 +429,39 @@ mod tests {
         assert!(!s.delta_join(&[]), "empty class");
         // Unarmed scheduler (usize::MAX threshold) never batches.
         assert!(!Scheduler::new(4).delta_join(&wide));
+    }
+
+    #[test]
+    fn slice_pieces_respects_chunk_boundaries_and_reassembles() {
+        use crate::schema::TableId;
+        use crate::value::Value;
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|v| Tuple::new(TableId(0), vec![Value::Int(v)]))
+            .collect();
+        let pieces = slice_pieces(tuples.clone(), 4);
+        assert_eq!(
+            pieces.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 4, 2],
+            "same boundaries as slice::chunks"
+        );
+        let reassembled: Vec<Tuple> = pieces.into_iter().flatten().collect();
+        assert_eq!(reassembled, tuples, "order-preserving round trip");
+
+        assert!(slice_pieces(Vec::new(), 4).is_empty());
+        assert_eq!(slice_pieces(tuples.clone(), 100).len(), 1, "one wide piece");
+        assert_eq!(slice_pieces(tuples, 0).len(), 10, "chunk clamps to 1");
+    }
+
+    #[test]
+    fn prepared_exec_sliced_len_counts_only_pieces() {
+        use crate::schema::TableId;
+        use crate::value::Value;
+        let t = |v| Tuple::new(TableId(0), vec![Value::Int(v)]);
+        assert_eq!(PreparedExec::DeltaJoin.sliced_len(), 0);
+        assert_eq!(PreparedExec::Inline { sort: true }.sliced_len(), 0);
+        let forked = PreparedExec::Forked {
+            pieces: vec![vec![t(0), t(1)], vec![t(2)]],
+        };
+        assert_eq!(forked.sliced_len(), 3);
     }
 }

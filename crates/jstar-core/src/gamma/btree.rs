@@ -1,6 +1,6 @@
 //! Sequential ordered store — the paper's `TreeSet` default.
 
-use super::{insert_locked, InsertOutcome, TableStore};
+use super::{insert_locked, ColumnIndex, InsertOutcome, TableStore};
 use crate::query::Query;
 use crate::schema::TableDef;
 use crate::tuple::Tuple;
@@ -88,6 +88,31 @@ impl TableStore for BTreeStore {
         self.set.lock().retain(|t| keep(t));
     }
 
+    fn open_cursor(&self, field: usize) -> Arc<ColumnIndex> {
+        if field != 0 {
+            // Non-leading columns are unordered here; fall back to the
+            // grouping pass.
+            return Arc::new(ColumnIndex::build(field, &mut |emit| {
+                self.for_each(&mut |t| {
+                    emit(t);
+                    true
+                });
+            }));
+        }
+        // Tuples sort by fields, so one linear pass over the tree yields
+        // the field-0 groups already in ascending order.
+        let set = self.set.lock();
+        let mut groups: Vec<(crate::value::Value, Vec<Tuple>)> = Vec::new();
+        for t in set.iter() {
+            let v = t.get(0);
+            match groups.last_mut() {
+                Some((last, g)) if last == v => g.push(t.clone()),
+                _ => groups.push((v.clone(), vec![t.clone()])),
+            }
+        }
+        Arc::new(ColumnIndex::from_sorted(groups))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -143,6 +168,23 @@ mod tests {
         }
         assert_eq!(store.insert(kt(25, 99, "v")), InsertOutcome::KeyConflict);
         assert_eq!(store.insert(kt(25, 25, "v")), InsertOutcome::Duplicate);
+    }
+
+    #[test]
+    fn field0_cursor_groups_off_the_sorted_tree() {
+        let store = BTreeStore::new(crate::gamma::testutil::set_def());
+        for (x, y) in [(3, 1), (1, 1), (3, 2), (2, 1), (3, 3)] {
+            store.insert(Tuple::new(TableId(0), vec![Value::Int(x), Value::Int(y)]));
+        }
+        let idx = store.open_cursor(0);
+        let mut c = idx.cursor();
+        assert_eq!(c.key(), Some(&Value::Int(1)));
+        assert_eq!(c.seek_exact(&Value::Int(3)).map(|g| g.len()), Some(3));
+        // The fallback path over a non-leading column agrees.
+        let idx1 = store.open_cursor(1);
+        assert_eq!(idx1.len(), 3);
+        let mut c1 = idx1.cursor();
+        assert_eq!(c1.seek_exact(&Value::Int(1)).map(|g| g.len()), Some(3));
     }
 
     #[test]

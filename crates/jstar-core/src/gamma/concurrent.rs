@@ -173,9 +173,10 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_preserve_set_semantics() {
+        use jstar_check::sync::{AtomicUsize, Ordering};
         let store = Arc::new(ConcurrentOrderedStore::new(keyed_def(), 16));
         let pool = jstar_pool::ThreadPool::new(4);
-        let fresh = std::sync::atomic::AtomicUsize::new(0);
+        let fresh = AtomicUsize::new(0);
         pool.scope(|s| {
             for _ in 0..8 {
                 let store = Arc::clone(&store);
@@ -183,7 +184,9 @@ mod tests {
                 s.spawn(move |_| {
                     for a in 0..500 {
                         if store.insert(kt(a, a, "v")) == InsertOutcome::Fresh {
-                            fresh.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // ord: Relaxed — independent counter bumps; the
+                            // scope join orders them before the read below.
+                            fresh.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 });
@@ -191,7 +194,8 @@ mod tests {
         });
         // Every tuple inserted by 8 threads, but each distinct tuple is
         // fresh exactly once.
-        assert_eq!(fresh.load(std::sync::atomic::Ordering::Relaxed), 500);
+        // ord: Relaxed — read after the scope join, no concurrent writers.
+        assert_eq!(fresh.load(Ordering::Relaxed), 500);
         assert_eq!(store.len(), 500);
     }
 

@@ -93,7 +93,7 @@ pub mod value;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::causality::{CausalityModel, ModelCtx, PutModel, QueryModel};
-    pub use crate::engine::{Engine, EngineConfig, RuleCtx, RunReport};
+    pub use crate::engine::{Engine, EngineConfig, JoinStrategy, RuleCtx, RunReport};
     pub use crate::error::{JStarError, Result};
     pub use crate::gamma::{Gamma, InsertOutcome, StoreKind, TableStore};
     pub use crate::orderby::{par, seq, strat, OrderKey};
@@ -104,10 +104,10 @@ pub mod prelude {
         Stats, SumReducer,
     };
     pub use crate::relation::{
-        Binder, ColumnSpec, ConstraintKind, ConstraintShape, Field, FieldValue, JoinOn,
-        PreparedQuery, Relation, TableHandle, TypedQuery,
+        join, join3, Binder, ColumnSpec, ConstraintKind, ConstraintShape, Field, FieldValue, Join,
+        Join3, JoinOn, JoinOn2, PreparedQuery, Relation, TableHandle, TypedQuery,
     };
-    pub use crate::rule::JoinPlan;
+    pub use crate::rule::{JoinPlan, JoinStage};
     pub use crate::schema::{TableDef, TableId};
     pub use crate::tuple::Tuple;
     pub use crate::value::{Value, ValueType};

@@ -26,8 +26,8 @@ use crate::engine::RuleCtx;
 use crate::error::{JStarError, Result};
 use crate::orderby::{OrderComponent, OrderKey, ResolvedOrderBy};
 use crate::query::Query;
-use crate::relation::{JoinOn, Relation, TableHandle};
-use crate::rule::{JoinPlan, Rule, RuleBody};
+use crate::relation::{JoinOn, JoinOn2, Relation, TableHandle};
+use crate::rule::{JoinPlan, JoinStage, Rule, RuleBody};
 use crate::schema::{TableDef, TableDefBuilder, TableId};
 use crate::stats::DependencyGraph;
 use crate::strata::{StrataBuilder, StrataOrder};
@@ -280,38 +280,89 @@ impl ProgramBuilder {
         let trigger = self.relation::<R>().id();
         let probe_table = self.relation::<S>().id();
         let plan = Arc::new(JoinPlan {
-            probe_table,
-            keys: on.into_pairs(),
-            filter: Arc::new(move |t: &Tuple, p: &Tuple| {
-                filter(&R::from_tuple(t), &S::from_tuple(p))
+            stages: vec![JoinStage {
+                probe_table,
+                keys: on
+                    .into_pairs()
+                    .into_iter()
+                    .map(|(tf, pf)| ((0, tf), pf))
+                    .collect(),
+            }],
+            filter: Arc::new(move |rows: &[&Tuple]| {
+                filter(&R::from_tuple(rows[0]), &S::from_tuple(rows[1]))
             }),
-            emit: Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple, p: &Tuple| {
-                emit(ctx, &R::from_tuple(t), &S::from_tuple(p))
+            emit: Arc::new(move |ctx: &RuleCtx<'_>, rows: &[&Tuple]| {
+                emit(ctx, &R::from_tuple(rows[0]), &S::from_tuple(rows[1]))
             }),
         });
-        // The per-tuple fallback body is synthesized from the same plan
-        // parts, so both execution modes share one definition of the
-        // rule's meaning and cannot drift apart.
-        let body = {
-            let plan = Arc::clone(&plan);
-            Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| {
-                let mut q = Query::on(plan.probe_table);
-                for &(tf, pf) in &plan.keys {
-                    q.add_eq(pf, t.get(tf).clone());
-                }
-                ctx.query_for_each(&q, |p| {
-                    if (plan.filter)(t, p) {
-                        (plan.emit)(ctx, t, p);
-                    }
-                    true
-                });
-            }) as RuleBody
-        };
         self.rules.push(Rule {
             name: name.to_string(),
             trigger,
-            body,
+            body: join_fallback_body(Arc::clone(&plan)),
             model,
+            plan: Some(plan),
+        });
+    }
+
+    /// Adds a typed **two-stage join rule** — a rule whose body joins
+    /// the trigger `R` against *two* probed relations in fixed order:
+    /// stage 1 probes `S1` where every `on1` pair matches the trigger,
+    /// stage 2 probes `S2` where every `on2` pair matches the trigger
+    /// ([`JoinOn2::eq_t`]) and/or the stage-1 row ([`JoinOn2::eq_p`]).
+    /// Full `(R, S1, S2)` combinations passing `filter` are handed to
+    /// `emit`.
+    ///
+    /// The registered [`crate::rule::JoinPlan`] carries both stages, so
+    /// delta-join execution lowers the whole class onto one coordinated
+    /// leapfrog cursor walk per stage instead of nested per-tuple
+    /// probes. Strict validation flags the missing causality model.
+    pub fn rule_rel_join2<R: Relation, S1: Relation, S2: Relation>(
+        &mut self,
+        name: &str,
+        on1: JoinOn<R, S1>,
+        on2: JoinOn2<R, S1, S2>,
+        filter: impl Fn(&R, &S1, &S2) -> bool + Send + Sync + 'static,
+        emit: impl Fn(&RuleCtx<'_>, &R, &S1, &S2) + Send + Sync + 'static,
+    ) {
+        let trigger = self.relation::<R>().id();
+        let table1 = self.relation::<S1>().id();
+        let table2 = self.relation::<S2>().id();
+        let plan = Arc::new(JoinPlan {
+            stages: vec![
+                JoinStage {
+                    probe_table: table1,
+                    keys: on1
+                        .into_pairs()
+                        .into_iter()
+                        .map(|(tf, pf)| ((0, tf), pf))
+                        .collect(),
+                },
+                JoinStage {
+                    probe_table: table2,
+                    keys: on2.into_pairs(),
+                },
+            ],
+            filter: Arc::new(move |rows: &[&Tuple]| {
+                filter(
+                    &R::from_tuple(rows[0]),
+                    &S1::from_tuple(rows[1]),
+                    &S2::from_tuple(rows[2]),
+                )
+            }),
+            emit: Arc::new(move |ctx: &RuleCtx<'_>, rows: &[&Tuple]| {
+                emit(
+                    ctx,
+                    &R::from_tuple(rows[0]),
+                    &S1::from_tuple(rows[1]),
+                    &S2::from_tuple(rows[2]),
+                )
+            }),
+        });
+        self.rules.push(Rule {
+            name: name.to_string(),
+            trigger,
+            body: join_fallback_body(Arc::clone(&plan)),
+            model: None,
             plan: Some(plan),
         });
     }
@@ -381,6 +432,47 @@ impl ProgramBuilder {
             relations: self.relations,
             initial: self.initial,
         })
+    }
+}
+
+/// Synthesizes the per-tuple nested-loop body from a join plan: a
+/// recursive descent over the stages, one indexed Gamma query per
+/// stage per partial row. Both execution modes (this fallback and the
+/// delta-join cursor walk) are built from the same plan parts, so they
+/// share one definition of the rule's meaning and cannot drift apart.
+fn join_fallback_body(plan: Arc<JoinPlan>) -> RuleBody {
+    Arc::new(move |ctx: &RuleCtx<'_>, t: &Tuple| {
+        let mut rows = vec![t.clone()];
+        join_descend(ctx, &plan, &mut rows);
+    }) as RuleBody
+}
+
+fn join_descend(ctx: &RuleCtx<'_>, plan: &JoinPlan, rows: &mut Vec<Tuple>) {
+    let depth = rows.len() - 1;
+    if depth == plan.stages.len() {
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        if (plan.filter)(&refs) {
+            (plan.emit)(ctx, &refs);
+        }
+        return;
+    }
+    let stage = &plan.stages[depth];
+    let mut q = Query::on(stage.probe_table);
+    for &((row, f), pf) in &stage.keys {
+        q.add_eq(pf, rows[row].get(f).clone());
+    }
+    // Candidates are collected before descending: stages may probe the
+    // same table (self-joins), and recursing while a store iteration
+    // holds its lock would deadlock.
+    let mut candidates = Vec::new();
+    ctx.query_for_each(&q, |p| {
+        candidates.push(p.clone());
+        true
+    });
+    for p in candidates {
+        rows.push(p);
+        join_descend(ctx, plan, rows);
+        rows.pop();
     }
 }
 
@@ -756,10 +848,52 @@ mod tests {
             .plan
             .as_ref()
             .expect("join rules expose an inspectable plan");
-        assert_eq!(plan.probe_table, prog.table_id("Rhs").unwrap());
-        assert_eq!(plan.keys, vec![(0, 0)]);
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(
+            plan.first_stage().probe_table,
+            prog.table_id("Rhs").unwrap()
+        );
+        assert_eq!(plan.first_stage().keys, vec![((0, 0), 0)]);
+        assert_eq!(
+            plan.first_stage().trigger_keys().collect::<Vec<_>>(),
+            vec![(0, 0)]
+        );
         // The non-key columns only feed the filter; their tokens still
         // carry the right indices for anyone extending the join.
         assert_eq!((Lhs::v.index(), Rhs::w.index()), (1, 1));
+    }
+
+    #[test]
+    fn two_stage_join_rules_carry_both_stages() {
+        crate::jstar_table! {
+            /// table T0(int a, int b) orderby (T0)
+            T0(int a, int b) orderby (T0)
+        }
+        crate::jstar_table! {
+            /// table T1(int c, int d) orderby (T1)
+            T1(int c, int d) orderby (T1)
+        }
+        crate::jstar_table! {
+            /// table T2(int e, int f) orderby (T2)
+            T2(int e, int f) orderby (T2)
+        }
+        let mut p = ProgramBuilder::new();
+        p.rule_rel_join2(
+            "two-stage",
+            crate::relation::JoinOn::new().eq(T0::b, T1::c),
+            crate::relation::JoinOn2::new()
+                .eq_p(T1::d, T2::e)
+                .eq_t(T0::a, T2::f),
+            |_: &T0, _: &T1, _: &T2| true,
+            |_, _: &T0, _: &T1, _: &T2| {},
+        );
+        let prog = p.build().unwrap();
+        let plan = prog.rules()[0].plan.as_ref().expect("plan");
+        assert_eq!(plan.stages.len(), 2);
+        assert_eq!(plan.stages[0].probe_table, prog.table_id("T1").unwrap());
+        assert_eq!(plan.stages[0].keys, vec![((0, 1), 0)]);
+        assert_eq!(plan.stages[1].probe_table, prog.table_id("T2").unwrap());
+        // eq_p sources row 1 (the stage-1 tuple), eq_t row 0 (trigger).
+        assert_eq!(plan.stages[1].keys, vec![((1, 1), 0), ((0, 0), 1)]);
     }
 }

@@ -7,6 +7,77 @@
 //! extract by static analysis of those expressions — conjunctive equality
 //! constraints, range constraints and a residual predicate — which is what
 //! lets the Gamma stores pick indexes.
+//!
+//! # Multi-relation joins
+//!
+//! A [`crate::relation::TypedQuery`] binds one table; joins across
+//! tables have two typed forms sharing one execution contract:
+//!
+//! * **read-side**: [`crate::relation::join`]`::<A, B>()` /
+//!   [`crate::relation::join3`] over shared [`crate::relation::Field`]
+//!   tokens, evaluated by [`crate::engine::Engine::join_rel`] /
+//!   `join3_rel` as one leapfrog sorted-merge walk over per-column
+//!   ordered views of Gamma;
+//! * **rule-side**: [`crate::program::ProgramBuilder::rule_rel_join`]
+//!   and `rule_rel_join2`, whose inspectable plans the engine lowers
+//!   onto the same merged-cursor walk when a wide class executes as a
+//!   batched delta-join
+//!   (see [`crate::engine::EngineConfig::join_strategy`]).
+//!
+//! **The variable order is fixed, never optimized.** Relations
+//! intersect in the order the builder declares them, each keyed on the
+//! column its *first* equality pair names; every further pair is a
+//! residual filter inside matched groups. There are no statistics and
+//! no planner — order the relations yourself (most selective first),
+//! and read the cost directly off `RunReport::join_seeks` /
+//! `join_cursor_opens` instead of guessing what a planner chose.
+//!
+//! Migrating a hand-written nested loop onto `join()`:
+//!
+//! ```
+//! use jstar_core::jstar_table;
+//! use jstar_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! jstar_table! {
+//!     #[derive(Copy, Eq)]
+//!     pub Emp(int id, int dept) orderby (Emp)
+//! }
+//! jstar_table! {
+//!     #[derive(Copy, Eq)]
+//!     pub Dept(int dept, int floor) orderby (Dep)
+//! }
+//!
+//! let mut p = ProgramBuilder::new();
+//! p.relation::<Emp>();
+//! p.relation::<Dept>();
+//! p.order(&["Emp", "Dep"]);
+//! p.put_rel(Emp { id: 1, dept: 7 });
+//! p.put_rel(Emp { id: 2, dept: 9 });
+//! p.put_rel(Dept { dept: 7, floor: 3 });
+//! let mut engine = Engine::new(Arc::new(p.build()?), EngineConfig::sequential());
+//! engine.run()?;
+//!
+//! // Before: a nested loop of single-table queries — one indexed
+//! // probe per outer row.
+//! let mut nested = Vec::new();
+//! engine.for_each_rel_gamma(Emp::query(), |e: Emp| {
+//!     engine.for_each_rel_gamma(Dept::query().eq(Dept::dept, e.dept), |d: Dept| {
+//!         nested.push((e.id, d.floor));
+//!         true
+//!     });
+//!     true
+//! });
+//!
+//! // After: one typed join — both column views walked together.
+//! let mut joined = Vec::new();
+//! engine.join_rel(join::<Emp, Dept>().on(Emp::dept, Dept::dept), |e, d| {
+//!     joined.push((e.id, d.floor));
+//! });
+//! assert_eq!(joined, vec![(1, 3)]);
+//! assert_eq!(nested, joined);
+//! # Result::Ok(())
+//! ```
 
 use crate::schema::TableId;
 use crate::tuple::Tuple;

@@ -18,42 +18,81 @@ use std::sync::Arc;
 /// engine, hence `Send + Sync`.
 pub type RuleBody = Arc<dyn Fn(&RuleCtx<'_>, &Tuple) + Send + Sync>;
 
-/// Residual predicate of a [`JoinPlan`]: keeps a `(trigger, probed)` pair.
-pub type JoinFilter = Arc<dyn Fn(&Tuple, &Tuple) -> bool + Send + Sync>;
+/// Residual predicate of a [`JoinPlan`]: keeps a row combination. The
+/// slice is `[trigger, stage1_probed, stage2_probed, ...]` in stage
+/// order — one tuple per relation of the join.
+pub type JoinFilter = Arc<dyn Fn(&[&Tuple]) -> bool + Send + Sync>;
 
-/// Emission step of a [`JoinPlan`]: called once per surviving
-/// `(trigger, probed)` pair; `put`s result tuples through the context.
-pub type JoinEmit = Arc<dyn Fn(&RuleCtx<'_>, &Tuple, &Tuple) + Send + Sync>;
+/// Emission step of a [`JoinPlan`]: called once per surviving row
+/// combination (same slice layout as [`JoinFilter`]); `put`s result
+/// tuples through the context.
+pub type JoinEmit = Arc<dyn Fn(&RuleCtx<'_>, &[&Tuple]) + Send + Sync>;
+
+/// One probe stage of a [`JoinPlan`]: a table to probe and the
+/// equi-join keys binding it to rows already matched.
+#[derive(Debug, Clone)]
+pub struct JoinStage {
+    /// The Gamma table this stage probes.
+    pub probe_table: TableId,
+    /// Equi-join pairs `((row, field), probe_field)`: field `field` of
+    /// row `row` — row 0 is the trigger tuple, row `k ≥ 1` is stage
+    /// `k`'s probed tuple — equates to `probe_field` of this stage's
+    /// candidate. Stage 1 may only reference row 0; stage `k` may
+    /// reference rows `0..k`.
+    pub keys: Vec<((usize, usize), usize)>,
+}
+
+impl JoinStage {
+    /// The key pairs whose source is the trigger row, as plain
+    /// `(trigger_field, probe_field)` — the PR 8 single-stage shape.
+    pub fn trigger_keys(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.keys
+            .iter()
+            .filter(|((row, _), _)| *row == 0)
+            .map(|&((_, tf), pf)| (tf, pf))
+    }
+}
 
 /// An inspectable (join → filter → emit) plan for a rule body.
 ///
 /// Rules registered through
-/// [`crate::program::ProgramBuilder::rule_rel_join`] expose their
-/// constraint structure instead of hiding it inside an opaque closure:
-/// for each trigger tuple, probe `probe_table` where every `keys` pair
-/// `(trigger_field, probe_field)` is equal, keep pairs passing `filter`,
-/// and run `emit` on each. The engine uses the shape to switch a whole
-/// extracted class to **delta-join execution** (one batched hash-join
-/// pass per class instead of one indexed probe per tuple) when the class
-/// clears [`crate::engine::EngineConfig::delta_join_threshold`]; the
-/// synthesized per-tuple body remains the below-threshold fallback, and
-/// both produce the same emissions.
+/// [`crate::program::ProgramBuilder::rule_rel_join`] (one probe stage)
+/// or [`crate::program::ProgramBuilder::rule_rel_join2`] (two stages)
+/// expose their constraint structure instead of hiding it inside an
+/// opaque closure: for each trigger tuple, probe the stages in order —
+/// each stage's candidates constrained by equi-join keys against rows
+/// already matched — keep full row combinations passing `filter`, and
+/// run `emit` on each. The variable order is fixed by stage declaration
+/// order (no cost-based optimizer).
+///
+/// The engine uses the shape to switch a whole extracted class to
+/// **delta-join execution** when the class clears
+/// [`crate::engine::EngineConfig::delta_join_threshold`]: one
+/// coordinated leapfrog walk over sorted column cursors per class
+/// (or one batched hash probe per distinct key under the
+/// `JoinStrategy::HashProbe` fallback) instead of one indexed probe per
+/// tuple. The synthesized per-tuple body remains the below-threshold
+/// fallback, and every mode produces the same emissions.
 pub struct JoinPlan {
-    /// The Gamma table probed per trigger tuple.
-    pub probe_table: TableId,
-    /// Equi-join pairs: trigger field `.0` equates to probed field `.1`.
-    pub keys: Vec<(usize, usize)>,
-    /// Residual predicate over `(trigger, probed)` pairs.
+    /// The probe stages, in fixed variable order.
+    pub stages: Vec<JoinStage>,
+    /// Residual predicate over full row combinations.
     pub filter: JoinFilter,
-    /// Emission per surviving pair.
+    /// Emission per surviving row combination.
     pub emit: JoinEmit,
+}
+
+impl JoinPlan {
+    /// The first stage's probe table (every plan has at least one stage).
+    pub fn first_stage(&self) -> &JoinStage {
+        &self.stages[0]
+    }
 }
 
 impl std::fmt::Debug for JoinPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JoinPlan")
-            .field("probe_table", &self.probe_table)
-            .field("keys", &self.keys)
+            .field("stages", &self.stages)
             .finish()
     }
 }

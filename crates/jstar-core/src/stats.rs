@@ -127,6 +127,13 @@ pub struct EngineStats {
     /// Trigger tuples folded into delta-join build tables (the delta
     /// side of the semi-naive join).
     pub delta_join_build_tuples: AtomicU64,
+    /// Galloping cursor repositionings performed by leapfrog join
+    /// walks (single-step `next` advances are free and not counted).
+    pub join_seeks: AtomicU64,
+    /// Sorted column views opened for leapfrog join walks (each also
+    /// counts as one query against its table, keeping `gamma_probes`
+    /// honest).
+    pub join_cursor_opens: AtomicU64,
     /// Per-step log; only populated when
     /// [`crate::engine::EngineConfig::record_steps`] is set.
     pub step_log: Mutex<Vec<StepRecord>>,
@@ -151,6 +158,8 @@ impl EngineStats {
             delta_join_classes: AtomicU64::new(0),
             delta_join_probes: AtomicU64::new(0),
             delta_join_build_tuples: AtomicU64::new(0),
+            join_seeks: AtomicU64::new(0),
+            join_cursor_opens: AtomicU64::new(0),
             step_log: Mutex::new(Vec::new()),
         }
     }

@@ -199,6 +199,68 @@ fn join_program(dims: i64, srcs: i64, key_mod: i64, filt: i64) -> Arc<Program> {
     Arc::new(p.build().unwrap())
 }
 
+/// A two-**stage** join program built in one of two lowerings that must
+/// be observationally identical:
+///
+/// * `nested_loop = false` — one [`ProgramBuilder::rule_rel_join2`]
+///   rule carrying the full two-stage [`jstar_core::rule::JoinPlan`]
+///   (`Src ⋈ Dim` on `k`, then `⋈ Dim` again on the first match's `w`),
+///   eligible for batched delta-join execution and the leapfrog walk;
+/// * `nested_loop = true` — a hand-written opaque rule performing the
+///   same join as two nested `ctx.query_rel` loops, invisible to every
+///   join optimisation.
+///
+/// Tables, orderings, seeds and the filter are identical, so the two
+/// programs must reach the same fixpoint with the same pop schedule.
+fn join2_program(dims: i64, srcs: i64, key_mod: i64, filt: i64, nested_loop: bool) -> Arc<Program> {
+    let mut p = ProgramBuilder::new();
+    p.relation::<Dim>();
+    p.relation::<Src>();
+    p.relation::<Out>();
+    p.order(&["Dim", "Src", "Out"]);
+    let filter = move |s: &Src, d1: &Dim, d2: &Dim| (s.v + d1.w + d2.w).rem_euclid(filt) != 0;
+    let emit = move |s: &Src, d1: &Dim, d2: &Dim| Out {
+        a: s.v + d1.w,
+        b: d2.w,
+    };
+    if nested_loop {
+        p.rule_rel("chain-nested", move |ctx, s: Src| {
+            for d1 in ctx.query_rel(Dim::query().eq(Dim::k, s.k)) {
+                for d2 in ctx.query_rel(Dim::query().eq(Dim::k, d1.w)) {
+                    if filter(&s, &d1, &d2) {
+                        ctx.put_rel(emit(&s, &d1, &d2));
+                    }
+                }
+            }
+        });
+    } else {
+        p.rule_rel_join2(
+            "chain-join",
+            JoinOn::new().eq(Src::k, Dim::k),
+            JoinOn2::new().eq_p(Dim::w, Dim::k),
+            filter,
+            move |ctx, s: &Src, d1: &Dim, d2: &Dim| {
+                ctx.put_rel(emit(s, d1, d2));
+            },
+        );
+    }
+    // `w` values overlap the key range so stage 2 matches regularly
+    // (but not always — missing keys exercise the empty-descent path).
+    for i in 0..dims {
+        p.put_rel(Dim {
+            k: i.rem_euclid(key_mod),
+            w: (i * 5 + 1).rem_euclid(key_mod + 3),
+        });
+    }
+    for i in 0..srcs {
+        p.put_rel(Src {
+            k: (i * 7).rem_euclid(key_mod),
+            v: i,
+        });
+    }
+    Arc::new(p.build().unwrap())
+}
+
 /// Collects every Gamma tuple of every table, sorted — the canonical form
 /// compared across engine configurations.
 fn canonical_gamma(engine: &Engine) -> Vec<Tuple> {
@@ -561,9 +623,18 @@ proptest! {
         let want = canonical_gamma(&base);
         let want_hash = base.content_hash();
 
+        // Both join strategies must be invisible: the leapfrog walk
+        // (default) and the PR 8 hash-probe pass are pure execution-
+        // strategy changes over the same canonical staging.
         let configs = [
             EngineConfig::sequential().delta_join_from(threshold),
+            EngineConfig::sequential()
+                .join_strategy(JoinStrategy::HashProbe)
+                .delta_join_from(threshold),
             EngineConfig::parallel(threads).delta_join_from(threshold),
+            EngineConfig::parallel(threads)
+                .join_strategy(JoinStrategy::HashProbe)
+                .delta_join_from(threshold),
             EngineConfig::parallel(threads)
                 .pipeline_depth(2)
                 .parallel_merge_from(1)
@@ -604,6 +675,67 @@ proptest! {
                 );
                 prop_assert!(report.delta_join_build_tuples >= srcs as u64);
             }
+        }
+    }
+
+    /// `join()` lowering equivalence: for random two-stage join
+    /// programs, the typed join-rule lowering (two-stage plan, batched
+    /// delta-join eligible, leapfrog or hash strategy) produces exactly
+    /// the hand-written nested-loop lowering's results — same Gamma
+    /// fixpoint, same content hash, and **bit-identical pop schedules**
+    /// — sequentially, in parallel, and under the depth-2 pipelined
+    /// coordinator.
+    #[test]
+    fn typed_join_matches_nested_loop_lowering(
+        dims in 1i64..25,
+        srcs in 1i64..30,
+        key_mod in 1i64..10,
+        filt in 1i64..6,
+        threads in 2usize..6,
+        threshold in 1usize..8,
+    ) {
+        let nested = join2_program(dims, srcs, key_mod, filt, true);
+        let joined = join2_program(dims, srcs, key_mod, filt, false);
+
+        let mut reference = Engine::new(Arc::clone(&nested), EngineConfig::sequential());
+        let ref_report = reference.run().unwrap();
+        let want = canonical_gamma(&reference);
+        let want_hash = reference.content_hash();
+
+        let configs = [
+            EngineConfig::sequential().delta_join_from(threshold),
+            EngineConfig::sequential()
+                .join_strategy(JoinStrategy::HashProbe)
+                .delta_join_from(threshold),
+            EngineConfig::parallel(threads).delta_join_from(threshold),
+            EngineConfig::parallel(threads)
+                .pipeline_depth(2)
+                .parallel_merge_from(1)
+                .delta_join_from(threshold),
+        ];
+        for (i, config) in configs.into_iter().enumerate() {
+            let mut eng = Engine::new(Arc::clone(&joined), config);
+            let report = eng.run().unwrap();
+            let got = canonical_gamma(&eng);
+            prop_assert_eq!(&got, &want, "lowerings diverged (config {})", i);
+            prop_assert_eq!(
+                eng.content_hash(),
+                want_hash,
+                "content hash diverged from nested-loop lowering (config {})",
+                i
+            );
+            prop_assert_eq!(
+                report.steps,
+                ref_report.steps,
+                "pop schedules diverged from nested-loop lowering (config {})",
+                i
+            );
+            prop_assert_eq!(
+                report.tuples_processed,
+                ref_report.tuples_processed,
+                "tuple counts diverged from nested-loop lowering (config {})",
+                i
+            );
         }
     }
 
