@@ -54,6 +54,19 @@
 //! `depth2_soak` section runs the full app suite once at
 //! `pipeline_depth = 2`, recording per-app lookahead hit rates — the
 //! data the ROADMAP wants before flipping the default depth.
+//!
+//! The `index_cache` section A/Bs the cached column indexes on the two
+//! join exhibits: cold (`IndexCachePolicy::Off`, every cursor open
+//! rebuilds) vs warm (`EagerRefresh`, generation-stamped entries
+//! caught up from the claim-journal suffix), interleaved per round at
+//! 1/4/8 threads, with the hit/miss/catch-up/build counters of one
+//! instrumented run per cell in the JSON. Triangles re-opens the
+//! `Edge` index across strata, so warm must hit and build strictly
+//! fewer tuples; basket opens each dimension index exactly once, so
+//! warm must merely never build more. `index_cache_parity` runs the
+//! same cold/warm pairs on the join-free exhibits, where no cursor is
+//! ever opened and the cache must be free: under `--check-drain` any
+//! warm pair-ratio median beyond 1.05x cold fails the run.
 
 use jstar_apps::matmul;
 use jstar_apps::median;
@@ -485,6 +498,154 @@ fn main() {
         measure("fig12_dijkstra", &mut |c| run_dijkstra(spec, c));
     }
 
+    // Index-cache A/B on the join exhibits: cold (`Off`) rebuilds every
+    // column index at every cursor open; warm (`EagerRefresh`) reuses
+    // generation-stamped entries and catches up from the claim-journal
+    // suffix, with refresh jobs overlapping the maintain phase. Arms
+    // interleave within each round; one instrumented run per cell
+    // (outside the timing cells) records the hit/catch-up counters the
+    // claim rests on.
+    #[derive(Clone, Copy)]
+    enum CacheArm {
+        Cold,
+        Warm,
+    }
+    const CACHE_ARMS: [CacheArm; 2] = [CacheArm::Cold, CacheArm::Warm];
+    const CACHE_WORKLOADS: [&str; 2] = ["triangles", "basket"];
+    let basket = basket_spec();
+    let cache_config = |ti: usize, arm: CacheArm| {
+        config(ti).index_cache(match arm {
+            CacheArm::Cold => IndexCachePolicy::Off,
+            CacheArm::Warm => IndexCachePolicy::EagerRefresh,
+        })
+    };
+    let cache_run = |wi: usize, ti: usize, arm: CacheArm| match wi {
+        0 => run_triangles(tri_spec, cache_config(ti, arm)),
+        _ => run_basket(basket, cache_config(ti, arm)),
+    };
+    for wi in 0..CACHE_WORKLOADS.len() {
+        for &arm in &CACHE_ARMS {
+            cache_run(wi, 0, arm); // warm-up, discarded
+        }
+    }
+    // cache_cells[workload][threads][arm], arms innermost so each pair
+    // runs back-to-back under the same ambient conditions.
+    let mut cache_cells: Vec<Vec<Vec<Vec<Duration>>>> =
+        vec![vec![vec![Vec::with_capacity(runs); CACHE_ARMS.len()]; THREADS.len()]; 2];
+    for _round in 0..runs {
+        for (wi, table) in cache_cells.iter_mut().enumerate() {
+            for (ti, row) in table.iter_mut().enumerate() {
+                for (cell, &arm) in row.iter_mut().zip(&CACHE_ARMS) {
+                    cell.push(cache_run(wi, ti, arm));
+                }
+            }
+        }
+    }
+    struct CacheRow {
+        workload: &'static str,
+        threads: usize,
+        median_cold: Duration,
+        median_warm: Duration,
+        ratio_warm_vs_cold: f64,
+        cold_build_tuples: u64,
+        warm_hits: u64,
+        warm_misses: u64,
+        warm_catchup_tuples: u64,
+        warm_build_tuples: u64,
+        warm_hit_rate: f64,
+    }
+    let mut cache_rows: Vec<CacheRow> = Vec::with_capacity(CACHE_WORKLOADS.len() * THREADS.len());
+    for (wi, &workload) in CACHE_WORKLOADS.iter().enumerate() {
+        for (ti, &threads) in THREADS.iter().enumerate() {
+            let report_of = |arm: CacheArm| match wi {
+                0 => {
+                    triangles::run_jstar_report(tri_spec, cache_config(ti, arm))
+                        .expect("triangles")
+                        .1
+                }
+                _ => {
+                    jstar_apps::basket::run_report(basket, cache_config(ti, arm))
+                        .expect("basket")
+                        .1
+                }
+            };
+            let cold_report = report_of(CacheArm::Cold);
+            let warm_report = report_of(CacheArm::Warm);
+            assert_eq!(
+                cold_report.index_cache_hits, 0,
+                "the Off policy must never hit"
+            );
+            let med_cold = median(&cache_cells[wi][ti][0]);
+            let med_warm = median(&cache_cells[wi][ti][1]);
+            cache_rows.push(CacheRow {
+                workload,
+                threads,
+                median_cold: med_cold,
+                median_warm: med_warm,
+                ratio_warm_vs_cold: if med_cold.as_secs_f64() > 0.0 {
+                    med_warm.as_secs_f64() / med_cold.as_secs_f64()
+                } else {
+                    1.0
+                },
+                cold_build_tuples: cold_report.index_build_tuples,
+                warm_hits: warm_report.index_cache_hits,
+                warm_misses: warm_report.index_cache_misses,
+                warm_catchup_tuples: warm_report.index_catchup_tuples,
+                warm_build_tuples: warm_report.index_build_tuples,
+                warm_hit_rate: warm_report.index_cache_hit_rate(),
+            });
+        }
+    }
+
+    // Index-cache parity on the join-free exhibits: fig8/fig11/fig12
+    // never open a column cursor, so the cache — stamping, the
+    // maintain-phase refresh hook, the eager policy's empty job batches
+    // — must cost nothing. Matched interleaved pairs at the mid thread
+    // count, gated on the median pair ratio like the delta-join
+    // section.
+    struct CacheParityRow {
+        workload: &'static str,
+        median_cold: Duration,
+        median_warm: Duration,
+        ratio: f64,
+    }
+    let mut cache_parity_rows: Vec<CacheParityRow> = Vec::new();
+    {
+        let parity_cache_config = |warm: bool| {
+            config(parity_ti).index_cache(if warm {
+                IndexCachePolicy::EagerRefresh
+            } else {
+                IndexCachePolicy::Off
+            })
+        };
+        let mut measure = |workload: &'static str, f: &mut dyn FnMut(EngineConfig) -> Duration| {
+            let mut cold: Vec<Duration> = Vec::with_capacity(runs);
+            let mut warm: Vec<Duration> = Vec::with_capacity(runs);
+            for _round in 0..runs {
+                cold.push(f(parity_cache_config(false)));
+                warm.push(f(parity_cache_config(true)));
+            }
+            let mut ratios: Vec<f64> = cold
+                .iter()
+                .zip(&warm)
+                .filter(|(c, _)| c.as_secs_f64() > 0.0)
+                .map(|(c, w)| w.as_secs_f64() / c.as_secs_f64())
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            cache_parity_rows.push(CacheParityRow {
+                workload,
+                median_cold: median(&cold),
+                median_warm: median(&warm),
+                ratio: ratios.get(ratios.len() / 2).copied().unwrap_or(1.0),
+            });
+        };
+        measure("fig8_pvwatts", &mut |c| {
+            run_pvwatts(&csv, THREADS[parity_ti].max(2), Variant::HashStore, c)
+        });
+        measure("fig11_matmul", &mut |c| run_matmul(n, &a, &b, c));
+        measure("fig12_dijkstra", &mut |c| run_dijkstra(spec, c));
+    }
+
     // Depth-2 soak: every app once at pipeline_depth 2 with the
     // lookahead armed, recording per-app hit rates. Hit/miss counters
     // need record_steps, so these runs stay out of the timing cells.
@@ -610,7 +771,7 @@ fn main() {
     // Hand-rolled JSON (the workspace deliberately vendors no serde).
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jstar-hotpath/v4\",\n");
+    out.push_str("  \"schema\": \"jstar-hotpath/v5\",\n");
     out.push_str(&format!("  \"scale\": {},\n", json_f(scale())));
     out.push_str(&format!(
         "  \"hardware_threads\": {},\n",
@@ -748,6 +909,47 @@ fn main() {
             json_f(row.median_delta_join.as_secs_f64()),
             json_f(row.ratio),
             if i + 1 < parity_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"index_cache\": [\n");
+    for (i, row) in cache_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"median_cold_secs\": {}, \
+             \"median_warm_secs\": {}, \"ratio_warm_vs_cold\": {}, \
+             \"cold_index_build_tuples\": {}, \"warm_index_cache_hits\": {}, \
+             \"warm_index_cache_misses\": {}, \"warm_index_catchup_tuples\": {}, \
+             \"warm_index_build_tuples\": {}, \"warm_hit_rate\": {}}}{}\n",
+            row.workload,
+            row.threads,
+            json_f(row.median_cold.as_secs_f64()),
+            json_f(row.median_warm.as_secs_f64()),
+            json_f(row.ratio_warm_vs_cold),
+            row.cold_build_tuples,
+            row.warm_hits,
+            row.warm_misses,
+            row.warm_catchup_tuples,
+            row.warm_build_tuples,
+            json_f(row.warm_hit_rate),
+            if i + 1 < cache_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"index_cache_parity\": [\n");
+    for (i, row) in cache_parity_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"median_cold_secs\": {}, \
+             \"median_warm_secs\": {}, \"ratio_warm_vs_cold\": {}}}{}\n",
+            row.workload,
+            THREADS[parity_ti],
+            json_f(row.median_cold.as_secs_f64()),
+            json_f(row.median_warm.as_secs_f64()),
+            json_f(row.ratio),
+            if i + 1 < cache_parity_rows.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     out.push_str("  ],\n");
@@ -920,6 +1122,80 @@ fn main() {
         println!(
             "wco-join strategy parity ok (pair-ratio medians vs hash): {}",
             wco_parity.join(", ")
+        );
+
+        // Index-cache parity gate: on programs that never open a column
+        // cursor the cache must be free — generation stamping, the
+        // maintain-phase refresh hook and the eager policy's empty job
+        // batches are the only code it adds to their hot path.
+        const CACHE_TOLERANCE: f64 = 1.05;
+        for row in &cache_parity_rows {
+            if row.ratio > CACHE_TOLERANCE {
+                eprintln!(
+                    "FAIL: {} with the warm index cache is {:.3}x the cold run (medians {:.4}s \
+                     vs {:.4}s, tolerance {CACHE_TOLERANCE:.2}x) — the index cache is no longer \
+                     free on join-free programs",
+                    row.workload,
+                    row.ratio,
+                    row.median_warm.as_secs_f64(),
+                    row.median_cold.as_secs_f64(),
+                );
+                std::process::exit(1);
+            }
+        }
+        let cache_parity: Vec<String> = cache_parity_rows
+            .iter()
+            .map(|r| format!("{} {:.3}", r.workload, r.ratio))
+            .collect();
+        println!(
+            "index-cache parity ok (pair-ratio medians warm vs cold): {}",
+            cache_parity.join(", ")
+        );
+
+        // Index-cache effectiveness: the warm arm's whole claim is that
+        // cached entries replace rebuilds. Triangles re-opens the Edge
+        // index across the Wedge and Probe strata, so its warm run must
+        // hit and sort strictly fewer tuples from scratch than cold at
+        // every thread count; basket's single wide Order class opens
+        // each dimension index exactly once, so the exact bound there
+        // is parity — warm must never build *more*. Counters, not
+        // wall-clock — deterministic, so the bounds are exact.
+        for row in &cache_rows {
+            let reopens = row.workload == "triangles";
+            let ok = if reopens {
+                row.warm_hits > 0 && row.warm_build_tuples < row.cold_build_tuples
+            } else {
+                row.warm_build_tuples <= row.cold_build_tuples
+            };
+            if !ok {
+                eprintln!(
+                    "FAIL: {} at {} threads — warm cache built {} tuples (hits {}) vs the cold \
+                     arm's {} — the cache is not replacing index rebuilds",
+                    row.workload,
+                    row.threads,
+                    row.warm_build_tuples,
+                    row.warm_hits,
+                    row.cold_build_tuples,
+                );
+                std::process::exit(1);
+            }
+        }
+        let cache_effect: Vec<String> = cache_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {}t {}b vs {}b hit {:.0}%",
+                    r.workload,
+                    r.threads,
+                    r.warm_build_tuples,
+                    r.cold_build_tuples,
+                    100.0 * r.warm_hit_rate
+                )
+            })
+            .collect();
+        println!(
+            "index-cache effectiveness ok (warm vs cold build tuples): {}",
+            cache_effect.join(", ")
         );
 
         // Checkpoint-overhead gate: periodic durability must stay a

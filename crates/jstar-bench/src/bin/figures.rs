@@ -89,6 +89,11 @@ fn hotpath() {
         } else {
             "per-tuple".into()
         };
+        let cache_hit_rate = if report.index_cache_hits + report.index_cache_misses > 0 {
+            format!("{:.1}%", 100.0 * report.index_cache_hit_rate())
+        } else {
+            "-".into()
+        };
         vec![
             name,
             format!("{}", report.pipeline_depth),
@@ -109,6 +114,8 @@ fn hotpath() {
             report.delta_join_probes.to_string(),
             report.join_seeks.to_string(),
             report.join_cursor_opens.to_string(),
+            cache_hit_rate,
+            report.index_catchup_tuples.to_string(),
         ]
     }
     let csv = pvwatts_csv(InputOrder::Chronological);
@@ -212,6 +219,8 @@ fn hotpath() {
             "delta-join probes",
             "join seeks",
             "cursor opens",
+            "cache hit rate",
+            "catchup tuples",
         ],
         &rows,
     );

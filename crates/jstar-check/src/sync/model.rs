@@ -181,6 +181,79 @@ int_atomic!(
     AtomicI64, AtomicI64, i64
 );
 
+/// Instrumented [`std::sync::atomic::AtomicBool`]. Hand-written (the
+/// integer macro leans on `fetch_add`/`fetch_sub`, which bools lack) with
+/// the operations the kernels use: load/store/swap.
+pub struct AtomicBool {
+    v: std::sync::atomic::AtomicBool,
+    loc: StdAtomicUsize,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            v: std::sync::atomic::AtomicBool::new(v),
+            loc: StdAtomicUsize::new(0),
+        }
+    }
+
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> bool {
+        match current() {
+            Some((e, me)) => e.atomic_op(me, &self.loc, || {
+                (self.v.load(StdOrdering::Relaxed), AtomicKind::Load(order))
+            }),
+            None => self.v.load(order),
+        }
+    }
+
+    #[track_caller]
+    pub fn store(&self, val: bool, order: Ordering) {
+        match current() {
+            Some((e, me)) => e.atomic_op(me, &self.loc, || {
+                self.v.store(val, StdOrdering::Relaxed);
+                ((), AtomicKind::Store(order))
+            }),
+            None => self.v.store(val, order),
+        }
+    }
+
+    #[track_caller]
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        match current() {
+            Some((e, me)) => e.atomic_op(me, &self.loc, || {
+                (
+                    self.v.swap(val, StdOrdering::Relaxed),
+                    AtomicKind::Rmw(order),
+                )
+            }),
+            None => self.v.swap(val, order),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.v.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.v.into_inner()
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.v.load(StdOrdering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
 /// Instrumented [`std::sync::atomic::AtomicPtr`].
 pub struct AtomicPtr<T> {
     v: std::sync::atomic::AtomicPtr<T>,

@@ -1,7 +1,9 @@
 //! Production variant of the shim: straight re-exports plus transparent
 //! wrappers that compile to nothing.
 
-pub use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering,
+};
 
 pub use parking_lot::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 

@@ -2,7 +2,7 @@
 //! options, kept *outside* the program source (workflow stages 3–4).
 
 use crate::delta::DeltaKind;
-use crate::gamma::StoreKind;
+use crate::gamma::{IndexCachePolicy, StoreKind, DEFAULT_INDEX_CACHE_MAX_BYTES};
 use crate::schema::TableId;
 use crate::tuple::Tuple;
 use jstar_pool::ThreadPool;
@@ -135,6 +135,21 @@ pub struct EngineConfig {
     /// keeps the PR 8 one-probe-per-distinct-key pass (the A/B knob the
     /// benches use). Emissions are identical under either strategy.
     pub join_strategy: JoinStrategy,
+    /// Column-index caching policy for join walks — see
+    /// [`IndexCachePolicy`]. Under the default (`OnDemand`) every built
+    /// sorted column view is kept, stamped with its store's claim-journal
+    /// generation, and caught up incrementally (sort the journal suffix,
+    /// merge) instead of rebuilt from a full scan-and-sort;
+    /// `EagerRefresh` additionally catches stale entries up on the
+    /// pool's background lane at the maintain phase, hiding the work
+    /// behind the execute window; `Off` restores the PR 9 per-walk
+    /// throwaway build. Join *results* are identical under every policy
+    /// — only where the sort cost lands changes.
+    pub index_cache: IndexCachePolicy,
+    /// Per-table byte bound on cached column views; least-recently-used
+    /// entries are evicted past it (the most recently built view always
+    /// survives). See [`EngineConfig::index_cache`].
+    pub index_cache_max_bytes: usize,
 }
 
 /// The probe strategy of batched delta-join execution.
@@ -177,6 +192,8 @@ impl Default for EngineConfig {
             checkpoint_keep: 2,
             delta_join_threshold: 32,
             join_strategy: JoinStrategy::Leapfrog,
+            index_cache: IndexCachePolicy::default(),
+            index_cache_max_bytes: DEFAULT_INDEX_CACHE_MAX_BYTES,
         }
     }
 }
@@ -311,6 +328,20 @@ impl EngineConfig {
     /// per-key hash probing). See [`JoinStrategy`].
     pub fn join_strategy(mut self, strategy: JoinStrategy) -> Self {
         self.join_strategy = strategy;
+        self
+    }
+
+    /// Selects the column-index caching policy (off / on-demand /
+    /// eager-refresh). See [`EngineConfig::index_cache`].
+    pub fn index_cache(mut self, policy: IndexCachePolicy) -> Self {
+        self.index_cache = policy;
+        self
+    }
+
+    /// Sets the per-table byte bound for cached column views. See
+    /// [`EngineConfig::index_cache_max_bytes`].
+    pub fn index_cache_max_bytes(mut self, bytes: usize) -> Self {
+        self.index_cache_max_bytes = bytes;
         self
     }
 

@@ -70,7 +70,11 @@ impl Engine {
                     .unwrap_or_else(|| StoreKind::default_for(!config.sequential))
             })
             .collect();
-        let gamma = Gamma::new(program.defs(), &kinds);
+        let mut gamma = Gamma::new(program.defs(), &kinds);
+        // Apply the join-index cache policy while the engine is still
+        // single-threaded (swapping the cache later would race workers
+        // and discard counters).
+        gamma.configure_index_cache(config.index_cache, config.index_cache_max_bytes);
         let pool = if config.sequential {
             None
         } else {
@@ -198,6 +202,16 @@ impl Engine {
         let scheduler = Scheduler::new(self.config.inline_class_threshold)
             .with_delta_join(self.config.delta_join_threshold, join_tables);
         let mut lookahead = Lookahead::new(pipeline.lookahead_enabled());
+        // Eager index refresh: one background-lane batch in flight at a
+        // time, submitted at the end of each maintain phase so catch-up
+        // hides behind the next step's execute window, and joined at the
+        // start of the next maintain phase — before any store surgery
+        // (retain/compact) that requires the quiescent point.
+        let eager_refresh = matches!(
+            self.config.index_cache,
+            crate::gamma::IndexCachePolicy::EagerRefresh
+        );
+        let mut pending_refresh: Option<jstar_pool::TaskBatch<()>> = None;
         let mut steps: u64 = 0;
         let mut checkpoints: u64 = 0;
         let mut checkpoint_time = Duration::ZERO;
@@ -348,6 +362,13 @@ impl Engine {
             // manual tuple-lifetime hints run here, followed by
             // tombstone compaction for stores the hints have hollowed
             // out.
+            //
+            // The previous step's index-refresh batch is joined first:
+            // its jobs read the Gamma stores, and the retain/compact
+            // surgery below requires that no such reader remains.
+            if let (Some(batch), Some(pool)) = (pending_refresh.take(), self.pool.as_deref()) {
+                batch.join(pool);
+            }
             if self.config.hint_interval > 0 && steps.is_multiple_of(self.config.hint_interval) {
                 for (table, keep) in &self.config.lifetime_hints {
                     let store = state.gamma.store(*table);
@@ -413,6 +434,41 @@ impl Engine {
                     }
                 }
             }
+
+            // Eager index refresh: catch every cached column view up to
+            // the journal generation this step's inserts reached, so the
+            // next join-heavy class finds warm indexes at extract time.
+            // Parallel runs submit the catch-ups on the pool's
+            // background lane — only workers with no class chunk left
+            // pick them up, the same overlap trick as the Delta merge —
+            // and the batch is joined at the top of the next maintain
+            // phase. Sequential runs refresh inline.
+            if eager_refresh {
+                let tables = state.gamma.index_cache().cached_tables();
+                if !tables.is_empty() {
+                    match &self.pool {
+                        Some(pool) => {
+                            let jobs: Vec<_> = tables
+                                .into_iter()
+                                .map(|ti| {
+                                    let st = Arc::clone(&self.state);
+                                    move || st.gamma.refresh_indexes(TableId(ti as u32))
+                                })
+                                .collect();
+                            pending_refresh = Some(jstar_pool::submit_background(pool, jobs));
+                        }
+                        None => {
+                            for ti in tables {
+                                state.gamma.refresh_indexes(TableId(ti as u32));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if let (Some(batch), Some(pool)) = (pending_refresh.take(), self.pool.as_deref()) {
+            batch.join(pool);
         }
 
         let errors = state.errors.lock();
@@ -421,6 +477,7 @@ impl Engine {
         }
         drop(errors);
 
+        let cache_stats = state.gamma.index_cache().stats();
         Ok(RunReport {
             steps,
             tuples_processed: state.stats.tuples_processed.load(Ordering::Relaxed),
@@ -450,6 +507,10 @@ impl Engine {
                 .sum(),
             join_seeks: state.stats.join_seeks.load(Ordering::Relaxed),
             join_cursor_opens: state.stats.join_cursor_opens.load(Ordering::Relaxed),
+            index_cache_hits: cache_stats.hits,
+            index_cache_misses: cache_stats.misses,
+            index_catchup_tuples: cache_stats.catchup_tuples,
+            index_build_tuples: cache_stats.build_tuples,
             output: state.output.lock().clone(),
         })
     }
@@ -739,12 +800,16 @@ impl Engine {
                 std::cmp::Ordering::Less => ca.seek(&kb),
                 std::cmp::Ordering::Greater => cb.seek(&ka),
                 std::cmp::Ordering::Equal => {
+                    // Borrowed group slices stream straight into the
+                    // residual-filter stage — no per-key materialization
+                    // (`cc` is a separate cursor, so seeking it never
+                    // invalidates these borrows).
                     let (ga, gb) = match (ca.group(), cb.group()) {
-                        (Some(ga), Some(gb)) => (ga.to_vec(), gb.to_vec()),
+                        (Some(ga), Some(gb)) => (ga, gb),
                         _ => break,
                     };
-                    for at in &ga {
-                        for bt in &gb {
+                    for at in ga {
+                        for bt in gb {
                             if !j.ab[1..].iter().all(|&(af, bf)| at.get(af) == bt.get(bf)) {
                                 continue;
                             }

@@ -164,6 +164,35 @@
 //! `bench_hotpath`'s `delta_join` section A/B-measures it and gates
 //! that the mode costs nothing on join-free programs.
 //!
+//! ## The index-cache lifecycle
+//!
+//! Leapfrog join walks open sorted per-column views
+//! ([`crate::gamma::TableStore::open_cursor`]); iterative programs
+//! reopen the same columns step after step over largely-unchanged
+//! tables. [`EngineConfig::index_cache`] keeps each built view in a
+//! per-table cache ([`crate::gamma::IndexCache`]) stamped with the
+//! store's claim-journal **generation**: a warm open sorts only the
+//! journal suffix appended since the stamp and two-way merges it into
+//! the cached groups, so its cost tracks the *new* tuples per step
+//! instead of the live table. Lifetime-hint `retain`s (a changed
+//! tombstone count) and quiescent rebuilds — compaction, snapshot
+//! import, both of which bump the store's epoch — invalidate wholesale;
+//! both happen only in the maintain phase, which is also where
+//! `EagerRefresh` submits background-lane catch-up jobs (joined at the
+//! top of the next maintain phase, before any retain or compact, so
+//! refresh never races a table replacement). Policy choice:
+//! `OnDemand` (the default) is right for almost everything — pure wins,
+//! catch-up cost on the opening walk; `EagerRefresh` moves that cost
+//! behind the execute window when join-heavy steps dominate and idle
+//! workers exist; `Off` is the A/B baseline and the fallback for
+//! memory-constrained runs (though the per-table LRU bound
+//! [`EngineConfig::index_cache_max_bytes`] usually suffices).
+//! [`RunReport::index_cache_hits`]/[`RunReport::index_cache_misses`]/
+//! [`RunReport::index_catchup_tuples`]/[`RunReport::index_build_tuples`]
+//! put the rebuild-work reduction on record, and every policy is
+//! property-tested to produce bit-identical pop schedules
+//! (`tests/prop_engine.rs::cached_index_matches_cold_build`).
+//!
 //! ## Hot-path architecture
 //!
 //! The put→Delta→Gamma pipeline adds **zero coordinator-side contention**

@@ -110,7 +110,19 @@ impl TableStore for BTreeStore {
                 _ => groups.push((v.clone(), vec![t.clone()])),
             }
         }
-        Arc::new(ColumnIndex::from_sorted(groups))
+        drop(set);
+        match ColumnIndex::try_from_sorted(groups) {
+            Ok(idx) => Arc::new(idx),
+            // Unreachable while tree iteration is sorted, but a broken
+            // producer must degrade to the (order-insensitive) grouping
+            // pass rather than silently corrupt every later seek.
+            Err(_) => Arc::new(ColumnIndex::build(0, &mut |emit| {
+                self.for_each(&mut |t| {
+                    emit(t);
+                    true
+                });
+            })),
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -90,6 +90,14 @@ impl TableStore for ConcurrentOrderedStore {
         table.for_each_journal_range(entries * chunk / of, entries * (chunk + 1) / of, f);
     }
 
+    fn index_stamp(&self) -> Option<super::IndexStamp> {
+        Some(self.table.index_stamp())
+    }
+
+    fn for_each_journal_suffix(&self, lo: usize, hi: usize, f: &mut dyn FnMut(&Tuple)) -> usize {
+        self.table.for_each_journal_suffix(lo, hi, f)
+    }
+
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
         // Point lookup: the whole primary key is equality-bound, so the
         // matches live on one probe walk.

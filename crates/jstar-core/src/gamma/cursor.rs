@@ -64,6 +64,72 @@ impl ColumnIndex {
         ColumnIndex { groups }
     }
 
+    /// Like [`ColumnIndex::from_sorted`], but the strictly-ascending
+    /// contract is verified in release builds too (one linear pass of
+    /// value comparisons — cheap next to the sort that produced the
+    /// groups) and a violation comes back as a typed error instead of
+    /// silently corrupting every later seek. The ordered-store fast
+    /// paths use this so a mis-sorted producer is caught at build time.
+    pub fn try_from_sorted(groups: Vec<(Value, Vec<Tuple>)>) -> crate::error::Result<ColumnIndex> {
+        if let Some(i) = (1..groups.len()).find(|&i| groups[i - 1].0 >= groups[i].0) {
+            return Err(crate::error::JStarError::Other(format!(
+                "ColumnIndex::try_from_sorted: groups not strictly ascending \
+                 at position {i} ({:?} !< {:?})",
+                groups[i - 1].0,
+                groups[i].0
+            )));
+        }
+        Ok(ColumnIndex { groups })
+    }
+
+    /// The sorted `(value, group)` pairs — read-only view for tests
+    /// asserting caught-up and cold-built indexes are identical.
+    #[cfg(test)]
+    pub(crate) fn groups(&self) -> &[(Value, Vec<Tuple>)] {
+        &self.groups
+    }
+
+    /// Two-way merges a sorted batch of *new* groups into this index,
+    /// producing the caught-up index: values interleave in ascending
+    /// order, and where a value exists on both sides the new tuples are
+    /// appended **after** the cached ones — new tuples carry later
+    /// journal positions, so the merged group order stays journal order,
+    /// exactly what a cold rebuild over the longer journal would emit.
+    /// `new` must be strictly ascending (like `from_sorted`'s input).
+    pub(crate) fn merge_suffix(&self, new: Vec<(Value, Vec<Tuple>)>) -> ColumnIndex {
+        let old = &self.groups;
+        let mut merged: Vec<(Value, Vec<Tuple>)> = Vec::with_capacity(old.len() + new.len());
+        let mut oi = 0;
+        for (v, g) in new {
+            while oi < old.len() && old[oi].0 < v {
+                merged.push(old[oi].clone());
+                oi += 1;
+            }
+            if oi < old.len() && old[oi].0 == v {
+                let mut both = old[oi].1.clone();
+                both.extend(g);
+                merged.push((v, both));
+                oi += 1;
+            } else {
+                merged.push((v, g));
+            }
+        }
+        merged.extend_from_slice(&old[oi..]);
+        ColumnIndex { groups: merged }
+    }
+
+    /// Rough heap footprint for the cache's byte-bounded LRU: exact
+    /// accounting of refcounted tuple internals is not worth the
+    /// bookkeeping, so every tuple is charged a flat estimate.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        const PER_TUPLE: usize = std::mem::size_of::<Tuple>() + 48;
+        let per_group = std::mem::size_of::<(Value, Vec<Tuple>)>();
+        self.groups
+            .iter()
+            .map(|(_, g)| per_group + g.len() * PER_TUPLE)
+            .sum()
+    }
+
     /// Number of distinct values.
     pub fn len(&self) -> usize {
         self.groups.len()

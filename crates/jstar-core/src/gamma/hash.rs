@@ -115,6 +115,14 @@ impl TableStore for HashStore {
         table.for_each_journal_range(entries * chunk / of, entries * (chunk + 1) / of, f);
     }
 
+    fn index_stamp(&self) -> Option<super::IndexStamp> {
+        Some(self.table.index_stamp())
+    }
+
+    fn for_each_journal_suffix(&self, lo: usize, hi: usize, f: &mut dyn FnMut(&Tuple)) -> usize {
+        self.table.for_each_journal_suffix(lo, hi, f)
+    }
+
     fn query(&self, q: &Query, f: &mut dyn FnMut(&Tuple) -> bool) {
         self.query_hinted(q, q.covers_fields(&self.index_fields), f);
     }

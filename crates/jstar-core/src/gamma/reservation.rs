@@ -814,6 +814,39 @@ impl ReservationTable {
         // ord: Relaxed — statistic only.
         self.dead.load(Ordering::Relaxed)
     }
+
+    /// Clamps `hi` to the longest in-order journal prefix of `lo..hi`
+    /// with no append still in flight: the returned bound `s` satisfies
+    /// `lo <= s <= hi` and every journal entry in `lo..s` is non-zero —
+    /// i.e. its tuple's publish ([`Segment::journal_push`] runs *after*
+    /// the tag's Release store) is visible to this thread. The index
+    /// cache stamps entries with such a stable bound so a later
+    /// catch-up walk over the suffix never skips a tuple whose journal
+    /// entry was mid-append at stamp time.
+    pub fn journal_stable_prefix(&self, lo: usize, hi: usize) -> usize {
+        let mut base = 0usize;
+        for k in 0..MAX_SEGMENTS {
+            if base >= hi {
+                return hi;
+            }
+            let Some(seg) = self.segment(k) else {
+                return hi.min(base);
+            };
+            // ord: Acquire — as in for_each.
+            let n = seg.cursor.load(Ordering::Acquire).min(seg.journal.len());
+            let start = lo.saturating_sub(base).min(n);
+            let end = hi.saturating_sub(base).min(n);
+            for j in start..end {
+                // ord: Acquire — pairs with journal_push's Release; a
+                // non-zero entry proves the slot behind it is published.
+                if seg.journal[j].load(Ordering::Acquire) == 0 {
+                    return base + j; // append in flight — stop here
+                }
+            }
+            base += n;
+        }
+        hi.min(base)
+    }
 }
 
 /// A [`ReservationTable`] slot that supports **quiescent replacement** —
@@ -831,13 +864,27 @@ impl ReservationTable {
 /// scope has joined.
 pub(crate) struct SwappableTable {
     ptr: AtomicPtr<ReservationTable>,
+    /// Bumped by every [`SwappableTable::replace_quiescent`] — both
+    /// compaction and snapshot import. Cached column indexes record the
+    /// epoch they were built under; a mismatch means journal positions
+    /// no longer line up and the index must be rebuilt wholesale.
+    epoch: AtomicU64,
 }
 
 impl SwappableTable {
     pub fn new(table: ReservationTable) -> SwappableTable {
         SwappableTable {
             ptr: AtomicPtr::new(Box::into_raw(Box::new(table))),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Number of wholesale replacements so far (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        // ord: Acquire — pairs with replace_quiescent's Release bump so
+        // an observer that sees the new epoch also sees the swap that
+        // caused it (belt and braces under the quiescence contract).
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// The current table.
@@ -864,9 +911,41 @@ impl SwappableTable {
         let old = self
             .ptr
             .swap(Box::into_raw(Box::new(fresh)), Ordering::AcqRel);
+        // ord: Release — the epoch bump is ordered after the swap above,
+        // so a reader that observes the new epoch (Acquire in `epoch`)
+        // cannot still resolve journal positions against the old table.
+        self.epoch.fetch_add(1, Ordering::Release);
         // SAFETY: `old` was the installed Box; the quiescence contract
         // says no reader holds a reference into it.
         drop(unsafe { Box::from_raw(old) });
+    }
+
+    /// The current [`super::cache::IndexStamp`] of this table — the
+    /// shared body of the stores' [`crate::gamma::TableStore::index_stamp`].
+    pub fn index_stamp(&self) -> super::cache::IndexStamp {
+        let t = self.get();
+        super::cache::IndexStamp {
+            epoch: self.epoch(),
+            generation: t.journal_entries(),
+            tombstones: t.tombstones(),
+        }
+    }
+
+    /// The shared body of the stores'
+    /// [`crate::gamma::TableStore::for_each_journal_suffix`]: clamps
+    /// `hi` to the stable journal prefix (no in-flight append skipped),
+    /// walks the live tuples of `[lo, clamped)` in journal order, and
+    /// returns the clamped bound.
+    pub fn for_each_journal_suffix(
+        &self,
+        lo: usize,
+        hi: usize,
+        f: &mut dyn FnMut(&Tuple),
+    ) -> usize {
+        let t = self.get();
+        let stable = t.journal_stable_prefix(lo, hi);
+        t.for_each_journal_range(lo, stable, f);
+        stable
     }
 
     /// True when more than `max_fraction` of the ever-occupied slots are

@@ -272,6 +272,27 @@ fn canonical_gamma(engine: &Engine) -> Vec<Tuple> {
     all
 }
 
+/// Walks a fresh field-0 cursor over every table and collects the visible
+/// `(value, group)` pairs — what a join walk would actually see through
+/// the index cache. Group-internal order is journal (insertion) order,
+/// which differs across runs at different thread counts, so groups are
+/// sorted before comparison; the *set* of values and each value's tuple
+/// multiset must be identical whatever the cache policy.
+fn cursor_groups(engine: &Engine) -> Vec<(Value, Vec<Tuple>)> {
+    let mut all = Vec::new();
+    for i in 0..engine.program().defs().len() {
+        let idx = engine.gamma().open_cursor(TableId(i as u32), 0);
+        let mut c = idx.cursor();
+        while let (Some(k), Some(g)) = (c.key(), c.group()) {
+            let mut g = g.to_vec();
+            g.sort();
+            all.push((k.clone(), g));
+            c.next();
+        }
+    }
+    all
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -736,6 +757,100 @@ proptest! {
                 "tuple counts diverged from nested-loop lowering (config {})",
                 i
             );
+        }
+    }
+
+    /// The generation-stamped index cache is a pure execution-strategy
+    /// change: for random two-stage join programs — with a lifetime hint
+    /// on the probe table so retain/compaction interleaves with the join
+    /// walks mid-run — every cache policy (`Off`, `OnDemand`,
+    /// `EagerRefresh`) produces **bit-identical pop schedules** (same
+    /// step count, same tuple count), the same Gamma fixpoint, the same
+    /// content hash, and the same cursor-visible group sets, at 1/4/8
+    /// threads × pipeline depths 0/1/2. The hint tombstones (and, past
+    /// the compaction threshold, epoch-bumps) the very table whose
+    /// cached views the join keeps reopening, so wholesale invalidation
+    /// and journal-suffix catch-up both run under live traffic.
+    #[test]
+    fn cached_index_matches_cold_build(
+        dims in 4i64..30,
+        srcs in 1i64..40,
+        key_mod in 1i64..12,
+        filt in 1i64..6,
+        threshold in 1usize..8,
+        threads_idx in 0usize..3,
+        hint_keep_mod in 2i64..5,
+    ) {
+        let threads = [1usize, 4, 8][threads_idx];
+        let prog = join_program(dims, srcs, key_mod, filt);
+        let dim = prog.table_id("Dim").unwrap();
+        // Dim has no producing rules, so retaining away some of its
+        // tuples mid-run is deterministic (nothing re-derives them) and
+        // directly invalidates the cached views the join walks reopen.
+        let configure = move |c: EngineConfig| {
+            c.delta_join_from(threshold)
+                .lifetime_hint(dim, 2, move |t| t.int(1).rem_euclid(hint_keep_mod) != 0)
+                .compact_tombstones_above(0.2)
+        };
+
+        let mut base = Engine::new(
+            Arc::clone(&prog),
+            configure(EngineConfig::sequential().index_cache(IndexCachePolicy::Off)),
+        );
+        let base_report = base.run().unwrap();
+        let want = canonical_gamma(&base);
+        let want_hash = base.content_hash();
+        let want_groups = cursor_groups(&base);
+
+        for depth in [0usize, 1, 2] {
+            for policy in [
+                IndexCachePolicy::Off,
+                IndexCachePolicy::OnDemand,
+                IndexCachePolicy::EagerRefresh,
+            ] {
+                let config = if threads == 1 && depth == 0 {
+                    EngineConfig::sequential()
+                } else {
+                    EngineConfig::parallel(threads)
+                        .pipeline_depth(depth)
+                        .parallel_merge_from(1)
+                };
+                let mut eng = Engine::new(
+                    Arc::clone(&prog),
+                    configure(config.index_cache(policy)),
+                );
+                let report = eng.run().unwrap();
+                let got = canonical_gamma(&eng);
+                prop_assert_eq!(
+                    &got, &want,
+                    "gamma diverged ({:?}, {} threads, depth {})",
+                    policy, threads, depth
+                );
+                prop_assert_eq!(
+                    eng.content_hash(),
+                    want_hash,
+                    "content hash diverged ({:?}, {} threads, depth {})",
+                    policy, threads, depth
+                );
+                prop_assert_eq!(
+                    (report.steps, report.tuples_processed),
+                    (base_report.steps, base_report.tuples_processed),
+                    "pop schedule diverged ({:?}, {} threads, depth {})",
+                    policy, threads, depth
+                );
+                let groups = cursor_groups(&eng);
+                prop_assert_eq!(
+                    &groups, &want_groups,
+                    "cursor-visible groups diverged ({:?}, {} threads, depth {})",
+                    policy, threads, depth
+                );
+                if policy == IndexCachePolicy::Off {
+                    prop_assert_eq!(
+                        report.index_cache_hits, 0,
+                        "off policy must never hit"
+                    );
+                }
+            }
         }
     }
 

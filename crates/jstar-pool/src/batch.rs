@@ -18,7 +18,10 @@
 //! frame whose lifetime bounds them — the handle may outlive the
 //! submitting stack frame by design.
 
-use parking_lot::Mutex;
+// Synchronisation comes from the jstar-check shim: real std/parking_lot
+// types in production, instrumented model-checked types under
+// `--features model-check` (see crates/jstar-check and CONCURRENCY.md).
+use jstar_check::sync::Mutex;
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -139,7 +142,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use jstar_check::sync::{AtomicUsize, Ordering};
 
     #[test]
     fn empty_batch_is_complete_immediately() {

@@ -1,11 +1,14 @@
 //! The work-stealing thread pool itself.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+
+// Synchronisation comes from the jstar-check shim: real std/parking_lot
+// types in production, instrumented model-checked types under
+// `--features model-check` (see crates/jstar-check and CONCURRENCY.md).
+use jstar_check::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -69,6 +72,10 @@ const MAX_HELP_DEPTH: usize = 48;
 impl Shared {
     /// Pushes a job, preferring the current worker's local deque.
     pub(crate) fn push(self: &Arc<Self>, job: Job) {
+        // ord: Release — pairs with the Acquire load in the sleep check:
+        // a worker that observes the bumped count also observes the job
+        // made visible by the deque push below (the deque has its own
+        // internal ordering; this keeps the count itself coherent with it).
         self.pending.fetch_add(1, Ordering::Release);
         let pushed_locally = LOCAL.with(|slot| {
             if let Some((shared, worker, _)) = slot.borrow().as_ref() {
@@ -95,6 +102,7 @@ impl Shared {
         if jobs.is_empty() {
             return;
         }
+        // ord: Release — as in `push`, one bump for the whole batch.
         self.pending.fetch_add(jobs.len(), Ordering::Release);
         let leftover = LOCAL.with(|slot| {
             if let Some((shared, worker, _)) = slot.borrow().as_ref() {
@@ -125,6 +133,8 @@ impl Shared {
         if jobs.is_empty() {
             return;
         }
+        // ord: Release — pairs with the sleep check's Acquire load of
+        // `bg_pending`, exactly as `push` does for the foreground count.
         self.bg_pending.fetch_add(jobs.len(), Ordering::Release);
         for job in jobs {
             self.background.push(job);
@@ -139,6 +149,9 @@ impl Shared {
         loop {
             match self.background.steal() {
                 Steal::Success(job) => {
+                    // ord: Release — the decrement must not be reordered
+                    // before the steal that claimed the job, so the count
+                    // never under-reports a job still in the queue.
                     self.bg_pending.fetch_sub(1, Ordering::Release);
                     return Some(job);
                 }
@@ -183,6 +196,9 @@ impl Shared {
     }
 
     fn run_job(&self, job: Job) {
+        // ord: Release — settles this job's `push` increment before the
+        // job body runs; an Acquire reader of 0 therefore knows every
+        // submitted job has at least started.
         self.pending.fetch_sub(1, Ordering::Release);
         // Job panics are caught by the scope machinery; a bare `execute`d job
         // that panics must not take the worker thread down with it.
@@ -252,12 +268,20 @@ impl Shared {
                 Some((job, true)) => self.run_job(job),
                 Some((job, false)) => self.run_counted_job(job),
                 None => {
+                    // ord: Acquire — pairs with Drop's Release store; a
+                    // worker that observes shutdown also observes every
+                    // write the dropping thread made before it.
                     if self.shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     // Park until a push notifies us. The timeout guards
                     // against a lost wakeup between find_job and sleeping.
                     let mut guard = self.sleep_lock.lock();
+                    // ord: Acquire ×3 — pair with the submitters' Release
+                    // bumps (and Drop's Release store): reading 0/false
+                    // here proves no submission predates this check, so
+                    // sleeping cannot strand a job (the timed wait covers
+                    // the remaining push-between-check-and-sleep window).
                     if self.pending.load(Ordering::Acquire) == 0
                         && self.bg_pending.load(Ordering::Acquire) == 0
                         && !self.shutdown.load(Ordering::Acquire)
@@ -354,11 +378,14 @@ impl ThreadPool {
     /// separately ([`ThreadPool::pending_background_jobs`]) precisely so
     /// they never coarsen those decisions.
     pub fn pending_jobs(&self) -> usize {
+        // ord: Acquire — pairs with the submitters' Release bumps so the
+        // backlog signal is never fresher than the queues it describes.
         self.shared.pending.load(Ordering::Acquire)
     }
 
     /// Number of submitted-but-not-yet-started background-lane jobs.
     pub fn pending_background_jobs(&self) -> usize {
+        // ord: Acquire — as in `pending_jobs`.
         self.shared.bg_pending.load(Ordering::Acquire)
     }
 
@@ -410,6 +437,8 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // ord: Release — pairs with the workers' Acquire loads: a worker
+        // that sees the flag also sees everything this thread wrote first.
         self.shared.shutdown.store(true, Ordering::Release);
         {
             let _guard = self.shared.sleep_lock.lock();
@@ -436,7 +465,7 @@ pub fn global() -> &'static ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use jstar_check::sync::AtomicU64;
 
     #[test]
     fn executes_detached_jobs() {
